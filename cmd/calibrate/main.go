@@ -1,0 +1,69 @@
+// Command calibrate prints the per-app texture of the synthetic workloads
+// under the default system: stall and miss ratios without prefetching
+// (paper Fig. 2), plus baseline-vs-IPEX summaries. It exists to check the
+// workload generators against the published characteristics when tuning
+// internal/workload/specs.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/stats"
+	"ipex/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload length multiplier")
+	flag.Parse()
+
+	trace := power.Generate(power.RFHome, power.DefaultTraceSamples, 1)
+
+	var t stats.Table
+	t.Header("app", "istall%", "dstall%", "imiss%", "dmiss%", "outages",
+		"pf:spd", "ipex:spd", "iacc%", "dacc%", "ipf", "dpf", "thr%", "e:ipex/base")
+	var spdPf, spdIpex []float64
+	for _, app := range workload.Names() {
+		base := nvp.DefaultConfig()
+
+		noPf, err := nvp.Run(workload.MustNew(app, *scale), trace, base.WithoutPrefetch())
+		check(err)
+		pf, err := nvp.Run(workload.MustNew(app, *scale), trace, base)
+		check(err)
+		ipex, err := nvp.Run(workload.MustNew(app, *scale), trace, base.WithIPEX())
+		check(err)
+
+		spd1 := stats.Speedup(float64(noPf.Cycles), float64(pf.Cycles))
+		spd2 := stats.Speedup(float64(pf.Cycles), float64(ipex.Cycles))
+		spdPf = append(spdPf, spd1)
+		spdIpex = append(spdIpex, spd2)
+		thr := float64(ipex.Inst.PrefetchThrottled + ipex.Data.PrefetchThrottled)
+		tot := thr + float64(ipex.Inst.PrefetchIssued+ipex.Data.PrefetchIssued)
+		t.Row(app,
+			fmt.Sprintf("%.1f", 100*float64(noPf.Inst.StallCycles)/float64(noPf.OnCycles)),
+			fmt.Sprintf("%.1f", 100*float64(noPf.Data.StallCycles)/float64(noPf.OnCycles)),
+			fmt.Sprintf("%.2f", 100*noPf.Inst.Cache.MissRate()),
+			fmt.Sprintf("%.2f", 100*noPf.Data.Cache.MissRate()),
+			fmt.Sprintf("%d", pf.Outages),
+			fmt.Sprintf("%.3f", spd1),
+			fmt.Sprintf("%.3f", spd2),
+			fmt.Sprintf("%.1f", 100*pf.Inst.Accuracy()),
+			fmt.Sprintf("%.1f", 100*pf.Data.Accuracy()),
+			fmt.Sprintf("%d", pf.Inst.PrefetchIssued),
+			fmt.Sprintf("%d", pf.Data.PrefetchIssued),
+			fmt.Sprintf("%.1f", 100*stats.Ratio(thr, tot)),
+			fmt.Sprintf("%.3f", ipex.Energy.Total()/pf.Energy.Total()),
+		)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("gmean speedup: prefetch/nopf=%.4f  ipex/prefetch=%.4f\n",
+		stats.Geomean(spdPf), stats.Geomean(spdIpex))
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Command experiments regenerates the paper's evaluation: every figure and
+// table of §6 plus the DESIGN.md ablations.
+//
+//	experiments -all             # everything (full workload lengths)
+//	experiments -exp fig10       # one experiment
+//	experiments -all -scale 0.1  # quick pass at 10% workload length
+//	experiments -list            # show available experiment ids
+//
+// Output is the textual form of each figure's series / table's rows;
+// EXPERIMENTS.md records these next to the paper's published values.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ipex/internal/experiments"
+)
+
+type runner func(experiments.Options) (fmt.Stringer, error)
+
+func wrap[T fmt.Stringer](f func(experiments.Options) (T, error)) runner {
+	return func(o experiments.Options) (fmt.Stringer, error) {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+var registry = map[string]runner{
+	"fig01":  wrap(experiments.Fig01),
+	"fig02":  wrap(experiments.Fig02),
+	"fig04":  wrap(experiments.Fig04),
+	"fig10":  wrap(experiments.Fig10),
+	"fig11":  wrap(experiments.Fig11),
+	"fig12":  wrap(experiments.Fig12),
+	"fig13":  wrap(experiments.Fig13),
+	"fig14":  wrap(experiments.Fig14),
+	"fig15":  wrap(experiments.Fig15),
+	"table2": wrap(experiments.Table2),
+	"table3": wrap(experiments.Table3),
+	"table4": wrap(experiments.Table4),
+	"fig16":  wrap(experiments.Fig16),
+	"fig17":  wrap(experiments.Fig17),
+	"fig18":  wrap(experiments.Fig18),
+	"fig19":  wrap(experiments.Fig19),
+	"fig20":  wrap(experiments.Fig20),
+	"fig21":  wrap(experiments.Fig21),
+	"fig22":  wrap(experiments.Fig22),
+	"fig23":  wrap(experiments.Fig23),
+	"fig24":  wrap(experiments.Fig24),
+	"fig25":  wrap(experiments.Fig25),
+
+	"ablation-degree":   wrap(experiments.AblationDegreePolicy),
+	"ablation-adaptive": wrap(experiments.AblationAdaptive),
+	"ablation-dup":      wrap(experiments.AblationDupSuppress),
+	"ablation-dest":     wrap(experiments.AblationPrefetchDest),
+	"ext-reissue":       wrap(experiments.AblationReissue),
+	"ext-addrgen":       wrap(experiments.AblationAddressGen),
+}
+
+// order fixes the -all sequence to the paper's presentation order.
+var order = []string{
+	"fig01", "fig02", "fig04",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	"table2", "table3", "table4",
+	"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+	"fig24", "fig25",
+	"ablation-degree", "ablation-adaptive", "ablation-dup", "ablation-dest",
+	"ext-reissue", "ext-addrgen",
+}
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		exp    = flag.String("exp", "", "run one experiment (see -list)")
+		list   = flag.Bool("list", false, "list experiment ids")
+		scale  = flag.Float64("scale", 1.0, "workload length multiplier")
+		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
+		apps   = flag.String("apps", "", "comma-separated app subset (default all 20)")
+		seed   = flag.Uint64("seed", 1, "power-trace seed")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(registry))
+		for id := range registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	o := experiments.Options{Scale: *scale, TraceSeed: *seed}
+	if *apps != "" {
+		o.Apps = strings.Split(*apps, ",")
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = order
+	case *exp != "":
+		if _, ok := registry[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: need -all, -exp <id>, or -list")
+		os.Exit(1)
+	}
+
+	// §6.1's overhead analysis is pure arithmetic; print it with -all.
+	if *all {
+		fmt.Println(overheadReport())
+		fmt.Println()
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		r, err := registry[id](o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"experiment": id, "result": r}); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: encoding %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(r.String())
+		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"fmt"
+
+	"ipex/internal/core"
+)
+
+// overheadReport renders §6.1's hardware-overhead analysis.
+func overheadReport() string {
+	r := core.Overhead(2)
+	return fmt.Sprintf(
+		"Section 6.1: hardware overhead\n"+
+			"  registers per cache : R_throttled(32b) + R_total(32b) + R_tr(32b) + R_ipd(3b) = %d bits\n"+
+			"  caches              : %d (ICache + DCache)\n"+
+			"  total               : %d bits\n"+
+			"  core area (45 nm)   : %.2f mm²\n"+
+			"  area fraction       : %.4f%% (paper: 0.0018%%)",
+		r.BitsPerCache, r.Caches, r.TotalBits, r.CoreAreaMM2, 100*r.AreaFraction)
+}

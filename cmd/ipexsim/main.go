@@ -1,0 +1,207 @@
+// Command ipexsim runs one NVP simulation and prints its statistics.
+//
+// Examples:
+//
+//	ipexsim -app fft                         # baseline prefetchers, RFHome
+//	ipexsim -app fft -ipex both              # with IPEX on both caches
+//	ipexsim -app pegwitd -iprefetch none -dprefetch none
+//	ipexsim -app gsme -trace solar -capacitor 4.7e-6
+//	ipexsim -app qsort -tracefile mylog.txt  # replay a recorded power log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipex/internal/core"
+	"ipex/internal/energy"
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/prefetch"
+	"ipex/internal/stats"
+	"ipex/internal/workload"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "fft", "workload: one of "+strings.Join(workload.Names(), ", "))
+		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
+		traceName  = flag.String("trace", "RFHome", "power trace: RFHome, RFOffice, solar, thermal")
+		traceFile  = flag.String("tracefile", "", "replay a recorded power-trace text file instead of a synthetic source")
+		ipexMode   = flag.String("ipex", "off", "IPEX attachment: off, data, both")
+		iPf        = flag.String("iprefetch", "sequential", "instruction prefetcher: sequential, markov, tifs, ampm, none")
+		dPf        = flag.String("dprefetch", "stride", "data prefetcher: stride, ghb, bo, ampm, none")
+		degree     = flag.Int("degree", 2, "initial prefetch degree (R_ipd)")
+		icache     = flag.Int("icache", energy.DefaultCacheSize, "ICache bytes")
+		dcache     = flag.Int("dcache", energy.DefaultCacheSize, "DCache bytes")
+		ways       = flag.Int("ways", 4, "cache associativity")
+		bufEntries = flag.Int("pbuf", 4, "prefetch buffer entries (16 B each)")
+		nvmTech    = flag.String("nvm", "ReRAM", "NVM technology: ReRAM, STTRAM, PCM")
+		nvmSize    = flag.Int64("nvmsize", 16<<20, "NVM bytes")
+		capF       = flag.Float64("capacitor", 0.47e-6, "capacitance in farads")
+		thresholds = flag.Int("thresholds", 2, "IPEX voltage threshold count")
+		stepV      = flag.Float64("step", 0.05, "IPEX threshold adaptation step (V)")
+		trigger    = flag.Float64("trigger", 0.05, "IPEX throttling-rate trigger")
+		ideal      = flag.Bool("ideal", false, "zero backup/restore cost (NVSRAMCache ideal)")
+		reissue    = flag.Bool("reissue", false, "reissue throttled prefetches on mode exit (§5.1 extension)")
+		bufferMode = flag.Bool("buffermode", false, "keep prefetches in the buffer until use instead of filling the cache")
+		cycles     = flag.Int("cycles", 0, "print per-power-cycle telemetry for the first N cycles")
+		saveTrace  = flag.String("savetrace", "", "record the workload's access trace to this file and exit")
+	)
+	flag.Parse()
+
+	cfg := nvp.DefaultConfig()
+	cfg.ICacheSize = *icache
+	cfg.DCacheSize = *dcache
+	cfg.Ways = *ways
+	cfg.PrefetchBufEntries = *bufEntries
+	cfg.IPrefetcher = prefetch.Kind(*iPf)
+	cfg.DPrefetcher = prefetch.Kind(*dPf)
+	cfg.InitialDegree = *degree
+	cfg.Ideal = *ideal
+	cfg.ReissueOnExit = *reissue
+	cfg.PrefetchToCache = !*bufferMode
+	cfg.Capacitor.CapacitanceFarads = *capF
+
+	var tech energy.NVMTech
+	switch *nvmTech {
+	case "ReRAM":
+		tech = energy.ReRAM
+	case "STTRAM":
+		tech = energy.STTRAM
+	case "PCM":
+		tech = energy.PCM
+	default:
+		fatalf("unknown NVM technology %q", *nvmTech)
+	}
+	cfg.NVM = energy.NVMFor(tech, *nvmSize)
+
+	cfg.IPEX.Thresholds = nil
+	cfg.IPEX.StepV = *stepV
+	cfg.IPEX.ThrottleRateTrigger = *trigger
+	switch *ipexMode {
+	case "off":
+	case "data":
+		cfg = cfg.WithIPEXData()
+	case "both":
+		cfg = cfg.WithIPEX()
+	default:
+		fatalf("unknown -ipex mode %q (want off, data, both)", *ipexMode)
+	}
+	if cfg.IPEXInst || cfg.IPEXData {
+		cfg.IPEX.Thresholds = nvpThresholds(*thresholds, cfg)
+	}
+
+	var trace *power.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		trace, err = power.Load(*traceFile, f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		src, err := power.ParseSource(*traceName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		trace = power.Generate(src, power.DefaultTraceSamples, 1)
+	}
+
+	wl, err := workload.New(*app, *scale)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := workload.WriteTrace(wl, f); err != nil {
+			fatalf("recording trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *saveTrace, err)
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", wl.Len(), *app, *saveTrace)
+		return
+	}
+
+	cfg.RecordCycles = *cycles > 0
+	res, err := nvp.Run(wl, trace, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printResult(res)
+	if *cycles > 0 {
+		printCycles(res, *cycles)
+	}
+}
+
+// printCycles renders the first n power cycles of the telemetry log.
+func printCycles(r nvp.Result, n int) {
+	var t stats.Table
+	t.Header("cycle", "start", "onCycles", "insts", "pf", "throttled", "wiped", "dirty@bk")
+	for i, pc := range r.PowerCycleLog {
+		if i >= n {
+			break
+		}
+		t.Row(fmt.Sprintf("%d", i), fmt.Sprintf("%d", pc.StartCycle),
+			fmt.Sprintf("%d", pc.OnCycles), fmt.Sprintf("%d", pc.Insts),
+			fmt.Sprintf("%d", pc.PrefetchIssued), fmt.Sprintf("%d", pc.PrefetchThrottled),
+			fmt.Sprintf("%d", pc.WipedUnused), fmt.Sprintf("%d", pc.DirtyAtBackup))
+	}
+	fmt.Printf("\nper-power-cycle telemetry (%d of %d cycles):\n%s",
+		min(n, len(r.PowerCycleLog)), len(r.PowerCycleLog), t.String())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func nvpThresholds(k int, cfg nvp.Config) []float64 {
+	return core.ThresholdsFor(k, cfg.Capacitor.Vbackup, cfg.Capacitor.Von)
+}
+
+func printResult(r nvp.Result) {
+	fmt.Printf("app=%s trace=%s completed=%v\n", r.App, r.Trace, r.Completed)
+	fmt.Printf("insts=%d cycles=%d (on=%d off=%d) time=%.3f ms outages=%d\n",
+		r.Insts, r.Cycles, r.OnCycles, r.OffCycles, r.Seconds()*1e3, r.Outages)
+	fmt.Printf("CPI(on)=%.3f stall%%: icache=%s dcache=%s\n",
+		float64(r.OnCycles)/float64(r.Insts),
+		stats.Pct(stats.Ratio(float64(r.Inst.StallCycles), float64(r.OnCycles))),
+		stats.Pct(stats.Ratio(float64(r.Data.StallCycles), float64(r.OnCycles))))
+	fmt.Printf("miss%%: icache=%s dcache=%s  bufhit: i=%d d=%d\n",
+		stats.Pct(r.Inst.Cache.MissRate()), stats.Pct(r.Data.Cache.MissRate()),
+		r.Inst.Cache.BufHits, r.Data.Cache.BufHits)
+	fmt.Printf("prefetch issued: i=%d d=%d  throttled: i=%d d=%d  reissued: i=%d d=%d\n",
+		r.Inst.PrefetchIssued, r.Data.PrefetchIssued,
+		r.Inst.PrefetchThrottled, r.Data.PrefetchThrottled,
+		r.Inst.PrefetchReissued, r.Data.PrefetchReissued)
+	fmt.Printf("wiped-unused prefetches: i=%d d=%d  addr-gen gated: i=%d d=%d\n",
+		r.Inst.WipedUnused(), r.Data.WipedUnused(),
+		r.Inst.AddressGenGated, r.Data.AddressGenGated)
+	fmt.Printf("accuracy: i=%s d=%s  coverage: i=%s d=%s\n",
+		stats.Pct(r.Inst.Accuracy()), stats.Pct(r.Data.Accuracy()),
+		stats.Pct(r.Inst.Coverage()), stats.Pct(r.Data.Coverage()))
+	e := r.Energy
+	fmt.Printf("energy (nJ): total=%.1f cache=%.1f memory=%.1f compute=%.1f bk+rst=%.1f\n",
+		e.Total(), e.Cache, e.Memory, e.Compute, e.BkRst)
+	fmt.Printf("nvm traffic: demand=%d prefetch=%d wb=%d ckpt=%d restore=%d\n",
+		r.NVM.DemandReads, r.NVM.PrefetchReads, r.NVM.WritebackWrites,
+		r.NVM.CheckpointWrites, r.NVM.RestoreReads)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ipexsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+package ipex_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"ipex"
+)
+
+// The basic flow: run a benchmark with and without IPEX under the same
+// recorded input energy.
+func Example() {
+	trace := ipex.GenerateTrace(ipex.RFHome, 20000, 1)
+
+	base, _ := ipex.Run("gsme", 0.1, trace, ipex.DefaultConfig())
+	with, _ := ipex.Run("gsme", 0.1, trace, ipex.DefaultConfig().WithIPEX())
+
+	fmt.Println("completed:", base.Completed && with.Completed)
+	fmt.Println("baseline throttled anything:", base.Inst.PrefetchThrottled > 0)
+	fmt.Println("ipex throttled anything:", with.Inst.PrefetchThrottled+with.Data.PrefetchThrottled > 0)
+	// Output:
+	// completed: true
+	// baseline throttled anything: false
+	// ipex throttled anything: true
+}
+
+// Access traces recorded from one run (or from outside the simulator)
+// replay bit-identically.
+func Example_accessTrace() {
+	wl, _ := ipex.NewWorkload("fft", 0.01)
+	var buf bytes.Buffer
+	_ = ipex.WriteAccessTrace(wl, &buf)
+
+	replay, _ := ipex.ReadAccessTrace(&buf)
+	fmt.Println(replay.Name(), replay.Len() == wl.Len())
+	// Output:
+	// fft true
+}
+
+// The hardware-overhead report reproduces §6.1 of the paper.
+func ExampleOverhead() {
+	r := ipex.Overhead(2)
+	fmt.Printf("%d bits per cache, %d total, %.4f%% of core area\n",
+		r.BitsPerCache, r.TotalBits, 100*r.AreaFraction)
+	// Output:
+	// 99 bits per cache, 198 total, 0.0018% of core area
+}
+
+// AnalyzeTrace gives a fast capacitor-only view of a power trace.
+func ExampleAnalyzeTrace() {
+	dead := &ipex.Trace{Name: "dead", Samples: make([]float64, 1000)}
+	est, _ := ipex.AnalyzeTrace(dead, 0.020)
+	fmt.Println("outages:", est.Outages)
+	// Output:
+	// outages: 1
+}

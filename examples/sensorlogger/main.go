@@ -1,0 +1,127 @@
+// Sensorlogger: a domain scenario from the paper's motivation — a
+// batteryless environmental sensor node that samples a peripheral, filters
+// the reading, and appends compressed records to an NVM log.
+//
+// The example shows two things a system designer would actually do with
+// this library:
+//
+//  1. model their own firmware as a custom Workload (a deterministic
+//     access-stream generator) instead of using the bundled benchmarks, and
+//
+//  2. run a capacitor-sizing study: how do outage rate and IPEX's benefit
+//     change from 0.47 µF to 100 µF (the paper's Figure 22 trade-off)?
+//
+//     go run ./examples/sensorlogger
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipex"
+)
+
+// sensorWorkload models the firmware's steady state: an acquisition loop
+// (sample + filter, code-heavy, stack traffic) followed by a log-append
+// burst (sequential stores through the record buffer).
+//
+// It implements ipex.Workload directly, which is all the simulator needs.
+type sensorWorkload struct {
+	insts    int
+	produced int
+
+	pc        uint64
+	logCursor uint64
+	phase     int // position within one acquire+append period
+}
+
+const (
+	swCodeBase  = 0x0002_0000
+	swLoopBytes = 1024 // acquisition + filter loop
+	swLogBase   = 0x0020_0000
+	swLogBytes  = 256 << 10 // NVM-backed record buffer (streams through cache)
+	swStackBase = 0x0018_0000
+	swPeriod    = 400 // instructions per acquire+append period
+	swAppendAt  = 320 // append burst occupies the period's tail
+)
+
+func newSensorWorkload(insts int) *sensorWorkload {
+	return &sensorWorkload{insts: insts}
+}
+
+func (w *sensorWorkload) Name() string { return "sensorlogger" }
+func (w *sensorWorkload) Len() int     { return w.insts }
+
+func (w *sensorWorkload) Reset() {
+	w.produced = 0
+	w.pc = 0
+	w.logCursor = 0
+	w.phase = 0
+}
+
+func (w *sensorWorkload) Next() (ipex.Access, bool) {
+	if w.produced >= w.insts {
+		return ipex.Access{}, false
+	}
+	w.produced++
+
+	var a ipex.Access
+	a.PC = swCodeBase + w.pc
+	w.pc = (w.pc + 4) % swLoopBytes
+
+	switch {
+	case w.phase >= swAppendAt:
+		// Log append: every other instruction stores the next record word
+		// sequentially — exactly the stream a stride prefetcher covers and
+		// exactly the blocks a power failure wipes when fetched too early.
+		if w.phase%2 == 0 {
+			a.HasData = true
+			a.Write = true
+			a.DataAddr = swLogBase + w.logCursor
+			w.logCursor = (w.logCursor + 4) % swLogBytes
+		}
+	case w.phase%5 == 2:
+		// Acquisition/filter phase: stack and coefficient traffic that
+		// stays cache-resident.
+		a.HasData = true
+		a.DataAddr = swStackBase + uint64((w.phase*28)%768)
+	}
+	w.phase++
+	if w.phase == swPeriod {
+		w.phase = 0
+	}
+	return a, true
+}
+
+func main() {
+	trace := ipex.GenerateTrace(ipex.RFHome, 0, 1)
+
+	fmt.Println("capacitor sizing study for a sensor-logger node (RFHome harvesting)")
+	fmt.Println()
+	fmt.Printf("%-10s  %-22s  %-22s  %s\n", "capacitor", "baseline", "+IPEX", "IPEX effect")
+	fmt.Printf("%-10s  %-11s %-10s  %-11s %-10s  %s\n",
+		"", "time(ms)", "outages", "time(ms)", "outages", "speedup / energy")
+
+	for _, uF := range []float64{0.47, 1, 4.7, 10, 47, 100} {
+		base := ipex.DefaultConfig()
+		base.Capacitor.CapacitanceFarads = uF * 1e-6
+
+		b, err := ipex.RunWorkload(newSensorWorkload(250_000), trace, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := ipex.RunWorkload(newSensorWorkload(250_000), trace, base.WithIPEX())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.2fµF  %11.2f %10d  %11.2f %10d  %.3f / %.3f\n",
+			uF, b.Seconds()*1e3, b.Outages, w.Seconds()*1e3, w.Outages,
+			ipex.Speedup(b, w), w.Energy.Total()/b.Energy.Total())
+	}
+
+	fmt.Println()
+	fmt.Println("Larger capacitors mean fewer outages and longer power cycles, which")
+	fmt.Println("shrinks IPEX's opportunity to suppress doomed prefetches — the")
+	fmt.Println("paper's Figure 22 trend. The 0.47 µF default is the typical compact")
+	fmt.Println("EHS design point where intermittence-aware prefetching matters.")
+}

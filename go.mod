@@ -1,0 +1,3 @@
+module ipex
+
+go 1.22

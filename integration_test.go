@@ -1,0 +1,157 @@
+package ipex
+
+import (
+	"testing"
+)
+
+// Integration tests asserting the cross-cutting behaviours the paper's
+// story depends on, at a moderate scale that keeps them robust.
+
+func run(t *testing.T, app string, trace *Trace, mut func(*Config)) Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	r, err := Run(app, 0.3, trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatalf("%s did not complete", app)
+	}
+	return r
+}
+
+// Fair-comparison methodology: the same trace supplies the same input
+// energy to any configuration, so wall-clock time differences reflect the
+// systems, not luck.
+func TestSameInputEnergyMethodology(t *testing.T) {
+	tr := GenerateTrace(RFHome, 20000, 9)
+	a := run(t, "fft", tr, nil)
+	b := run(t, "fft", tr, nil)
+	if a.Cycles != b.Cycles || a.Energy != b.Energy {
+		t.Error("identical runs diverged")
+	}
+}
+
+// The paper's premise (Fig. 5): power failures wipe prefetched-but-unused
+// blocks; the waste must be visible in the baseline and reduced by IPEX.
+func TestIPEXReducesDoomedPrefetches(t *testing.T) {
+	tr := GenerateTrace(RFHome, 0, 1)
+	base := run(t, "jpegd", tr, nil)
+	with := run(t, "jpegd", tr, func(c *Config) { *c = c.WithIPEX() })
+
+	if base.Outages == 0 {
+		t.Skip("no outages on this slice")
+	}
+	baseWiped := base.Inst.WipedUnused() + base.Data.WipedUnused()
+	withWiped := with.Inst.WipedUnused() + with.Data.WipedUnused()
+	if baseWiped == 0 {
+		t.Fatal("baseline lost no unused prefetches to outages — the premise is absent")
+	}
+	// IPEX must reduce total prefetch operations (Fig. 12)...
+	if with.PrefetchesIssued() >= base.PrefetchesIssued() {
+		t.Errorf("no prefetch reduction: %d vs %d", with.PrefetchesIssued(), base.PrefetchesIssued())
+	}
+	// ...without increasing the doomed losses.
+	if withWiped > baseWiped*3/2 {
+		t.Errorf("IPEX raised doomed prefetches: %d vs %d", withWiped, baseWiped)
+	}
+}
+
+// Fig. 15's claim: IPEX's miss-rate impact is negligible (well under a
+// percentage point).
+func TestIPEXMissRateImpactNegligible(t *testing.T) {
+	tr := GenerateTrace(RFHome, 0, 1)
+	for _, app := range []string{"gsme", "qsort"} {
+		base := run(t, app, tr, nil)
+		with := run(t, app, tr, func(c *Config) { *c = c.WithIPEX() })
+		dI := with.Inst.Cache.MissRate() - base.Inst.Cache.MissRate()
+		dD := with.Data.Cache.MissRate() - base.Data.Cache.MissRate()
+		if dI > 0.01 || dD > 0.01 {
+			t.Errorf("%s: miss-rate increase too large: I %+0.4f D %+0.4f", app, dI, dD)
+		}
+	}
+}
+
+// §6.2's observation: instruction accesses dominate data accesses ~4:1,
+// giving the instruction prefetcher more IPEX opportunities.
+func TestInstructionSideDominatesPrefetching(t *testing.T) {
+	tr := GenerateTrace(RFHome, 0, 1)
+	totalI, totalD := uint64(0), uint64(0)
+	for _, app := range []string{"gsme", "jpegd", "basicm"} {
+		r := run(t, app, tr, nil)
+		totalI += r.Inst.Cache.Accesses
+		totalD += r.Data.Cache.Accesses
+	}
+	ratio := float64(totalI) / float64(totalD)
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("I:D access ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+// The crash-consistency contract: every instruction commits exactly once
+// across arbitrary outage patterns (JIT checkpointing resumes at the
+// failure point).
+func TestForwardProgressAcrossOutages(t *testing.T) {
+	tr := GenerateTrace(RFHome, 0, 3)
+	for _, app := range []string{"pegwitd", "unepic"} {
+		r := run(t, app, tr, nil)
+		wl, _ := NewWorkload(app, 0.3)
+		if r.Insts != uint64(wl.Len()) {
+			t.Errorf("%s: committed %d of %d instructions", app, r.Insts, wl.Len())
+		}
+		if r.Outages == 0 {
+			t.Errorf("%s: expected outages under RFHome", app)
+		}
+	}
+}
+
+// Fig. 22's physics: a larger capacitor means fewer outages for the same
+// program and trace.
+func TestLargerCapacitorFewerOutages(t *testing.T) {
+	tr := GenerateTrace(RFHome, 0, 1)
+	small := run(t, "rijndaeld", tr, nil)
+	big := run(t, "rijndaeld", tr, func(c *Config) {
+		c.Capacitor.CapacitanceFarads = 10e-6
+	})
+	if big.Outages >= small.Outages {
+		t.Errorf("10µF outages (%d) not below 0.47µF (%d)", big.Outages, small.Outages)
+	}
+}
+
+// §6.7.9's trace characterization: the stable sources keep the system
+// powered a larger fraction of wall-clock time than RF.
+func TestStableTracesMoreOnTime(t *testing.T) {
+	onShare := func(src Source) float64 {
+		r := run(t, "fft", GenerateTrace(src, 0, 1), nil)
+		return float64(r.OnCycles) / float64(r.Cycles)
+	}
+	if onShare(Thermal) <= onShare(RFHome) {
+		t.Error("thermal should keep the system on a larger share of time than RFHome")
+	}
+}
+
+// Table 2's signature: IPEX raises prefetch accuracy while coverage moves
+// only slightly.
+func TestIPEXAccuracyCoverageSignature(t *testing.T) {
+	tr := GenerateTrace(RFHome, 0, 1)
+	var accBase, accIPEX, covBase, covIPEX float64
+	apps := []string{"jpegd", "gsme", "rijndaeld", "unepic"}
+	for _, app := range apps {
+		b := run(t, app, tr, nil)
+		w := run(t, app, tr, func(c *Config) { *c = c.WithIPEX() })
+		accBase += b.Inst.Accuracy()
+		accIPEX += w.Inst.Accuracy()
+		covBase += b.Inst.Coverage()
+		covIPEX += w.Inst.Coverage()
+	}
+	n := float64(len(apps))
+	if accIPEX/n < accBase/n-0.01 {
+		t.Errorf("IPEX lowered accuracy: %.3f -> %.3f", accBase/n, accIPEX/n)
+	}
+	if covIPEX/n < covBase/n-0.10 {
+		t.Errorf("IPEX coverage cost too large: %.3f -> %.3f", covBase/n, covIPEX/n)
+	}
+}

@@ -1,0 +1,310 @@
+// Package cache implements the volatile SRAM caches of the NVP: small
+// set-associative write-back caches with LRU replacement, plus the per-cache
+// prefetch buffer that holds prefetched blocks so they do not pollute the
+// cache (the NVSRAMCache baseline organization the paper evaluates).
+//
+// Caches are volatile: a power failure wipes every block. The dirty blocks
+// are JIT-checkpointed to NVM right before the outage, so the simulator asks
+// the cache for its dirty count at backup time and wipes it at reboot.
+package cache
+
+import (
+	"fmt"
+
+	"ipex/internal/energy"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses       uint64 // demand accesses (reads + writes)
+	Misses         uint64 // demand misses (after prefetch-buffer lookup)
+	BufHits        uint64 // demand misses served by the prefetch buffer
+	Evictions      uint64
+	DirtyEvictions uint64
+	// Prefetched-line outcomes (prefetch-into-cache mode): a line filled
+	// by FillPrefetched is "useful" on its first demand hit and "useless"
+	// if evicted or wiped before one. PrefetchedWiped counts the subset
+	// of useless lines lost to a power failure — the waste IPEX targets.
+	PrefetchedUseful  uint64
+	PrefetchedUseless uint64
+	PrefetchedWiped   uint64
+}
+
+// MissRate returns Misses/Accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// pfUnused marks a prefetched line that has not yet served a demand
+	// access; cleared on first hit, classified on eviction/wipe.
+	pfUnused bool
+	used     uint64 // LRU timestamp
+}
+
+// Cache is one set-associative write-back SRAM cache.
+type Cache struct {
+	params  energy.CacheParams
+	sets    [][]line
+	nsets   int
+	blockLg uint
+	setMask uint64
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache from the given geometry. Size must be a multiple of
+// ways*blockSize and the set count a power of two.
+func New(params energy.CacheParams) (*Cache, error) {
+	if params.BlockSize <= 0 || params.Ways <= 0 || params.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache: invalid geometry %+v", params)
+	}
+	blocks := params.SizeBytes / params.BlockSize
+	if blocks*params.BlockSize != params.SizeBytes {
+		return nil, fmt.Errorf("cache: size %dB not a multiple of block size %dB", params.SizeBytes, params.BlockSize)
+	}
+	if blocks%params.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, params.Ways)
+	}
+	nsets := blocks / params.Ways
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", nsets)
+	}
+	blockLg := uint(0)
+	for 1<<blockLg < params.BlockSize {
+		blockLg++
+	}
+	if 1<<blockLg != params.BlockSize {
+		return nil, fmt.Errorf("cache: block size %d is not a power of two", params.BlockSize)
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*params.Ways)
+	for i := range sets {
+		sets[i] = backing[i*params.Ways : (i+1)*params.Ways]
+	}
+	return &Cache{
+		params:  params,
+		sets:    sets,
+		nsets:   nsets,
+		blockLg: blockLg,
+		setMask: uint64(nsets - 1),
+	}, nil
+}
+
+// MustNew is New for geometries known to be valid.
+func MustNew(params energy.CacheParams) *Cache {
+	c, err := New(params)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Params returns the cache geometry and energy parameters.
+func (c *Cache) Params() energy.CacheParams { return c.params }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// BlockAddr returns the block-aligned address containing addr.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.params.BlockSize) - 1)
+}
+
+func (c *Cache) index(block uint64) (set int, tag uint64) {
+	b := block >> c.blockLg
+	return int(b & c.setMask), b >> uintLog2(c.nsets)
+}
+
+func uintLog2(n int) uint {
+	lg := uint(0)
+	for 1<<lg < n {
+		lg++
+	}
+	return lg
+}
+
+// Access performs a demand access to addr. It returns whether it hit. On a
+// write hit the line is marked dirty. A miss does NOT fill the cache; the
+// caller decides how the fill happens (from the prefetch buffer or NVM) and
+// calls Fill.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.stats.Accesses++
+	c.tick++
+	set, tag := c.index(c.BlockAddr(addr))
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.used = c.tick
+			if write {
+				l.dirty = true
+			}
+			if l.pfUnused {
+				l.pfUnused = false
+				c.stats.PrefetchedUseful++
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// NoteBufHit records that the miss just reported by Access was served from
+// the prefetch buffer (Stats bookkeeping only).
+func (c *Cache) NoteBufHit() { c.stats.BufHits++ }
+
+// Contains reports whether the block containing addr is present, without
+// touching statistics or LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(c.BlockAddr(addr))
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the block containing addr, evicting the LRU line of its set
+// if needed. It returns whether a dirty victim was evicted (the caller must
+// write it back to NVM). If write is true the new line starts dirty.
+func (c *Cache) Fill(addr uint64, write bool) (evictedDirty bool) {
+	return c.fill(addr, write, false)
+}
+
+// FillPrefetched inserts a prefetched block (clean, marked unused) — the
+// prefetch-into-cache organization of the paper's Figures 5/6, where a
+// power failure wipes not-yet-used prefetched blocks out of the cache. The
+// return value reports a dirty eviction exactly like Fill.
+func (c *Cache) FillPrefetched(addr uint64) (evictedDirty bool) {
+	return c.fill(addr, false, true)
+}
+
+func (c *Cache) fill(addr uint64, write, prefetched bool) (evictedDirty bool) {
+	c.tick++
+	set, tag := c.index(c.BlockAddr(addr))
+	lines := c.sets[set]
+	victim := 0
+	for i := range lines {
+		l := &lines[i]
+		if l.valid && l.tag == tag {
+			// Already present (e.g. filled by an overlapping path); just
+			// refresh. A prefetched refill never downgrades a demand line
+			// to unused.
+			l.used = c.tick
+			if write {
+				l.dirty = true
+			}
+			return false
+		}
+		if !l.valid {
+			victim = i
+			break
+		}
+		if lines[i].used < lines[victim].used {
+			victim = i
+		}
+	}
+	v := &lines[victim]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.DirtyEvictions++
+			evictedDirty = true
+		}
+		if v.pfUnused {
+			c.stats.PrefetchedUseless++
+		}
+	}
+	*v = line{tag: tag, valid: true, dirty: write, pfUnused: prefetched, used: c.tick}
+	return evictedDirty
+}
+
+// DirtyBlocks returns the number of dirty lines currently resident; the JIT
+// checkpoint must write each of them to NVM.
+func (c *Cache) DirtyBlocks() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidBlocks returns the number of valid lines currently resident.
+func (c *Cache) ValidBlocks() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyAddrs returns the block addresses of all dirty lines; the JIT
+// checkpoint writes each to NVM and the reboot path restores them.
+func (c *Cache) DirtyAddrs() []uint64 {
+	var addrs []uint64
+	setLg := uintLog2(c.nsets)
+	for si, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				block := (set[i].tag<<setLg | uint64(si)) << c.blockLg
+				addrs = append(addrs, block)
+			}
+		}
+	}
+	return addrs
+}
+
+// DrainPrefetchStats classifies still-resident prefetched-unused lines as
+// useless (end-of-run accounting; they are not wiped). Lines stay valid.
+func (c *Cache) DrainPrefetchStats() {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].pfUnused {
+				set[i].pfUnused = false
+				c.stats.PrefetchedUseless++
+			}
+		}
+	}
+}
+
+// CleanDirty marks every line clean; called after a JIT checkpoint has
+// persisted the dirty blocks.
+func (c *Cache) CleanDirty() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].dirty = false
+		}
+	}
+}
+
+// Wipe invalidates every line: the effect of a power failure on volatile
+// SRAM. Prefetched-but-unused lines lost here are the energy waste IPEX
+// exists to prevent; they are counted as both useless and wiped.
+func (c *Cache) Wipe() {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].pfUnused {
+				c.stats.PrefetchedUseless++
+				c.stats.PrefetchedWiped++
+			}
+			set[i] = line{}
+		}
+	}
+}

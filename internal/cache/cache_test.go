@@ -1,0 +1,247 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipex/internal/energy"
+)
+
+func newCache(t *testing.T, size, ways int) *Cache {
+	t.Helper()
+	c, err := New(energy.CacheFor(size, ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	bad := []energy.CacheParams{
+		{SizeBytes: 0, Ways: 4, BlockSize: 16},
+		{SizeBytes: 2048, Ways: 0, BlockSize: 16},
+		{SizeBytes: 2048, Ways: 4, BlockSize: 0},
+		{SizeBytes: 2047, Ways: 4, BlockSize: 16},       // not block multiple
+		{SizeBytes: 2048, Ways: 3, BlockSize: 16},       // blocks not divisible by ways
+		{SizeBytes: 2048, Ways: 4, BlockSize: 24},       // block not power of two
+		{SizeBytes: 16 * 3 * 4, Ways: 4, BlockSize: 16}, // 3 sets: not power of two
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("geometry %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	if c.Access(0x100, false) {
+		t.Error("cold access hit")
+	}
+	c.Fill(0x100, false)
+	if !c.Access(0x100, false) {
+		t.Error("access after fill missed")
+	}
+	if !c.Access(0x10f, false) {
+		t.Error("same-block access missed")
+	}
+	if c.Access(0x110, false) {
+		t.Error("next-block access hit without fill")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWriteMakesDirty(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.Fill(0x200, false)
+	if c.DirtyBlocks() != 0 {
+		t.Error("clean fill reported dirty")
+	}
+	c.Access(0x200, true)
+	if c.DirtyBlocks() != 1 {
+		t.Errorf("dirty blocks = %d, want 1", c.DirtyBlocks())
+	}
+	c.Fill(0x300, true)
+	if c.DirtyBlocks() != 2 {
+		t.Errorf("dirty blocks = %d, want 2", c.DirtyBlocks())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2kB 4-way, 16B blocks: 32 sets; addresses with the same set index
+	// are 512 bytes apart.
+	c := newCache(t, 2048, 4)
+	addrs := []uint64{0x0, 0x200, 0x400, 0x600, 0x800} // 5 blocks, same set
+	for _, a := range addrs[:4] {
+		c.Fill(a, false)
+	}
+	// Touch 0x0 so it becomes MRU; LRU is then 0x200.
+	c.Access(0x0, false)
+	c.Fill(addrs[4], false)
+	if !c.Contains(0x0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(0x200) {
+		t.Error("LRU line survived")
+	}
+	if !c.Contains(0x800) {
+		t.Error("filled line absent")
+	}
+}
+
+func TestFillReportsDirtyEviction(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	for i := 0; i < 4; i++ {
+		c.Fill(uint64(i)*0x200, i == 0) // first one dirty (it is also LRU)
+	}
+	if evictedDirty := c.Fill(4*0x200, false); !evictedDirty {
+		t.Error("dirty LRU eviction not reported")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.DirtyEvictions != 1 {
+		t.Errorf("eviction stats: %+v", s)
+	}
+}
+
+func TestFillExistingRefreshes(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.Fill(0x100, false)
+	if evicted := c.Fill(0x100, true); evicted {
+		t.Error("refilling resident block reported eviction")
+	}
+	if c.DirtyBlocks() != 1 {
+		t.Error("refill with write=true should dirty the line")
+	}
+	if c.ValidBlocks() != 1 {
+		t.Errorf("ValidBlocks = %d, want 1 (no duplicate)", c.ValidBlocks())
+	}
+}
+
+func TestDirtyAddrsRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c, err := New(energy.CacheFor(512, 2))
+		if err != nil {
+			return false
+		}
+		written := map[uint64]bool{}
+		for _, r := range raw {
+			addr := uint64(r) * 8
+			c.Fill(addr, true)
+			written[c.BlockAddr(addr)] = true
+		}
+		// Every reported dirty address must be block-aligned, resident,
+		// and one we actually wrote.
+		for _, a := range c.DirtyAddrs() {
+			if a != c.BlockAddr(a) {
+				return false
+			}
+			if !c.Contains(a) {
+				return false
+			}
+			if !written[a] {
+				return false
+			}
+		}
+		if len(c.DirtyAddrs()) != c.DirtyBlocks() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCleanDirty(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.Fill(0x100, true)
+	c.Fill(0x200, true)
+	c.CleanDirty()
+	if c.DirtyBlocks() != 0 {
+		t.Error("CleanDirty left dirty lines")
+	}
+	if !c.Contains(0x100) || !c.Contains(0x200) {
+		t.Error("CleanDirty invalidated lines")
+	}
+}
+
+func TestWipe(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	for i := 0; i < 20; i++ {
+		c.Fill(uint64(i)*16, i%2 == 0)
+	}
+	c.Wipe()
+	if c.ValidBlocks() != 0 || c.DirtyBlocks() != 0 {
+		t.Error("Wipe left valid lines")
+	}
+	if c.Access(0x0, false) {
+		t.Error("access hit after wipe")
+	}
+}
+
+func TestContainsDoesNotTouchState(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.Fill(0x100, false)
+	before := c.Stats()
+	c.Contains(0x100)
+	c.Contains(0x999)
+	if c.Stats() != before {
+		t.Error("Contains modified statistics")
+	}
+}
+
+func TestBlockAddr(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	if c.BlockAddr(0x123) != 0x120 {
+		t.Errorf("BlockAddr(0x123) = %#x", c.BlockAddr(0x123))
+	}
+	if c.BlockAddr(0x120) != 0x120 {
+		t.Error("aligned address changed")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("zero-access miss rate should be 0")
+	}
+	s = Stats{Accesses: 10, Misses: 3}
+	if s.MissRate() != 0.3 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+}
+
+func TestDirectMappedCache(t *testing.T) {
+	c := newCache(t, 256, 1)
+	c.Fill(0x0, false)
+	// 256B direct-mapped, 16B blocks: 16 sets; 0x100 conflicts with 0x0.
+	c.Fill(0x100, false)
+	if c.Contains(0x0) {
+		t.Error("direct-mapped conflict did not evict")
+	}
+	if !c.Contains(0x100) {
+		t.Error("new line missing")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	f := func(raw []uint32) bool {
+		c, err := New(energy.CacheFor(512, 4))
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			c.Fill(uint64(r%8192), r%3 == 0)
+			if c.ValidBlocks() > 512/16 {
+				return false
+			}
+		}
+		return c.DirtyBlocks() <= c.ValidBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

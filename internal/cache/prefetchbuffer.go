@@ -1,0 +1,139 @@
+package cache
+
+// PrefetchBuffer holds prefetched blocks outside the cache proper so that
+// speculative fills do not pollute it (the organization the paper's baseline
+// uses: "prefetched blocks are placed in prefetcher buffers"). Entries are
+// block-sized; replacement is FIFO. An entry is "pending" until its NVM read
+// completes at ReadyAt, which lets the miss path detect an in-flight
+// prefetch for the same block and wait instead of issuing a duplicate NVM
+// request (§5.1 of the paper).
+type PrefetchBuffer struct {
+	entries []PBEntry
+	next    int // FIFO insertion cursor
+	stats   PBStats
+}
+
+// PBEntry is one prefetch-buffer slot.
+type PBEntry struct {
+	Block   uint64
+	ReadyAt uint64 // absolute cycle when the NVM read completes
+	Valid   bool
+	Used    bool // the block served at least one demand access
+}
+
+// PBStats counts prefetch-buffer outcomes. "Useful" and "useless" follow the
+// paper's accuracy definition: a prefetched block is useful if it receives a
+// demand hit before it is evicted or wiped by an outage.
+type PBStats struct {
+	Inserted       uint64 // prefetched blocks placed in the buffer
+	UsefulEvicted  uint64 // evicted or wiped after serving a demand access
+	UselessEvicted uint64 // evicted or wiped without ever being used
+	// WipedUnused counts the subset of UselessEvicted lost to a power
+	// failure before their first use — the waste IPEX exists to prevent.
+	WipedUnused uint64
+}
+
+// NewPrefetchBuffer returns a buffer with n block entries (paper default 4).
+func NewPrefetchBuffer(n int) *PrefetchBuffer {
+	if n < 1 {
+		n = 1
+	}
+	return &PrefetchBuffer{entries: make([]PBEntry, n)}
+}
+
+// Size returns the entry count.
+func (b *PrefetchBuffer) Size() int { return len(b.entries) }
+
+// Stats returns a copy of the outcome counters. Note that blocks still
+// resident are not yet classified; call Drain first for end-of-run totals.
+func (b *PrefetchBuffer) Stats() PBStats { return b.stats }
+
+// Lookup finds the entry holding block, or nil.
+func (b *PrefetchBuffer) Lookup(block uint64) *PBEntry {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.Valid && e.Block == block {
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert places a prefetched block with the given completion time, evicting
+// the oldest entry (FIFO). Inserting a block already present refreshes
+// nothing and is ignored.
+func (b *PrefetchBuffer) Insert(block, readyAt uint64) {
+	if b.Lookup(block) != nil {
+		return
+	}
+	e := &b.entries[b.next]
+	if e.Valid {
+		b.classify(*e)
+	}
+	*e = PBEntry{Block: block, ReadyAt: readyAt, Valid: true}
+	b.next = (b.next + 1) % len(b.entries)
+	b.stats.Inserted++
+}
+
+// Take removes block from the buffer (after it has been promoted into the
+// cache by a demand access) and records it as useful.
+func (b *PrefetchBuffer) Take(block uint64) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.Valid && e.Block == block {
+			e.Used = true
+			b.classify(*e)
+			*e = PBEntry{}
+			return
+		}
+	}
+}
+
+// Drop removes block from the buffer without marking it used: the demand
+// path bypassed it (duplicate-request ablation), so the prefetch ends its
+// life wasted.
+func (b *PrefetchBuffer) Drop(block uint64) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.Valid && e.Block == block {
+			b.classify(*e)
+			*e = PBEntry{}
+			return
+		}
+	}
+}
+
+// Wipe invalidates the whole buffer (power failure), classifying every
+// resident block: any unused block becomes a useless prefetch — this is
+// exactly the energy-waste mechanism IPEX targets.
+func (b *PrefetchBuffer) Wipe() {
+	for i := range b.entries {
+		if b.entries[i].Valid {
+			if !b.entries[i].Used {
+				b.stats.WipedUnused++
+			}
+			b.classify(b.entries[i])
+			b.entries[i] = PBEntry{}
+		}
+	}
+	b.next = 0
+}
+
+// Drain classifies all still-resident blocks without invalidating them;
+// call once at end of run so Stats covers every inserted block.
+func (b *PrefetchBuffer) Drain() {
+	for i := range b.entries {
+		if b.entries[i].Valid {
+			b.classify(b.entries[i])
+			b.entries[i].Valid = false
+		}
+	}
+}
+
+func (b *PrefetchBuffer) classify(e PBEntry) {
+	if e.Used {
+		b.stats.UsefulEvicted++
+	} else {
+		b.stats.UselessEvicted++
+	}
+}

@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPBInsertAndLookup(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 50)
+	e := b.Lookup(0x100)
+	if e == nil || e.ReadyAt != 50 || e.Used {
+		t.Fatalf("Lookup after Insert = %+v", e)
+	}
+	if b.Lookup(0x200) != nil {
+		t.Error("Lookup of absent block succeeded")
+	}
+}
+
+func TestPBFIFOEviction(t *testing.T) {
+	b := NewPrefetchBuffer(2)
+	b.Insert(0x100, 0)
+	b.Insert(0x200, 0)
+	b.Insert(0x300, 0) // evicts 0x100 (oldest)
+	if b.Lookup(0x100) != nil {
+		t.Error("oldest entry survived FIFO eviction")
+	}
+	if b.Lookup(0x200) == nil || b.Lookup(0x300) == nil {
+		t.Error("newer entries missing")
+	}
+	s := b.Stats()
+	if s.Inserted != 3 || s.UselessEvicted != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPBDuplicateInsertIgnored(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 10)
+	b.Insert(0x100, 99)
+	if b.Stats().Inserted != 1 {
+		t.Errorf("duplicate insert counted: %+v", b.Stats())
+	}
+	if e := b.Lookup(0x100); e.ReadyAt != 10 {
+		t.Errorf("duplicate insert overwrote ReadyAt: %d", e.ReadyAt)
+	}
+}
+
+func TestPBTakeMarksUseful(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 0)
+	b.Take(0x100)
+	if b.Lookup(0x100) != nil {
+		t.Error("Take left the entry resident")
+	}
+	s := b.Stats()
+	if s.UsefulEvicted != 1 || s.UselessEvicted != 0 {
+		t.Errorf("stats after Take = %+v", s)
+	}
+	// Taking an absent block is a no-op.
+	b.Take(0x999)
+	if b.Stats().UsefulEvicted != 1 {
+		t.Error("Take of absent block changed stats")
+	}
+}
+
+func TestPBDropMarksUseless(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 0)
+	b.Drop(0x100)
+	s := b.Stats()
+	if s.UselessEvicted != 1 || s.UsefulEvicted != 0 {
+		t.Errorf("stats after Drop = %+v", s)
+	}
+}
+
+func TestPBWipeClassifiesAndCountsWiped(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 0)
+	b.Insert(0x200, 0)
+	b.Take(0x100) // used and gone
+	b.Insert(0x300, 0)
+	b.Wipe()
+	s := b.Stats()
+	if s.UsefulEvicted != 1 {
+		t.Errorf("useful = %d, want 1", s.UsefulEvicted)
+	}
+	if s.UselessEvicted != 2 || s.WipedUnused != 2 {
+		t.Errorf("useless = %d wiped = %d, want 2/2", s.UselessEvicted, s.WipedUnused)
+	}
+	if b.Lookup(0x200) != nil || b.Lookup(0x300) != nil {
+		t.Error("Wipe left entries resident")
+	}
+}
+
+func TestPBDrainCoversResidents(t *testing.T) {
+	b := NewPrefetchBuffer(4)
+	b.Insert(0x100, 0)
+	b.Insert(0x200, 0)
+	b.Drain()
+	s := b.Stats()
+	if s.UsefulEvicted+s.UselessEvicted != s.Inserted {
+		t.Errorf("after Drain, classified (%d) != inserted (%d)",
+			s.UsefulEvicted+s.UselessEvicted, s.Inserted)
+	}
+	if s.WipedUnused != 0 {
+		t.Error("Drain must not count as wiped")
+	}
+}
+
+func TestPBMinimumSize(t *testing.T) {
+	b := NewPrefetchBuffer(0)
+	if b.Size() != 1 {
+		t.Errorf("Size = %d, want clamped to 1", b.Size())
+	}
+}
+
+// Property: every inserted block is eventually classified exactly once as
+// useful or useless; the accounting identity Inserted == Useful + Useless
+// holds after Drain, for any operation sequence.
+func TestPBAccountingInvariant(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Block uint16
+	}
+	f := func(ops []op, sizeRaw uint8) bool {
+		b := NewPrefetchBuffer(int(sizeRaw%8) + 1)
+		for _, o := range ops {
+			block := uint64(o.Block) &^ 15
+			switch o.Kind % 4 {
+			case 0:
+				b.Insert(block, 0)
+			case 1:
+				b.Take(block)
+			case 2:
+				b.Drop(block)
+			case 3:
+				b.Wipe()
+			}
+		}
+		b.Drain()
+		s := b.Stats()
+		return s.UsefulEvicted+s.UselessEvicted == s.Inserted &&
+			s.WipedUnused <= s.UselessEvicted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

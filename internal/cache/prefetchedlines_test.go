@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipex/internal/energy"
+)
+
+// Tests for the prefetch-into-cache organization (FillPrefetched and the
+// prefetched-line outcome statistics).
+
+func TestFillPrefetchedBasic(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.FillPrefetched(0x100)
+	if !c.Contains(0x100) {
+		t.Fatal("prefetched block not resident")
+	}
+	if c.DirtyBlocks() != 0 {
+		t.Error("prefetched fill must be clean")
+	}
+	s := c.Stats()
+	if s.PrefetchedUseful != 0 || s.PrefetchedUseless != 0 {
+		t.Errorf("fresh prefetched line already classified: %+v", s)
+	}
+}
+
+func TestPrefetchedLineUsefulOnFirstHit(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.FillPrefetched(0x100)
+	if !c.Access(0x104, false) {
+		t.Fatal("prefetched block did not serve the demand hit")
+	}
+	s := c.Stats()
+	if s.PrefetchedUseful != 1 {
+		t.Errorf("useful = %d, want 1", s.PrefetchedUseful)
+	}
+	// Only the FIRST hit classifies.
+	c.Access(0x108, false)
+	if c.Stats().PrefetchedUseful != 1 {
+		t.Error("second hit reclassified the line")
+	}
+}
+
+func TestPrefetchedLineUselessOnEviction(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	// Fill a set's 4 ways: the prefetched line first (it becomes LRU).
+	c.FillPrefetched(0x0)
+	for i := 1; i < 4; i++ {
+		c.Fill(uint64(i)*0x200, false)
+	}
+	c.Fill(4*0x200, false) // evicts the unused prefetched line
+	s := c.Stats()
+	if s.PrefetchedUseless != 1 || s.PrefetchedWiped != 0 {
+		t.Errorf("eviction classification wrong: %+v", s)
+	}
+}
+
+func TestPrefetchedLineWipedOnOutage(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.FillPrefetched(0x100)
+	c.FillPrefetched(0x200)
+	c.Access(0x100, false) // one used
+	c.Wipe()
+	s := c.Stats()
+	if s.PrefetchedUseful != 1 {
+		t.Errorf("useful = %d", s.PrefetchedUseful)
+	}
+	if s.PrefetchedUseless != 1 || s.PrefetchedWiped != 1 {
+		t.Errorf("wipe classification wrong: %+v", s)
+	}
+}
+
+func TestPrefetchedRefillDoesNotDowngrade(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.Fill(0x100, true) // demand line, dirty
+	c.FillPrefetched(0x100)
+	if c.DirtyBlocks() != 1 {
+		t.Error("prefetched refill cleaned a dirty demand line")
+	}
+	c.Wipe()
+	if c.Stats().PrefetchedWiped != 0 {
+		t.Error("demand line counted as wiped prefetch after redundant refill")
+	}
+}
+
+func TestDemandFillClearsPrefetchFlag(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.FillPrefetched(0x100)
+	// A demand write to the same block (hit path) uses it.
+	c.Access(0x100, true)
+	c.Wipe()
+	s := c.Stats()
+	if s.PrefetchedWiped != 0 {
+		t.Error("used prefetched line counted as wiped")
+	}
+}
+
+func TestDrainPrefetchStats(t *testing.T) {
+	c := newCache(t, 2048, 4)
+	c.FillPrefetched(0x100)
+	c.FillPrefetched(0x200)
+	c.Access(0x200, false)
+	c.DrainPrefetchStats()
+	s := c.Stats()
+	if s.PrefetchedUseful != 1 || s.PrefetchedUseless != 1 {
+		t.Errorf("drain classification wrong: %+v", s)
+	}
+	if s.PrefetchedWiped != 0 {
+		t.Error("drain counted as wiped")
+	}
+	// Lines stay valid and are not double-classified later.
+	if !c.Contains(0x100) {
+		t.Error("drain invalidated lines")
+	}
+	c.Wipe()
+	if c.Stats().PrefetchedUseless != 1 {
+		t.Error("wipe double-classified a drained line")
+	}
+}
+
+// Property: prefetched-line classification is complete and non-duplicating
+// under arbitrary operation sequences.
+func TestPrefetchedClassificationInvariant(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Addr uint16
+	}
+	f := func(ops []op) bool {
+		c, err := New(energy.CacheFor(512, 2))
+		if err != nil {
+			return false
+		}
+		prefetchedFills := uint64(0)
+		for _, o := range ops {
+			addr := uint64(o.Addr) % 4096
+			switch o.Kind % 4 {
+			case 0:
+				if !c.Contains(addr) {
+					c.FillPrefetched(addr)
+					prefetchedFills++
+				}
+			case 1:
+				c.Access(addr, o.Kind%8 >= 4)
+			case 2:
+				c.Fill(addr, false)
+			case 3:
+				c.Wipe()
+			}
+		}
+		c.DrainPrefetchStats()
+		s := c.Stats()
+		return s.PrefetchedUseful+s.PrefetchedUseless == prefetchedFills &&
+			s.PrefetchedWiped <= s.PrefetchedUseless
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

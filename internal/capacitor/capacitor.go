@@ -1,0 +1,157 @@
+// Package capacitor models the tiny energy-storage capacitor of a
+// batteryless energy harvesting system together with the voltage monitor
+// thresholds that drive the intermittent-execution life cycle.
+//
+// The stored energy E and terminal voltage V are related by E = ½CV².
+// The system operates between four voltages:
+//
+//	Vmax    — the harvester regulator clamps charging here.
+//	Von     — reboot threshold: a dead system restarts once V rises to Von.
+//	Vbackup — JIT-checkpoint trigger: crossing below it starts the backup
+//	          of dirty cache blocks and registers; the system then dies.
+//	Voff    — brown-out voltage: below it no useful work is possible. The
+//	          band Vbackup→Voff is the guard energy that finishes a backup.
+package capacitor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds the capacitor and voltage-monitor parameters.
+type Config struct {
+	// CapacitanceFarads is the storage capacitance (paper default 0.47 µF).
+	CapacitanceFarads float64
+	// Vmax, Von, Vbackup, Voff as described in the package comment.
+	Vmax, Von, Vbackup, Voff float64
+}
+
+// DefaultConfig returns the paper's default configuration: a 0.47 µF
+// capacitor with a 3.5 V clamp, 3.4 V reboot, 3.18 V backup trigger, and
+// 2.9 V brown-out. The IPEX threshold examples in the paper (3.3 V / 3.25 V)
+// sit inside the (Voff, Von) operating band of this configuration.
+func DefaultConfig() Config {
+	return Config{
+		CapacitanceFarads: 0.47e-6,
+		Vmax:              3.5,
+		Von:               3.4,
+		Vbackup:           3.18,
+		Voff:              2.9,
+	}
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c Config) Validate() error {
+	if c.CapacitanceFarads <= 0 {
+		return fmt.Errorf("capacitor: capacitance must be positive, got %g", c.CapacitanceFarads)
+	}
+	if !(c.Vmax > c.Von && c.Von > c.Vbackup && c.Vbackup > c.Voff && c.Voff > 0) {
+		return fmt.Errorf("capacitor: need Vmax > Von > Vbackup > Voff > 0, got %.2f/%.2f/%.2f/%.2f",
+			c.Vmax, c.Von, c.Vbackup, c.Voff)
+	}
+	return nil
+}
+
+// Capacitor is the mutable charge state. All energies are in nanojoules to
+// match the rest of the simulator.
+type Capacitor struct {
+	cfg Config
+	// energyNJ is the stored energy in nJ.
+	energyNJ float64
+	maxNJ    float64
+}
+
+// New returns a capacitor charged to Vmax.
+func New(cfg Config) (*Capacitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Capacitor{cfg: cfg, maxNJ: energyNJAt(cfg, cfg.Vmax)}
+	c.energyNJ = c.maxNJ
+	return c, nil
+}
+
+// MustNew is New for configurations known to be valid (tests, defaults).
+func MustNew(cfg Config) *Capacitor {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func energyNJAt(cfg Config, v float64) float64 {
+	return 0.5 * cfg.CapacitanceFarads * v * v * 1e9
+}
+
+// Config returns the configuration the capacitor was built with.
+func (c *Capacitor) Config() Config { return c.cfg }
+
+// Voltage returns the current terminal voltage in volts.
+func (c *Capacitor) Voltage() float64 {
+	if c.energyNJ <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * c.energyNJ * 1e-9 / c.cfg.CapacitanceFarads)
+}
+
+// EnergyNJ returns the stored energy in nanojoules.
+func (c *Capacitor) EnergyNJ() float64 { return c.energyNJ }
+
+// Harvest adds nj nanojoules of harvested energy, clamped at the Vmax
+// capacity. It returns the energy actually stored (the rest is shed by the
+// regulator clamp).
+func (c *Capacitor) Harvest(nj float64) float64 {
+	if nj <= 0 {
+		return 0
+	}
+	room := c.maxNJ - c.energyNJ
+	if nj > room {
+		nj = room
+	}
+	c.energyNJ += nj
+	return nj
+}
+
+// Consume drains nj nanojoules of energy, flooring at zero charge.
+func (c *Capacitor) Consume(nj float64) {
+	if nj <= 0 {
+		return
+	}
+	c.energyNJ -= nj
+	if c.energyNJ < 0 {
+		c.energyNJ = 0
+	}
+}
+
+// SetVoltage forces the terminal voltage (clamped to [0, Vmax]); tests and
+// the reboot path use it.
+func (c *Capacitor) SetVoltage(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > c.cfg.Vmax {
+		v = c.cfg.Vmax
+	}
+	c.energyNJ = energyNJAt(c.cfg, v)
+}
+
+// BelowBackup reports whether the voltage has fallen to the JIT-checkpoint
+// trigger.
+func (c *Capacitor) BelowBackup() bool { return c.Voltage() < c.cfg.Vbackup }
+
+// AtOrAboveOn reports whether a dead system may reboot.
+func (c *Capacitor) AtOrAboveOn() bool { return c.Voltage() >= c.cfg.Von }
+
+// GuardEnergyNJ returns the energy available between the backup trigger and
+// brown-out — the budget a JIT checkpoint must fit into.
+func (c *Capacitor) GuardEnergyNJ() float64 {
+	return energyNJAt(c.cfg, c.cfg.Vbackup) - energyNJAt(c.cfg, c.cfg.Voff)
+}
+
+// OperatingEnergyNJ returns the energy between reboot (Von) and the backup
+// trigger (Vbackup) — the budget one power cycle can spend on execution
+// when no energy arrives during the cycle.
+func (c *Capacitor) OperatingEnergyNJ() float64 {
+	return energyNJAt(c.cfg, c.cfg.Von) - energyNJAt(c.cfg, c.cfg.Vbackup)
+}

@@ -1,0 +1,197 @@
+package capacitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{CapacitanceFarads: 0, Vmax: 3.5, Von: 3.4, Vbackup: 3.1, Voff: 3.0},
+		{CapacitanceFarads: -1e-6, Vmax: 3.5, Von: 3.4, Vbackup: 3.1, Voff: 3.0},
+		{CapacitanceFarads: 1e-6, Vmax: 3.4, Von: 3.4, Vbackup: 3.1, Voff: 3.0}, // Vmax == Von
+		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: 3.0, Vbackup: 3.1, Voff: 2.9}, // Von < Vbackup
+		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: 3.4, Vbackup: 3.1, Voff: 3.2}, // Voff > Vbackup
+		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: 3.4, Vbackup: 3.1, Voff: 0},   // Voff == 0
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewStartsAtVmax(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	if math.Abs(c.Voltage()-DefaultConfig().Vmax) > 1e-9 {
+		t.Errorf("fresh capacitor voltage = %v, want Vmax", c.Voltage())
+	}
+}
+
+func TestEnergyVoltageRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(raw float64) bool {
+		v := math.Mod(math.Abs(raw), cfg.Vmax)
+		c := MustNew(cfg)
+		c.SetVoltage(v)
+		return math.Abs(c.Voltage()-v) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHarvestClampsAtVmax(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	stored := c.Harvest(1e9) // absurdly large
+	if stored != 0 {
+		t.Errorf("full capacitor stored %v nJ, want 0 (regulator clamp)", stored)
+	}
+	c.SetVoltage(3.2)
+	before := c.EnergyNJ()
+	stored = c.Harvest(1e9)
+	if c.Voltage() > DefaultConfig().Vmax+1e-9 {
+		t.Errorf("voltage exceeded Vmax: %v", c.Voltage())
+	}
+	if math.Abs(stored-(c.EnergyNJ()-before)) > 1e-9 {
+		t.Errorf("Harvest return %v inconsistent with stored delta %v", stored, c.EnergyNJ()-before)
+	}
+}
+
+func TestHarvestIgnoresNonPositive(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.SetVoltage(3.2)
+	e := c.EnergyNJ()
+	if c.Harvest(0) != 0 || c.Harvest(-5) != 0 || c.EnergyNJ() != e {
+		t.Error("non-positive harvest changed state")
+	}
+}
+
+func TestConsumeFloorsAtZero(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.Consume(1e12)
+	if c.EnergyNJ() != 0 || c.Voltage() != 0 {
+		t.Errorf("over-consumption left energy=%v voltage=%v", c.EnergyNJ(), c.Voltage())
+	}
+	c.Consume(1) // consuming when empty must not go negative
+	if c.EnergyNJ() < 0 {
+		t.Error("energy went negative")
+	}
+}
+
+func TestConsumeHarvestConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(ops []float64) bool {
+		c := MustNew(cfg)
+		c.SetVoltage(3.2)
+		e := c.EnergyNJ()
+		for _, op := range ops {
+			if math.IsNaN(op) || math.IsInf(op, 0) {
+				continue
+			}
+			op = math.Mod(op, 100)
+			if op >= 0 {
+				e += c.Harvest(op)
+			} else {
+				take := -op
+				if take > e {
+					take = e
+				}
+				c.Consume(-op)
+				e -= take
+			}
+		}
+		return math.Abs(c.EnergyNJ()-e) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdPredicates(t *testing.T) {
+	cfg := DefaultConfig()
+	c := MustNew(cfg)
+
+	c.SetVoltage(cfg.Vbackup + 0.01)
+	if c.BelowBackup() {
+		t.Error("BelowBackup true above the trigger")
+	}
+	c.SetVoltage(cfg.Vbackup - 0.01)
+	if !c.BelowBackup() {
+		t.Error("BelowBackup false below the trigger")
+	}
+
+	c.SetVoltage(cfg.Von)
+	if !c.AtOrAboveOn() {
+		t.Error("AtOrAboveOn false at Von")
+	}
+	c.SetVoltage(cfg.Von - 0.01)
+	if c.AtOrAboveOn() {
+		t.Error("AtOrAboveOn true below Von")
+	}
+}
+
+func TestGuardCoversCheckpoint(t *testing.T) {
+	// The backup guard band must cover a worst-case JIT checkpoint: 128
+	// dirty blocks at the ReRAM write energy plus the register file.
+	c := MustNew(DefaultConfig())
+	worstCase := 128*0.160*16 + 2.0 // nJ
+	if c.GuardEnergyNJ() < worstCase {
+		t.Errorf("guard band %.1f nJ cannot cover worst-case checkpoint %.1f nJ",
+			c.GuardEnergyNJ(), worstCase)
+	}
+}
+
+func TestOperatingEnergyPositive(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	if c.OperatingEnergyNJ() <= 0 {
+		t.Errorf("operating energy = %v", c.OperatingEnergyNJ())
+	}
+	if c.GuardEnergyNJ() <= 0 {
+		t.Errorf("guard energy = %v", c.GuardEnergyNJ())
+	}
+}
+
+func TestSetVoltageClamps(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.SetVoltage(-1)
+	if c.Voltage() != 0 {
+		t.Errorf("negative voltage not clamped: %v", c.Voltage())
+	}
+	c.SetVoltage(99)
+	if math.Abs(c.Voltage()-DefaultConfig().Vmax) > 1e-9 {
+		t.Errorf("over-voltage not clamped: %v", c.Voltage())
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestCapacitorSizeScalesEnergy(t *testing.T) {
+	// Fig. 22's physics: a 10x capacitor stores 10x the energy at the
+	// same voltage, lengthening power cycles.
+	small := DefaultConfig()
+	big := small
+	big.CapacitanceFarads = small.CapacitanceFarads * 10
+	cs, cb := MustNew(small), MustNew(big)
+	if math.Abs(cb.OperatingEnergyNJ()-10*cs.OperatingEnergyNJ()) > 1e-6 {
+		t.Errorf("10x capacitance: operating energy %v vs %v",
+			cb.OperatingEnergyNJ(), cs.OperatingEnergyNJ())
+	}
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ipex/internal/prefetch"
+)
+
+func testConfig() Config {
+	return DefaultConfig(3.18, 3.40)
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := testConfig()
+	if cfg.InitialDegree != 2 || cfg.MaxDegree != 4 {
+		t.Errorf("degree defaults wrong: %+v", cfg)
+	}
+	if len(cfg.Thresholds) != 2 || cfg.Thresholds[0] != 3.30 || cfg.Thresholds[1] != 3.25 {
+		t.Errorf("thresholds = %v, want [3.30 3.25]", cfg.Thresholds)
+	}
+	if cfg.StepV != 0.05 || cfg.ThrottleRateTrigger != 0.05 {
+		t.Errorf("step/trigger wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := testConfig()
+
+	c := base
+	c.InitialDegree = 0
+	if c.Validate() == nil {
+		t.Error("degree 0 accepted")
+	}
+	c = base
+	c.InitialDegree = 9
+	if c.Validate() == nil {
+		t.Error("degree above MaxDegree accepted")
+	}
+	c = base
+	c.Thresholds = nil
+	if c.Validate() == nil {
+		t.Error("no thresholds accepted")
+	}
+	c = base
+	c.Thresholds = []float64{3.25, 3.30}
+	if c.Validate() == nil {
+		t.Error("ascending thresholds accepted")
+	}
+	c = base
+	c.StepV = 0
+	if c.Validate() == nil {
+		t.Error("zero step accepted")
+	}
+	c = base
+	c.ThrottleRateTrigger = 1.5
+	if c.Validate() == nil {
+		t.Error("trigger > 1 accepted")
+	}
+	c = base
+	c.Enabled = false
+	c.Thresholds = nil
+	if c.Validate() != nil {
+		t.Error("disabled controller should skip validation")
+	}
+}
+
+func TestDisabledControllerPassesThrough(t *testing.T) {
+	cfg := testConfig()
+	cfg.Enabled = false
+	c := MustNewController(cfg)
+	if c.Enabled() {
+		t.Error("Enabled() true for disabled controller")
+	}
+	c.Observe(3.0)
+	c.Observe(3.4)
+	if c.Degree() != cfg.InitialDegree {
+		t.Errorf("disabled degree = %d, want constant %d", c.Degree(), cfg.InitialDegree)
+	}
+}
+
+func TestDownwardCrossingHalves(t *testing.T) {
+	c := MustNewController(testConfig())
+	c.Observe(3.40) // establish position: above both
+	if c.Degree() != 2 {
+		t.Fatalf("initial degree = %d", c.Degree())
+	}
+	c.Observe(3.28) // crosses 3.30 downward
+	if c.Degree() != 1 {
+		t.Errorf("after first crossing degree = %d, want 1", c.Degree())
+	}
+	c.Observe(3.22) // crosses 3.25 downward
+	if c.Degree() != 0 {
+		t.Errorf("after second crossing degree = %d, want 0", c.Degree())
+	}
+}
+
+func TestUpwardCrossingDoubles(t *testing.T) {
+	c := MustNewController(testConfig())
+	c.Observe(3.40)
+	c.Observe(3.22) // down through both: 2 -> 1 -> 0
+	c.Observe(3.28) // up through 3.25: 0 -> 1
+	if c.Degree() != 1 {
+		t.Errorf("degree = %d, want 1", c.Degree())
+	}
+	c.Observe(3.35) // up through 3.30: 1 -> 2
+	if c.Degree() != 2 {
+		t.Errorf("degree = %d, want 2", c.Degree())
+	}
+}
+
+func TestDegreeCapAtMax(t *testing.T) {
+	c := MustNewController(testConfig())
+	// Oscillate across the top threshold repeatedly; degree must cap at 4
+	// (the paper's "2 initially and up to 4").
+	c.Observe(3.40)
+	for i := 0; i < 5; i++ {
+		c.Observe(3.28)
+		c.Observe(3.40)
+	}
+	if c.Degree() > prefetch.MaxDegree {
+		t.Errorf("degree %d exceeds cap", c.Degree())
+	}
+}
+
+func TestFirstObservationEstablishesPosition(t *testing.T) {
+	// Booting with V already below a threshold must not count as a
+	// crossing (Fig. 7: the reboot resets R_cpd to R_ipd).
+	c := MustNewController(testConfig())
+	c.Observe(3.20)
+	if c.Degree() != 2 {
+		t.Errorf("boot below thresholds halved degree to %d", c.Degree())
+	}
+	// But a subsequent rise above is a crossing.
+	c.Observe(3.27)
+	if c.Degree() != 4 {
+		t.Errorf("after rise degree = %d, want doubled to 4", c.Degree())
+	}
+}
+
+func TestRecordBookkeeping(t *testing.T) {
+	c := MustNewController(testConfig())
+	c.Record(2, 1) // one throttled (Fig. 7's T1 example)
+	c.Record(2, 2)
+	th, tot := c.ThrottlingRegisters()
+	if th != 1 || tot != 4 {
+		t.Errorf("registers = %d/%d, want 1/4", th, tot)
+	}
+	// issued > requested (high-performance boost): total counts issued.
+	c.Record(2, 4)
+	_, tot = c.ThrottlingRegisters()
+	if tot != 8 {
+		t.Errorf("total = %d, want 8", tot)
+	}
+	s := c.Stats()
+	if s.Issued != 7 || s.Throttled != 1 {
+		t.Errorf("lifetime stats = %+v", s)
+	}
+}
+
+func TestRebootSequence(t *testing.T) {
+	c := MustNewController(testConfig())
+	c.Observe(3.40)
+	c.Observe(3.22) // degree -> 0
+	c.Record(2, 0)  // 2 throttled
+	c.Record(2, 0)
+	c.Backup()
+	c.OnReboot()
+
+	if c.Degree() != 2 {
+		t.Errorf("degree after reboot = %d, want R_ipd=2", c.Degree())
+	}
+	if c.LastTR() != 1.0 {
+		t.Errorf("R_tr = %v, want 1.0 (everything throttled)", c.LastTR())
+	}
+	th, tot := c.ThrottlingRegisters()
+	if th != 0 || tot != 0 {
+		t.Error("per-cycle registers not cleared at reboot")
+	}
+	// R_tr = 100% >= 5% trigger: thresholds must have moved DOWN by 0.05.
+	ths := c.Thresholds()
+	if math.Abs(ths[0]-3.25) > 1e-9 || math.Abs(ths[1]-3.20) > 1e-9 {
+		t.Errorf("thresholds after high-R_tr reboot = %v, want [3.25 3.20]", ths)
+	}
+	if c.Stats().MovesDown != 1 {
+		t.Errorf("MovesDown = %d", c.Stats().MovesDown)
+	}
+}
+
+func TestRebootRaisesThresholdsOnLowTR(t *testing.T) {
+	c := MustNewController(testConfig())
+	c.Observe(3.40)
+	for i := 0; i < 100; i++ {
+		c.Record(2, 2) // nothing throttled
+	}
+	c.Record(2, 1) // ~0.5% throttling, below the 5% trigger
+	c.Backup()
+	c.OnReboot()
+	ths := c.Thresholds()
+	if math.Abs(ths[0]-3.35) > 1e-9 || math.Abs(ths[1]-3.30) > 1e-9 {
+		t.Errorf("thresholds after low-R_tr reboot = %v, want [3.35 3.30]", ths)
+	}
+	if c.Stats().MovesUp != 1 {
+		t.Errorf("MovesUp = %d", c.Stats().MovesUp)
+	}
+}
+
+func TestRebootWithoutActivityLeavesThresholds(t *testing.T) {
+	c := MustNewController(testConfig())
+	c.Backup()
+	c.OnReboot()
+	ths := c.Thresholds()
+	if ths[0] != 3.30 || ths[1] != 3.25 {
+		t.Errorf("thresholds moved with no prefetch activity: %v", ths)
+	}
+}
+
+func TestUncheckpointedRegistersLostAtReboot(t *testing.T) {
+	// Registers are volatile: counts recorded after the last Backup are
+	// lost by the power failure, exactly like real NVFF checkpointing.
+	c := MustNewController(testConfig())
+	c.Record(2, 0)
+	// No Backup: the outage loses the counts.
+	c.OnReboot()
+	if c.LastTR() != 0 {
+		t.Errorf("R_tr = %v, want 0 (registers lost)", c.LastTR())
+	}
+}
+
+func TestThresholdClamping(t *testing.T) {
+	cfg := testConfig()
+	cfg.Thresholds = []float64{3.20, 3.19}
+	c := MustNewController(cfg)
+	// Drive thresholds down repeatedly; they must stay above MinV
+	// (Vbackup) where they can still fire, and stay strictly ordered.
+	for i := 0; i < 10; i++ {
+		c.Record(10, 0)
+		c.Backup()
+		c.OnReboot()
+	}
+	ths := c.Thresholds()
+	if ths[0] <= cfg.MinV || ths[1] <= cfg.MinV {
+		t.Errorf("thresholds fell into the dead zone: %v (MinV %v)", ths, cfg.MinV)
+	}
+	if ths[1] >= ths[0] {
+		t.Errorf("ordering lost: %v", ths)
+	}
+
+	// And repeatedly up: must stay below MaxV (Von).
+	for i := 0; i < 10; i++ {
+		c.Record(1000, 1000)
+		c.Backup()
+		c.OnReboot()
+	}
+	ths = c.Thresholds()
+	if ths[0] >= cfg.MaxV {
+		t.Errorf("threshold rose to the reboot voltage: %v", ths)
+	}
+}
+
+func TestAdaptiveOff(t *testing.T) {
+	cfg := testConfig()
+	cfg.Adaptive = false
+	c := MustNewController(cfg)
+	c.Record(10, 0)
+	c.Backup()
+	c.OnReboot()
+	ths := c.Thresholds()
+	if ths[0] != 3.30 || ths[1] != 3.25 {
+		t.Errorf("fixed mode moved thresholds: %v", ths)
+	}
+}
+
+func TestThresholdsFor(t *testing.T) {
+	ths := ThresholdsFor(2, 3.18, 3.40)
+	if len(ths) != 2 || ths[0] != 3.30 || ths[1] != 3.25 {
+		t.Errorf("ThresholdsFor(2) = %v, want paper defaults", ths)
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		ths := ThresholdsFor(k, 3.18, 3.40)
+		if len(ths) != k {
+			t.Fatalf("k=%d: got %d thresholds", k, len(ths))
+		}
+		for i := 1; i < k; i++ {
+			if ths[i] >= ths[i-1] {
+				t.Errorf("k=%d: not descending: %v", k, ths)
+			}
+		}
+		for _, v := range ths {
+			if v <= 3.18 || v >= 3.40 {
+				t.Errorf("k=%d: threshold %v outside live band", k, v)
+			}
+		}
+	}
+	if ThresholdsFor(0, 3.18, 3.4) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+// Property: under any voltage walk, the degree stays within [0, MaxDegree]
+// and the register identity Issued+Throttled == sum(R_total) holds.
+func TestControllerInvariants(t *testing.T) {
+	f := func(walk []uint8, recs []uint8) bool {
+		c := MustNewController(testConfig())
+		var wantTotal uint64
+		for i, w := range walk {
+			v := 3.15 + float64(w%30)*0.01 // 3.15..3.44
+			c.Observe(v)
+			if c.Degree() < 0 || c.Degree() > prefetch.MaxDegree {
+				return false
+			}
+			if i < len(recs) {
+				req := int(recs[i]%3) + 1
+				iss := c.Degree()
+				if iss > req {
+					iss = req
+				}
+				c.Record(req, iss)
+				wantTotal += uint64(req)
+			}
+			if i%17 == 16 {
+				c.Backup()
+				c.OnReboot()
+			}
+		}
+		s := c.Stats()
+		return s.Issued+s.Throttled == wantTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThrottlingRateStat(t *testing.T) {
+	var s Stats
+	if s.ThrottlingRate() != 0 {
+		t.Error("empty stats rate should be 0")
+	}
+	s = Stats{Issued: 3, Throttled: 1}
+	if s.ThrottlingRate() != 0.25 {
+		t.Errorf("rate = %v", s.ThrottlingRate())
+	}
+}
+
+func TestLinearAdjustPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.LinearAdjust = true
+	c := MustNewController(cfg)
+	c.Observe(3.40)
+	c.Observe(3.28) // down through 3.30: 2 -> 1 (−1)
+	if c.Degree() != 1 {
+		t.Fatalf("linear down: degree = %d, want 1", c.Degree())
+	}
+	c.Observe(3.22) // down through 3.25: 1 -> 0
+	if c.Degree() != 0 {
+		t.Fatalf("linear down twice: degree = %d, want 0", c.Degree())
+	}
+	c.Observe(3.40) // up through both: 0 -> 1 -> 2
+	if c.Degree() != 2 {
+		t.Fatalf("linear up twice: degree = %d, want 2", c.Degree())
+	}
+	// Linear growth caps at MaxDegree like the default policy.
+	for i := 0; i < 6; i++ {
+		c.Observe(3.28)
+		c.Observe(3.40)
+	}
+	if c.Degree() > cfg.MaxDegree {
+		t.Errorf("linear policy exceeded cap: %d", c.Degree())
+	}
+}

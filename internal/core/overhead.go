@@ -1,0 +1,47 @@
+package core
+
+// OverheadReport reproduces the paper's §6.1 hardware-cost analysis: IPEX
+// adds four registers per cache — R_throttled (32 b), R_total (32 b), R_tr
+// (32 b float), and R_ipd (3 b) — and reuses the prefetcher's existing
+// R_cpd, for 99 bits per cache and 198 bits total with ICache and DCache.
+type OverheadReport struct {
+	BitsPerCache int
+	Caches       int
+	TotalBits    int
+	CoreAreaMM2  float64 // core area incl. caches (CACTI, 45 nm)
+	AreaFraction float64 // added-register area / core area
+}
+
+// Register widths from the paper.
+const (
+	bitsRThrottled = 32
+	bitsRTotal     = 32
+	bitsRTR        = 32
+	bitsRIPD       = 3
+
+	// coreAreaMM2 is the paper's CACTI 45 nm estimate of the core area
+	// including ICache and DCache.
+	coreAreaMM2 = 0.54
+
+	// regBitAreaMM2 is the area of one register bit at 45 nm implied by
+	// the paper's 0.0018 % figure for 198 bits of 0.54 mm²:
+	// 0.54 mm² * 1.8e-5 / 198 bits.
+	regBitAreaMM2 = coreAreaMM2 * 1.8e-5 / 198
+)
+
+// Overhead computes the report for a system with the given number of
+// IPEX-managed caches (2 in the paper: ICache and DCache).
+func Overhead(caches int) OverheadReport {
+	if caches <= 0 {
+		caches = 2
+	}
+	per := bitsRThrottled + bitsRTotal + bitsRTR + bitsRIPD
+	total := per * caches
+	return OverheadReport{
+		BitsPerCache: per,
+		Caches:       caches,
+		TotalBits:    total,
+		CoreAreaMM2:  coreAreaMM2,
+		AreaFraction: float64(total) * regBitAreaMM2 / coreAreaMM2,
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOverheadMatchesPaper(t *testing.T) {
+	// §6.1: 99 bits per cache, 198 bits total, 0.0018% of a 0.54 mm² core.
+	r := Overhead(2)
+	if r.BitsPerCache != 99 {
+		t.Errorf("BitsPerCache = %d, want 99", r.BitsPerCache)
+	}
+	if r.TotalBits != 198 {
+		t.Errorf("TotalBits = %d, want 198", r.TotalBits)
+	}
+	if r.CoreAreaMM2 != 0.54 {
+		t.Errorf("CoreAreaMM2 = %v, want 0.54", r.CoreAreaMM2)
+	}
+	if math.Abs(r.AreaFraction-1.8e-5) > 1e-12 {
+		t.Errorf("AreaFraction = %v, want 1.8e-5 (0.0018%%)", r.AreaFraction)
+	}
+}
+
+func TestOverheadScalesWithCaches(t *testing.T) {
+	one := Overhead(1)
+	four := Overhead(4)
+	if one.TotalBits != 99 || four.TotalBits != 396 {
+		t.Errorf("totals: %d, %d", one.TotalBits, four.TotalBits)
+	}
+	if math.Abs(four.AreaFraction-2*Overhead(2).AreaFraction) > 1e-12 {
+		t.Error("area fraction should scale linearly with caches")
+	}
+}
+
+func TestOverheadDefault(t *testing.T) {
+	if Overhead(0).Caches != 2 || Overhead(-3).Caches != 2 {
+		t.Error("non-positive cache count should default to 2")
+	}
+}

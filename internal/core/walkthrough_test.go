@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFigure7Walkthrough replays the paper's Figure 7 scenario step by
+// step and checks every register value the figure tabulates.
+//
+//	T0: reboot, V=3.4, R_ipd=2, V_thres=3.3  -> R_cpd=2, counters 0
+//	T1: V=3.28 (crosses 3.3 down)            -> R_cpd=1; prefetch A issued,
+//	    B suppressed: R_total=2, R_throttled=1
+//	T2: V=3.22 (still below both... the figure uses one threshold)
+//	T3: power failure: registers JIT-checkpointed
+//	T4: reboot: R_tr=50%, R_cpd=2, V_thres lowered 3.3->3.25
+func TestFigure7Walkthrough(t *testing.T) {
+	cfg := DefaultConfig(3.18, 3.40)
+	cfg.Thresholds = []float64{3.30} // the figure tracks a single threshold
+	c := MustNewController(cfg)
+
+	// T0: reboot at 3.4 V.
+	c.Observe(3.40)
+	if c.Degree() != 2 {
+		t.Fatalf("T0: R_cpd = %d, want 2", c.Degree())
+	}
+	if th, tot := c.ThrottlingRegisters(); th != 0 || tot != 0 {
+		t.Fatalf("T0: registers %d/%d, want 0/0", th, tot)
+	}
+
+	// T1: V drops to 3.28, crossing 3.3: degree halves to 1; the
+	// prefetcher wanted 2 (A and B), issued 1 (A).
+	c.Observe(3.28)
+	if c.Degree() != 1 {
+		t.Fatalf("T1: R_cpd = %d, want 1", c.Degree())
+	}
+	c.Record(2, 1)
+	if th, tot := c.ThrottlingRegisters(); th != 1 || tot != 2 {
+		t.Fatalf("T1: registers %d/%d, want 1/2", th, tot)
+	}
+
+	// T2: V keeps falling to 3.22; no further threshold, registers hold.
+	c.Observe(3.22)
+	if th, tot := c.ThrottlingRegisters(); th != 1 || tot != 2 {
+		t.Fatalf("T2: registers %d/%d, want 1/2 (unchanged)", th, tot)
+	}
+
+	// T3: power failure; R_throttled and R_total are JIT-checkpointed.
+	c.Backup()
+
+	// T4: reboot. R_tr = 1/2 = 50% >= 5%: the threshold moves down by
+	// 0.05 V (3.30 -> 3.25) and R_cpd resets to R_ipd = 2.
+	c.OnReboot()
+	if got := c.LastTR(); got != 0.5 {
+		t.Errorf("T4: R_tr = %v, want 0.50", got)
+	}
+	if c.Degree() != 2 {
+		t.Errorf("T4: R_cpd = %d, want reset to 2", c.Degree())
+	}
+	if th := c.Thresholds(); math.Abs(th[0]-3.25) > 1e-9 {
+		t.Errorf("T4: V_thres = %v, want 3.25", th[0])
+	}
+}
+
+// TestFigure9Walkthrough replays Figure 9's two-threshold degree schedule:
+//
+//	V: 3.35 -> 3.28 -> 3.35 -> 3.28 -> 3.22
+//	R_cpd: 2  ->  1  ->  2  ->  1  ->  0
+func TestFigure9Walkthrough(t *testing.T) {
+	c := MustNewController(DefaultConfig(3.18, 3.40)) // thresholds 3.30/3.25
+	steps := []struct {
+		v    float64
+		want int
+	}{
+		{3.35, 2}, // T1: above V1, high-performance mode
+		{3.28, 1}, // T2: below V1, halve
+		{3.35, 2}, // T3: back above V1, double
+		{3.28, 1}, // T4: below V1 again
+		{3.22, 0}, // T5: below V2, halve to 0
+	}
+	for i, st := range steps {
+		c.Observe(st.v)
+		if c.Degree() != st.want {
+			t.Fatalf("T%d (V=%.2f): R_cpd = %d, want %d", i+1, st.v, c.Degree(), st.want)
+		}
+	}
+}

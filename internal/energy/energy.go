@@ -1,0 +1,101 @@
+// Package energy defines the units, constants, and accounting used by the
+// NVP simulator's energy model.
+//
+// All dynamic energies are expressed in nanojoules (nJ) and all leakage
+// powers in milliwatts (mW), matching Table 1 of the IPEX paper. Time is
+// expressed in CPU cycles of the 200 MHz nonvolatile processor, so one cycle
+// is 5 ns and a leakage power of 1 mW costs 0.005 nJ per cycle.
+package energy
+
+// Simulator clock. The paper models a single-core in-order NVP clocked at
+// 200 MHz (Ma et al., HPCA'15), validated against a real NVP platform.
+const (
+	ClockHz      = 200e6
+	CycleSeconds = 1.0 / ClockHz
+	CycleNanos   = 5.0
+)
+
+// NJ is an amount of energy in nanojoules.
+type NJ = float64
+
+// MW is a power in milliwatts.
+type MW = float64
+
+// LeakNJPerCycle converts a leakage power in mW into the energy it drains
+// per CPU cycle, in nJ: P[mW] * 5ns = P * 0.005 nJ.
+func LeakNJPerCycle(p MW) NJ {
+	return p * 1e-3 * CycleSeconds * 1e9
+}
+
+// Table 1 defaults (NVSRAMCache baseline and IPEX share them).
+const (
+	// CacheAccessNJ is the per-access dynamic energy of the default 2 kB
+	// 4-way SRAM cache (16 B blocks, 1-cycle hit).
+	CacheAccessNJ NJ = 0.015
+	// CacheLeakMW is the leakage power of one default 2 kB cache.
+	CacheLeakMW MW = 0.205
+
+	// NVMReadNJPerByte / NVMWriteNJPerByte are the Table-1 ReRAM access
+	// energies (0.039 nJ read, 0.160 nJ write), interpreted per byte; one
+	// 16 B block access costs 16×. This interpretation reproduces the
+	// paper's §2.2 calibration: with it, the minimum useful-prefetch
+	// probability of Inequality 4 lands at ≈46 % for the default system
+	// (the paper reports 46.04 %), whereas a per-block reading would make
+	// prefetches energetically near-free (P_min ≈ 3 %), contradicting the
+	// paper's own analysis.
+	NVMReadNJPerByte  NJ = 0.039
+	NVMWriteNJPerByte NJ = 0.160
+	// NVMReadNJ / NVMWriteNJ are the per-block (16 B) access energies.
+	NVMReadNJ  NJ = NVMReadNJPerByte * 16
+	NVMWriteNJ NJ = NVMWriteNJPerByte * 16
+	// NVMLeakMW is the ReRAM leakage power at the default 16 MB capacity.
+	NVMLeakMW MW = 12.133
+)
+
+// Core-side constants. The paper does not tabulate these; they are chosen in
+// the same regime as McPAT 45 nm numbers for a tiny in-order embedded core
+// and documented here so results are reproducible.
+const (
+	// ComputeNJPerInst is the core dynamic energy per committed instruction
+	// (pipeline, register file, ALU).
+	ComputeNJPerInst NJ = 0.012
+	// CoreLeakMW is the core leakage power excluding caches and NVM.
+	CoreLeakMW MW = 0.9
+	// RegisterBackupNJ / RegisterRestoreNJ cover JIT-checkpointing all
+	// volatile registers (incl. PC) into nonvolatile flip-flops and back.
+	RegisterBackupNJ  NJ = 1.6
+	RegisterRestoreNJ NJ = 1.2
+)
+
+// Breakdown accumulates consumed energy into the four buckets the paper's
+// Figure 14 reports. The zero value is ready to use.
+type Breakdown struct {
+	Cache   NJ // SRAM cache dynamic + leakage (ICache + DCache + prefetch buffers)
+	Memory  NJ // NVM dynamic (reads, writes, prefetch fills) + leakage
+	Compute NJ // core dynamic + core leakage
+	BkRst   NJ // JIT checkpoint (backup) + restoration
+}
+
+// Total returns the sum of all buckets.
+func (b Breakdown) Total() NJ {
+	return b.Cache + b.Memory + b.Compute + b.BkRst
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Cache += o.Cache
+	b.Memory += o.Memory
+	b.Compute += o.Compute
+	b.BkRst += o.BkRst
+}
+
+// Scale returns b with every bucket multiplied by f (used to normalize a
+// breakdown to a baseline total).
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Cache:   b.Cache * f,
+		Memory:  b.Memory * f,
+		Compute: b.Compute * f,
+		BkRst:   b.BkRst * f,
+	}
+}

@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeakNJPerCycle(t *testing.T) {
+	// 1 mW over one 5 ns cycle is 5 pJ = 0.005 nJ.
+	if got := LeakNJPerCycle(1); math.Abs(got-0.005) > 1e-12 {
+		t.Errorf("LeakNJPerCycle(1mW) = %v, want 0.005", got)
+	}
+	if got := LeakNJPerCycle(0); got != 0 {
+		t.Errorf("LeakNJPerCycle(0) = %v", got)
+	}
+}
+
+func TestClockConstantsConsistent(t *testing.T) {
+	if math.Abs(CycleSeconds*ClockHz-1) > 1e-12 {
+		t.Errorf("CycleSeconds * ClockHz = %v, want 1", CycleSeconds*ClockHz)
+	}
+	if math.Abs(CycleNanos-CycleSeconds*1e9) > 1e-12 {
+		t.Errorf("CycleNanos inconsistent: %v vs %v", CycleNanos, CycleSeconds*1e9)
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	// The per-byte Table-1 numbers must be preserved exactly.
+	if NVMReadNJPerByte != 0.039 || NVMWriteNJPerByte != 0.160 {
+		t.Errorf("Table-1 NVM energies changed: read=%v write=%v", NVMReadNJPerByte, NVMWriteNJPerByte)
+	}
+	if NVMReadNJ != 0.039*16 || NVMWriteNJ != 0.160*16 {
+		t.Errorf("per-block energies inconsistent: read=%v write=%v", NVMReadNJ, NVMWriteNJ)
+	}
+	if CacheAccessNJ != 0.015 || CacheLeakMW != 0.205 || NVMLeakMW != 12.133 {
+		t.Error("Table-1 cache/leak constants changed")
+	}
+}
+
+func TestBreakdownTotalAndAdd(t *testing.T) {
+	a := Breakdown{Cache: 1, Memory: 2, Compute: 3, BkRst: 4}
+	if a.Total() != 10 {
+		t.Errorf("Total = %v, want 10", a.Total())
+	}
+	b := Breakdown{Cache: 10, Memory: 20, Compute: 30, BkRst: 40}
+	a.Add(b)
+	if a.Total() != 110 || a.Cache != 11 || a.BkRst != 44 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+}
+
+func TestBreakdownScale(t *testing.T) {
+	a := Breakdown{Cache: 2, Memory: 4, Compute: 6, BkRst: 8}
+	s := a.Scale(0.5)
+	if s.Cache != 1 || s.Memory != 2 || s.Compute != 3 || s.BkRst != 4 {
+		t.Errorf("Scale(0.5) = %+v", s)
+	}
+	// Scaling must not mutate the receiver.
+	if a.Cache != 2 {
+		t.Error("Scale mutated receiver")
+	}
+}
+
+func TestBreakdownAddCommutes(t *testing.T) {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e6)
+	}
+	f := func(a, b Breakdown) bool {
+		a = Breakdown{clamp(a.Cache), clamp(a.Memory), clamp(a.Compute), clamp(a.BkRst)}
+		b = Breakdown{clamp(b.Cache), clamp(b.Memory), clamp(b.Compute), clamp(b.BkRst)}
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return math.Abs(x.Total()-y.Total()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package energy
+
+import "fmt"
+
+// NVMTech selects the nonvolatile main-memory technology (Fig. 21 of the
+// paper sweeps these three).
+type NVMTech int
+
+const (
+	ReRAM NVMTech = iota
+	STTRAM
+	PCM
+)
+
+// String implements fmt.Stringer.
+func (t NVMTech) String() string {
+	switch t {
+	case ReRAM:
+		return "ReRAM"
+	case STTRAM:
+		return "STTRAM"
+	case PCM:
+		return "PCM"
+	}
+	return fmt.Sprintf("NVMTech(%d)", int(t))
+}
+
+// NVMParams describes one NVM configuration: per-block (16 B) access energy
+// and latency plus array leakage. ReRAM at 16 MB uses the paper's Table 1
+// values verbatim; the other technologies and capacities follow NVSim-style
+// scaling documented next to each rule.
+type NVMParams struct {
+	Tech        NVMTech
+	SizeBytes   int64
+	ReadNJ      NJ
+	WriteNJ     NJ
+	LeakMW      MW
+	ReadCycles  uint64
+	WriteCycles uint64
+}
+
+// nvmBase holds each technology's parameters at the reference 16 MB
+// capacity. Latencies are for a 200 MHz clock (5 ns cycles): the on-chip
+// ReRAM reads in ~55 ns and writes in ~140 ns; STT-RAM is faster, PCM
+// markedly slower — the relative ordering NVSim reports for low-power
+// embedded arrays. The ReRAM read latency (16 cycles) is calibrated so the
+// prefetch-depth/latency tradeoff matches the paper's regime: degree-2
+// prefetching is the sensible conventional default, and the §2.2 minimum
+// useful-prefetch probability evaluates to ≈37 % for the default system
+// (the paper reports 46.04 %; see EXPERIMENTS.md).
+var nvmBase = map[NVMTech]NVMParams{
+	ReRAM: {
+		Tech: ReRAM, SizeBytes: 16 << 20,
+		ReadNJ: NVMReadNJ, WriteNJ: NVMWriteNJ, LeakMW: NVMLeakMW,
+		ReadCycles: 16, WriteCycles: 40,
+	},
+	STTRAM: {
+		Tech: STTRAM, SizeBytes: 16 << 20,
+		ReadNJ: 0.028 * 16, WriteNJ: 0.210 * 16, LeakMW: 13.9,
+		ReadCycles: 11, WriteCycles: 30,
+	},
+	PCM: {
+		Tech: PCM, SizeBytes: 16 << 20,
+		ReadNJ: 0.055 * 16, WriteNJ: 0.480 * 16, LeakMW: 10.4,
+		ReadCycles: 60, WriteCycles: 180,
+	},
+}
+
+// NVMFor returns the parameters of a memory of the given technology and
+// capacity. Scaling vs. the 16 MB reference follows the monotone trends the
+// paper leans on in §6.7.6: larger arrays have longer wordlines/bitlines, so
+// per-access energy and latency grow roughly with sqrt of capacity, and
+// leakage grows linearly with capacity.
+func NVMFor(tech NVMTech, sizeBytes int64) NVMParams {
+	base, ok := nvmBase[tech]
+	if !ok {
+		base = nvmBase[ReRAM]
+	}
+	if sizeBytes <= 0 {
+		sizeBytes = base.SizeBytes
+	}
+	ratio := float64(sizeBytes) / float64(base.SizeBytes)
+	sqrt := sqrtApprox(ratio)
+	p := base
+	p.SizeBytes = sizeBytes
+	p.ReadNJ = base.ReadNJ * sqrt
+	p.WriteNJ = base.WriteNJ * sqrt
+	p.LeakMW = base.LeakMW * ratio
+	p.ReadCycles = scaleCycles(base.ReadCycles, sqrt)
+	p.WriteCycles = scaleCycles(base.WriteCycles, sqrt)
+	return p
+}
+
+func scaleCycles(c uint64, f float64) uint64 {
+	v := uint64(float64(c)*f + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// sqrtApprox is a Newton-iteration square root; it avoids importing math in
+// this hot path and is exact enough for parameter scaling.
+func sqrtApprox(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// CacheParams describes one SRAM cache configuration. The 2 kB 4-way point
+// uses Table 1 verbatim; other sizes scale dynamic energy with sqrt(capacity)
+// and leakage super-linearly with capacity (exponent 2.5), and associativity
+// adds a per-way comparator cost.
+//
+// The leakage exponent is calibrated against the paper's own Figure 1 data:
+// at 8 kB per cache the paper measures 54.38 % of total energy going to
+// cache leakage, which against the fixed 12.1 mW NVM array requires roughly
+// 6–8 mW per 8 kB cache — about 30–40x the 2 kB point, i.e. far steeper
+// than linear. That steep growth is what makes performance peak at 2 kB
+// (Figure 1's black curve) and motivates small caches for EHSs.
+type CacheParams struct {
+	SizeBytes int
+	Ways      int
+	BlockSize int
+	AccessNJ  NJ
+	LeakMW    MW
+	HitCycles uint64
+}
+
+// DefaultCacheSize is the paper's per-cache default (2 kB each for ICache
+// and DCache).
+const DefaultCacheSize = 2048
+
+// DefaultBlockSize is the cache block (and prefetch-buffer entry) size.
+const DefaultBlockSize = 16
+
+// CacheFor returns parameters for an SRAM cache of the given geometry.
+func CacheFor(sizeBytes, ways int) CacheParams {
+	if sizeBytes <= 0 {
+		sizeBytes = DefaultCacheSize
+	}
+	if ways <= 0 {
+		ways = 4
+	}
+	ratio := float64(sizeBytes) / float64(DefaultCacheSize)
+	wayFactor := 1 + 0.06*float64(ways-4) // extra tag comparators per way
+	if wayFactor < 0.8 {
+		wayFactor = 0.8
+	}
+	// ratio^2.5 == ratio^2 * sqrt(ratio); see the type comment for the
+	// Figure-1 calibration behind the exponent.
+	leakScale := ratio * ratio * sqrtApprox(ratio)
+	return CacheParams{
+		SizeBytes: sizeBytes,
+		Ways:      ways,
+		BlockSize: DefaultBlockSize,
+		AccessNJ:  CacheAccessNJ * sqrtApprox(ratio) * wayFactor,
+		LeakMW:    CacheLeakMW * leakScale,
+		HitCycles: 1,
+	}
+}
+
+// MinUsefulProbability implements Inequality 4 of the paper: the minimum
+// probability P of a prefetch being useful for prefetching to reduce energy
+// waste versus no prefetching, P > 1 - Eleak/(Eprefetch + Eleak), where
+// Eleak is the system leakage wasted during the stall of the miss the
+// prefetch would have hidden, and Eprefetch the cost of fetching the block.
+func MinUsefulProbability(ePrefetch, eLeak NJ) float64 {
+	if ePrefetch+eLeak == 0 {
+		return 0
+	}
+	return 1 - eLeak/(ePrefetch+eLeak)
+}

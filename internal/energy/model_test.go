@@ -1,0 +1,184 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNVMForReferencePoint(t *testing.T) {
+	p := NVMFor(ReRAM, 16<<20)
+	if p.ReadNJ != NVMReadNJ || p.WriteNJ != NVMWriteNJ || p.LeakMW != NVMLeakMW {
+		t.Errorf("16MB ReRAM must use Table-1 values verbatim, got %+v", p)
+	}
+	if p.ReadCycles == 0 || p.WriteCycles <= p.ReadCycles {
+		t.Errorf("implausible latencies: %+v", p)
+	}
+}
+
+func TestNVMForScalingMonotone(t *testing.T) {
+	for _, tech := range []NVMTech{ReRAM, STTRAM, PCM} {
+		small := NVMFor(tech, 2<<20)
+		base := NVMFor(tech, 16<<20)
+		big := NVMFor(tech, 32<<20)
+		if !(small.ReadNJ < base.ReadNJ && base.ReadNJ < big.ReadNJ) {
+			t.Errorf("%v: read energy not monotone in size", tech)
+		}
+		if !(small.LeakMW < base.LeakMW && base.LeakMW < big.LeakMW) {
+			t.Errorf("%v: leakage not monotone in size", tech)
+		}
+		if !(small.ReadCycles <= base.ReadCycles && base.ReadCycles <= big.ReadCycles) {
+			t.Errorf("%v: latency not monotone in size", tech)
+		}
+	}
+}
+
+func TestNVMForLeakScalesLinearly(t *testing.T) {
+	base := NVMFor(ReRAM, 16<<20)
+	double := NVMFor(ReRAM, 32<<20)
+	if math.Abs(double.LeakMW-2*base.LeakMW) > 1e-9 {
+		t.Errorf("leak at 32MB = %v, want %v", double.LeakMW, 2*base.LeakMW)
+	}
+}
+
+func TestNVMTechOrdering(t *testing.T) {
+	// §6.7.7: PCM is the slowest and most access-hungry; STT-RAM reads
+	// fastest. The IPEX speedup ordering in Fig. 21 depends on this.
+	st, re, pcm := NVMFor(STTRAM, 0), NVMFor(ReRAM, 0), NVMFor(PCM, 0)
+	if !(st.ReadCycles < re.ReadCycles && re.ReadCycles < pcm.ReadCycles) {
+		t.Errorf("read latency ordering wrong: %d %d %d", st.ReadCycles, re.ReadCycles, pcm.ReadCycles)
+	}
+	if !(pcm.WriteNJ > re.WriteNJ) {
+		t.Errorf("PCM writes should cost more than ReRAM: %v vs %v", pcm.WriteNJ, re.WriteNJ)
+	}
+}
+
+func TestNVMForDefaultsOnBadInput(t *testing.T) {
+	p := NVMFor(NVMTech(99), 0)
+	if p.SizeBytes != 16<<20 {
+		t.Errorf("unknown tech should fall back to 16MB ReRAM, got %+v", p)
+	}
+}
+
+func TestNVMTechString(t *testing.T) {
+	if ReRAM.String() != "ReRAM" || STTRAM.String() != "STTRAM" || PCM.String() != "PCM" {
+		t.Error("NVMTech String() wrong")
+	}
+}
+
+func TestCacheForReferencePoint(t *testing.T) {
+	p := CacheFor(DefaultCacheSize, 4)
+	if math.Abs(p.AccessNJ-CacheAccessNJ) > 1e-9 {
+		t.Errorf("2kB 4-way access energy = %v, want Table-1 %v", p.AccessNJ, CacheAccessNJ)
+	}
+	if math.Abs(p.LeakMW-CacheLeakMW) > 1e-9 {
+		t.Errorf("2kB leak = %v, want %v", p.LeakMW, CacheLeakMW)
+	}
+	if p.HitCycles != 1 || p.BlockSize != 16 {
+		t.Errorf("geometry defaults wrong: %+v", p)
+	}
+}
+
+func TestCacheForLeakDominatesAtLargeSizes(t *testing.T) {
+	// The Figure-1 mechanism: leakage grows with capacity^2.5, so an 8kB
+	// cache leaks 4^2.5 = 32x the 2kB cache (see the CacheParams comment
+	// for the calibration against the paper's 54.38% leakage share).
+	small := CacheFor(2048, 4)
+	big := CacheFor(8192, 4)
+	if math.Abs(big.LeakMW-32*small.LeakMW) > 1e-6 {
+		t.Errorf("8kB leak = %v, want %v", big.LeakMW, 32*small.LeakMW)
+	}
+	if big.AccessNJ <= small.AccessNJ {
+		t.Error("access energy should grow with size")
+	}
+	// Both 8kB caches together must be able to reach the paper's >50%
+	// leakage share against the 12.1mW NVM + ~1.3mW core.
+	if 2*big.LeakMW < NVMLeakMW+CoreLeakMW {
+		t.Errorf("8kB cache leakage (2x %.2f mW) cannot dominate the system", big.LeakMW)
+	}
+}
+
+func TestCacheForAssociativityCost(t *testing.T) {
+	w4 := CacheFor(2048, 4)
+	w8 := CacheFor(2048, 8)
+	w1 := CacheFor(2048, 1)
+	if w8.AccessNJ <= w4.AccessNJ {
+		t.Error("8-way access should cost more than 4-way")
+	}
+	if w1.AccessNJ >= w4.AccessNJ {
+		t.Error("direct-mapped access should cost less than 4-way")
+	}
+}
+
+func TestCacheForDefaults(t *testing.T) {
+	p := CacheFor(0, 0)
+	if p.SizeBytes != DefaultCacheSize || p.Ways != 4 {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+}
+
+func TestMinUsefulProbability(t *testing.T) {
+	// Inequality 4 limiting cases.
+	if got := MinUsefulProbability(0, 10); got != 0 {
+		t.Errorf("free prefetch should need P=0, got %v", got)
+	}
+	if got := MinUsefulProbability(10, 0); got != 1 {
+		t.Errorf("free leak should need P=1, got %v", got)
+	}
+	if got := MinUsefulProbability(0, 0); got != 0 {
+		t.Errorf("0/0 should be 0, got %v", got)
+	}
+	if got := MinUsefulProbability(1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("equal costs should need P=0.5, got %v", got)
+	}
+}
+
+func TestMinUsefulProbabilityMonotone(t *testing.T) {
+	// Fig. 4: higher prefetch cost raises the required P; higher leak
+	// lowers it.
+	f := func(ep, el, dep float64) bool {
+		mod := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(math.Abs(v), 1e3) + 0.01
+		}
+		ep, el, dep = mod(ep), mod(el), mod(dep)
+		return MinUsefulProbability(ep+dep, el) >= MinUsefulProbability(ep, el)-1e-12 &&
+			MinUsefulProbability(ep, el+dep) <= MinUsefulProbability(ep, el)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinUsefulProbabilityDefaultSystem(t *testing.T) {
+	// §2.2: the paper reports a 46.04% minimum for the default system.
+	// With this repository's calibration (16-cycle ReRAM read, per-byte
+	// Table-1 energies) the value lands in the upper-30s–40s band; this
+	// test pins the band so accidental recalibration is caught.
+	p := NVMFor(ReRAM, 16<<20)
+	leakPerCycle := LeakNJPerCycle(2*CacheLeakMW + NVMLeakMW + CoreLeakMW)
+	pm := MinUsefulProbability(p.ReadNJ, float64(p.ReadCycles)*leakPerCycle)
+	if pm < 0.30 || pm > 0.50 {
+		t.Errorf("default-system minimum useful probability = %.4f, want within [0.30, 0.50] (paper: 0.4604)", pm)
+	}
+}
+
+func TestSqrtApprox(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Abs(x)
+		if x > 1e12 {
+			return true
+		}
+		got := sqrtApprox(x)
+		want := math.Sqrt(x)
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if sqrtApprox(0) != 0 || sqrtApprox(-1) != 0 {
+		t.Error("sqrtApprox of non-positive should be 0")
+	}
+}

@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the NVP simulator. Each FigNN/TableN function sweeps
+// the same workloads, power traces, and parameters as the paper and returns
+// a typed result that renders the same rows or series the paper reports.
+//
+// The experiment index lives in DESIGN.md; measured-vs-paper values in
+// EXPERIMENTS.md. cmd/experiments drives everything from the command line.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/workload"
+)
+
+// Options controls the sweep size shared by every experiment.
+type Options struct {
+	// Scale multiplies each workload's instruction count; 1.0 reproduces
+	// the full-length runs, tests use small values. <= 0 means 1.0.
+	Scale float64
+	// Apps restricts the workload list; nil means all 20.
+	Apps []string
+	// TraceSeed seeds the synthetic power traces (default 1). Every
+	// configuration within one experiment replays the identical trace, so
+	// the seed only selects which input-energy recording is used.
+	TraceSeed uint64
+	// Parallelism bounds concurrent simulations (default NumCPU).
+	Parallelism int
+}
+
+func (o Options) norm() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = workload.Names()
+	}
+	if o.TraceSeed == 0 {
+		o.TraceSeed = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// trace builds the shared power trace for a source.
+func (o Options) trace(src power.Source) *power.Trace {
+	return power.Generate(src, power.DefaultTraceSamples, o.TraceSeed)
+}
+
+// job is one simulation request.
+type job struct {
+	app string
+	cfg nvp.Config
+	tr  *power.Trace
+}
+
+// runAll executes jobs with bounded parallelism, preserving order.
+func runAll(o Options, jobs []job) ([]nvp.Result, error) {
+	results := make([]nvp.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			wl, err := workload.New(j.app, o.Scale)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = nvp.Run(wl, j.tr, j.cfg)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runPerApp runs one configuration for every app and returns results in app
+// order.
+func runPerApp(o Options, cfg nvp.Config, tr *power.Trace) ([]nvp.Result, error) {
+	jobs := make([]job, len(o.Apps))
+	for i, app := range o.Apps {
+		jobs[i] = job{app: app, cfg: cfg, tr: tr}
+	}
+	return runAll(o, jobs)
+}
+
+// speedups returns base[i].Cycles / variant[i].Cycles per app.
+func speedups(base, variant []nvp.Result) []float64 {
+	out := make([]float64, len(base))
+	for i := range base {
+		out[i] = float64(base[i].Cycles) / float64(variant[i].Cycles)
+	}
+	return out
+}
+
+// checkComplete returns an error if any run hit its cycle budget, since
+// timing comparisons of truncated runs are meaningless.
+func checkComplete(rs []nvp.Result) error {
+	for _, r := range rs {
+		if !r.Completed {
+			return fmt.Errorf("experiments: %s did not complete within the cycle budget (weak trace or tiny MaxCycles)", r.App)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package mem
+
+import (
+	"testing"
+
+	"ipex/internal/energy"
+)
+
+func defaultNVM() *NVM {
+	return New(energy.NVMFor(energy.ReRAM, 16<<20))
+}
+
+func TestReadReturnsParams(t *testing.T) {
+	m := defaultNVM()
+	cycles, nj := m.Read(DemandRead)
+	if cycles != m.Params().ReadCycles || nj != m.Params().ReadNJ {
+		t.Errorf("Read returned (%d, %v), want (%d, %v)",
+			cycles, nj, m.Params().ReadCycles, m.Params().ReadNJ)
+	}
+}
+
+func TestWriteReturnsParams(t *testing.T) {
+	m := defaultNVM()
+	cycles, nj := m.Write(WritebackWrite)
+	if cycles != m.Params().WriteCycles || nj != m.Params().WriteNJ {
+		t.Errorf("Write returned (%d, %v)", cycles, nj)
+	}
+}
+
+func TestStatsClassification(t *testing.T) {
+	m := defaultNVM()
+	m.Read(DemandRead)
+	m.Read(DemandRead)
+	m.Read(PrefetchRead)
+	m.Read(RestoreRead)
+	m.Write(WritebackWrite)
+	m.Write(CheckpointWrite)
+	m.Write(CheckpointWrite)
+
+	s := m.Stats()
+	if s.DemandReads != 2 || s.PrefetchReads != 1 || s.RestoreReads != 1 {
+		t.Errorf("read stats wrong: %+v", s)
+	}
+	if s.WritebackWrites != 1 || s.CheckpointWrites != 2 {
+		t.Errorf("write stats wrong: %+v", s)
+	}
+	if s.TotalAccesses() != 7 {
+		t.Errorf("TotalAccesses = %d, want 7", s.TotalAccesses())
+	}
+	// Traffic (Fig. 13's metric) excludes checkpoint/restore.
+	if s.TrafficAccesses() != 4 {
+		t.Errorf("TrafficAccesses = %d, want 4", s.TrafficAccesses())
+	}
+}
+
+func TestUnknownKindsDefaultSafely(t *testing.T) {
+	m := defaultNVM()
+	m.Read(AccessKind(99))
+	m.Write(AccessKind(99))
+	s := m.Stats()
+	if s.DemandReads != 1 || s.WritebackWrites != 1 {
+		t.Errorf("unknown kinds misclassified: %+v", s)
+	}
+}
+
+func TestLeakPerCycle(t *testing.T) {
+	m := defaultNVM()
+	want := energy.LeakNJPerCycle(m.Params().LeakMW)
+	if got := m.LeakNJPerCycle(); got != want {
+		t.Errorf("LeakNJPerCycle = %v, want %v", got, want)
+	}
+}
+
+func TestTechnologiesDiffer(t *testing.T) {
+	re := New(energy.NVMFor(energy.ReRAM, 16<<20))
+	pcm := New(energy.NVMFor(energy.PCM, 16<<20))
+	rc, _ := re.Read(DemandRead)
+	pc, _ := pcm.Read(DemandRead)
+	if pc <= rc {
+		t.Errorf("PCM read (%d) should be slower than ReRAM (%d)", pc, rc)
+	}
+}

@@ -1,0 +1,79 @@
+package nvp
+
+import (
+	"testing"
+
+	"ipex/internal/prefetch"
+)
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig()
+	if c.ICacheSize != 2048 || c.DCacheSize != 2048 || c.Ways != 4 {
+		t.Errorf("cache geometry: %+v", c)
+	}
+	if c.PrefetchBufEntries != 4 {
+		t.Errorf("prefetch buffer entries = %d, want 4 (64B)", c.PrefetchBufEntries)
+	}
+	if c.IPrefetcher != prefetch.KindSequential || c.DPrefetcher != prefetch.KindStride {
+		t.Errorf("default prefetchers: %s/%s", c.IPrefetcher, c.DPrefetcher)
+	}
+	if c.InitialDegree != 2 {
+		t.Errorf("initial degree = %d, want 2", c.InitialDegree)
+	}
+	if c.NVM.SizeBytes != 16<<20 {
+		t.Errorf("NVM size = %d, want 16MB", c.NVM.SizeBytes)
+	}
+	if c.Capacitor.CapacitanceFarads != 0.47e-6 {
+		t.Errorf("capacitance = %v, want 0.47µF", c.Capacitor.CapacitanceFarads)
+	}
+	if len(c.IPEX.Thresholds) != 2 {
+		t.Errorf("threshold count = %d, want 2", len(c.IPEX.Thresholds))
+	}
+	if c.IPEXInst || c.IPEXData {
+		t.Error("IPEX must default off (it is the evaluated addition)")
+	}
+	if !c.DupSuppress {
+		t.Error("§5.1 duplicate suppression must default on")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigVariantHelpers(t *testing.T) {
+	c := DefaultConfig()
+
+	both := c.WithIPEX()
+	if !both.IPEXInst || !both.IPEXData || !both.IPEX.Enabled {
+		t.Errorf("WithIPEX: %+v", both)
+	}
+	data := c.WithIPEXData()
+	if data.IPEXInst || !data.IPEXData {
+		t.Errorf("WithIPEXData: %+v", data)
+	}
+	none := c.WithoutPrefetch()
+	if none.IPrefetcher != prefetch.KindNone || none.DPrefetcher != prefetch.KindNone {
+		t.Errorf("WithoutPrefetch: %+v", none)
+	}
+	if none.IPEXInst || none.IPEXData {
+		t.Error("WithoutPrefetch must detach IPEX")
+	}
+	// Helpers are value-semantics: the original is untouched.
+	if c.IPEXInst || c.IPrefetcher == prefetch.KindNone {
+		t.Error("helpers mutated the receiver")
+	}
+}
+
+func TestIPEXThresholdsInsideLiveBand(t *testing.T) {
+	c := DefaultConfig()
+	for _, v := range c.IPEX.Thresholds {
+		if v <= c.Capacitor.Vbackup || v >= c.Capacitor.Von {
+			t.Errorf("threshold %v outside live band (%v, %v): it could never fire",
+				v, c.Capacitor.Vbackup, c.Capacitor.Von)
+		}
+	}
+	if c.IPEX.MinV != c.Capacitor.Vbackup || c.IPEX.MaxV != c.Capacitor.Von {
+		t.Errorf("adaptation clamps (%v, %v) must track the live band",
+			c.IPEX.MinV, c.IPEX.MaxV)
+	}
+}

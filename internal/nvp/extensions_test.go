@@ -1,0 +1,124 @@
+package nvp
+
+import (
+	"testing"
+
+	"ipex/internal/prefetch"
+)
+
+// The §5.1 future-work extension: throttled prefetches replay when IPEX
+// returns to high-performance mode.
+func TestReissueOnExit(t *testing.T) {
+	base := runApp(t, "jpegd", 0.2, func(c *Config) { *c = c.WithIPEX() })
+	re := runApp(t, "jpegd", 0.2, func(c *Config) {
+		*c = c.WithIPEX()
+		c.ReissueOnExit = true
+	})
+	if base.Inst.PrefetchReissued != 0 {
+		t.Error("reissue counted with the extension off")
+	}
+	if re.Inst.PrefetchReissued+re.Data.PrefetchReissued == 0 {
+		t.Error("extension on but nothing reissued")
+	}
+	// Reissues cannot exceed what was throttled plus the queue churn; the
+	// counts must stay within the issued total.
+	if re.Inst.PrefetchReissued > re.Inst.PrefetchIssued {
+		t.Error("reissued exceeds issued")
+	}
+	// Reissues are NVM reads like any other prefetch.
+	if re.NVM.PrefetchReads != re.Inst.PrefetchIssued+re.Data.PrefetchIssued {
+		t.Errorf("NVM prefetch reads (%d) out of sync with issued (%d)",
+			re.NVM.PrefetchReads, re.Inst.PrefetchIssued+re.Data.PrefetchIssued)
+	}
+}
+
+func TestReissueWithoutIPEXIsInert(t *testing.T) {
+	r := runApp(t, "gsme", 0.1, func(c *Config) { c.ReissueOnExit = true })
+	if r.Inst.PrefetchReissued != 0 || r.Data.PrefetchReissued != 0 {
+		t.Error("reissue fired without IPEX (nothing is ever throttled)")
+	}
+}
+
+// The §5.2 extension: complex prefetchers' table lookups are gated when
+// the degree is throttled to zero.
+func TestAddressGenGating(t *testing.T) {
+	cfgMut := func(c *Config) {
+		*c = c.WithIPEX()
+		c.IPrefetcher = prefetch.KindMarkov // table-based: costed + gateable
+	}
+	gated := runApp(t, "jpegd", 0.2, func(c *Config) {
+		cfgMut(c)
+		c.GateAddressGen = true
+	})
+	ungated := runApp(t, "jpegd", 0.2, cfgMut)
+	if gated.Inst.AddressGenGated == 0 {
+		t.Skip("degree never reached 0 on this trace slice; nothing to gate")
+	}
+	if ungated.Inst.AddressGenGated != 0 {
+		t.Error("gating counted while disabled")
+	}
+}
+
+func TestAddressGenGateNeverFiresOnBaseline(t *testing.T) {
+	r := runApp(t, "jpegd", 0.1, func(c *Config) { c.IPrefetcher = prefetch.KindMarkov })
+	if r.Inst.AddressGenGated != 0 {
+		t.Error("baseline (no IPEX) gated address generation")
+	}
+}
+
+func TestAddressGenGateSkipsRegisterPrefetchers(t *testing.T) {
+	// Sequential/stride have no table cost; the gate must not suppress
+	// them even at degree 0 (their training costs nothing and keeping it
+	// preserves the paper's base IPEX behavior).
+	r := runApp(t, "gsme", 0.2, func(c *Config) { *c = c.WithIPEX() })
+	if r.Inst.AddressGenGated != 0 || r.Data.AddressGenGated != 0 {
+		t.Error("gate fired for register-based prefetchers")
+	}
+}
+
+func TestAMPMRunsInSystem(t *testing.T) {
+	r := runApp(t, "susane", 0.1, func(c *Config) { c.DPrefetcher = prefetch.KindAMPM })
+	if !r.Completed {
+		t.Fatal("AMPM run did not complete")
+	}
+	if r.Data.PrefetchIssued == 0 {
+		t.Error("AMPM issued nothing on a 2-D sweep workload")
+	}
+}
+
+func TestBufferModeStillWorks(t *testing.T) {
+	r := runApp(t, "gsme", 0.1, func(c *Config) { c.PrefetchToCache = false })
+	if !r.Completed {
+		t.Fatal("buffer-mode run did not complete")
+	}
+	if r.Inst.Buffer.Inserted == 0 {
+		t.Error("buffer mode never inserted prefetches")
+	}
+	if r.Inst.Cache.PrefetchedUseful != 0 {
+		t.Error("buffer mode marked cache lines prefetched")
+	}
+	if r.Inst.ToCache {
+		t.Error("ToCache flag wrong in buffer mode")
+	}
+}
+
+func TestPrefetchModesDiffer(t *testing.T) {
+	// The two organizations are genuinely different machines; their
+	// outage-doom profile must differ (cache mode exposes far more
+	// unused prefetched state to a wipe).
+	cacheMode := runApp(t, "jpegd", 0.3, nil)
+	bufMode := runApp(t, "jpegd", 0.3, func(c *Config) { c.PrefetchToCache = false })
+	if cacheMode.Outages == 0 || bufMode.Outages == 0 {
+		t.Skip("no outages at this scale")
+	}
+	cw := cacheMode.Inst.WipedUnused() + cacheMode.Data.WipedUnused()
+	bw := bufMode.Inst.WipedUnused() + bufMode.Data.WipedUnused()
+	if cw == 0 {
+		t.Error("cache mode wiped no unused prefetches despite outages")
+	}
+	// Buffer mode cannot lose more than 2 buffers per outage.
+	if bw > bufMode.Outages*uint64(2*DefaultConfig().PrefetchBufEntries) {
+		t.Errorf("buffer mode wiped %d > capacity bound", bw)
+	}
+	_ = cw
+}

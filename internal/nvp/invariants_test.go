@@ -1,0 +1,131 @@
+package nvp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipex/internal/power"
+	"ipex/internal/workload"
+)
+
+// Property-based integration test: for arbitrary (small) configurations the
+// simulator must uphold its accounting invariants.
+func TestSystemInvariantsQuick(t *testing.T) {
+	apps := workload.Names()
+	trace := power.Generate(power.RFOffice, 20000, 3)
+
+	f := func(appIdx, cacheSel, waySel, bufSel, degSel, extSel uint8, ipexOn, ideal bool) bool {
+		cfg := DefaultConfig()
+		cfg.ICacheSize = []int{512, 1024, 2048}[int(cacheSel)%3]
+		cfg.DCacheSize = cfg.ICacheSize
+		cfg.Ways = []int{1, 2, 4}[int(waySel)%3]
+		cfg.PrefetchBufEntries = []int{1, 2, 4, 8}[int(bufSel)%4]
+		cfg.InitialDegree = int(degSel)%4 + 1
+		cfg.Ideal = ideal
+		cfg.PrefetchToCache = extSel&1 == 0
+		cfg.ReissueOnExit = extSel&2 != 0
+		cfg.GateAddressGen = extSel&4 != 0
+		cfg.DupSuppress = extSel&8 == 0
+		cfg.RecordCycles = extSel&16 != 0
+		if extSel&32 != 0 {
+			cfg.IPrefetcher = "markov"
+			cfg.DPrefetcher = "ampm"
+		}
+		if ipexOn {
+			cfg = cfg.WithIPEX()
+		}
+		app := apps[int(appIdx)%len(apps)]
+		wl := workload.MustNew(app, 0.02)
+		r, err := Run(wl, trace, cfg)
+		if err != nil {
+			t.Logf("%s: %v", app, err)
+			return false
+		}
+		// Invariant 1: wall time splits exactly into on and off.
+		if r.Cycles != r.OnCycles+r.OffCycles {
+			t.Logf("%s: cycle split broken", app)
+			return false
+		}
+		// Invariant 2: a completed run commits every instruction.
+		if r.Completed && r.Insts != uint64(wl.Len()) {
+			t.Logf("%s: lost instructions", app)
+			return false
+		}
+		// Invariant 3: every issued prefetch is accounted as an NVM read
+		// and is eventually classified.
+		if r.NVM.PrefetchReads != r.Inst.PrefetchIssued+r.Data.PrefetchIssued {
+			t.Logf("%s: prefetch reads mismatch", app)
+			return false
+		}
+		for _, sd := range []SideStats{r.Inst, r.Data} {
+			if sd.Buffer.UsefulEvicted+sd.Buffer.UselessEvicted != sd.Buffer.Inserted {
+				t.Logf("%s: buffer classification mismatch", app)
+				return false
+			}
+			if sd.Cache.BufHits > sd.Cache.Misses {
+				t.Logf("%s: more buffer hits than misses", app)
+				return false
+			}
+			if sd.Cache.Misses > sd.Cache.Accesses {
+				t.Logf("%s: more misses than accesses", app)
+				return false
+			}
+		}
+		// Invariant 4: energy buckets are non-negative; total positive.
+		e := r.Energy
+		if e.Cache < 0 || e.Memory < 0 || e.Compute < 0 || e.BkRst < 0 || e.Total() <= 0 {
+			t.Logf("%s: bad energy %+v", app, e)
+			return false
+		}
+		// Invariant 5: ideal mode never spends Bk+Rst energy.
+		if ideal && e.BkRst != 0 {
+			t.Logf("%s: ideal spent BkRst", app)
+			return false
+		}
+		// Invariant 6: instruction side is read-only — no checkpoint
+		// traffic can exceed what the data cache could possibly hold plus
+		// registers, per outage.
+		if !ideal && r.Outages > 0 {
+			maxDirty := uint64(cfg.DCacheSize / 16)
+			if r.NVM.CheckpointWrites > r.Outages*maxDirty {
+				t.Logf("%s: checkpoint traffic exceeds dirty capacity", app)
+				return false
+			}
+		}
+		// Invariant 7: throttling only happens with IPEX attached.
+		if !ipexOn && (r.Inst.PrefetchThrottled != 0 || r.Data.PrefetchThrottled != 0) {
+			t.Logf("%s: baseline throttled", app)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The same configuration must yield bit-identical results regardless of how
+// many other simulations ran before it (no hidden global state).
+func TestNoHiddenGlobalState(t *testing.T) {
+	trace := power.Generate(power.Solar, 20000, 5)
+	run := func() Result {
+		r, err := Run(workload.MustNew("susanc", 0.05), trace, DefaultConfig().WithIPEX())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	first := run()
+	// Interleave unrelated runs.
+	for _, app := range []string{"fft", "qsort"} {
+		if _, err := Run(workload.MustNew(app, 0.02), trace, DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := run()
+	if first.Cycles != second.Cycles || first.Energy != second.Energy ||
+		first.Inst != second.Inst || first.Data != second.Data ||
+		first.NVM != second.NVM || first.Outages != second.Outages {
+		t.Error("results depend on unrelated prior runs")
+	}
+}

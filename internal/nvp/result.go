@@ -1,0 +1,172 @@
+package nvp
+
+import (
+	"ipex/internal/cache"
+	"ipex/internal/core"
+	"ipex/internal/energy"
+	"ipex/internal/mem"
+)
+
+// SideStats groups the per-cache-side (instruction or data) statistics.
+type SideStats struct {
+	Cache  cache.Stats
+	Buffer cache.PBStats
+	// ToCache records which prefetch organization produced these numbers
+	// (Config.PrefetchToCache); it selects how Accuracy/Coverage are
+	// derived.
+	ToCache bool
+	// Prefetch issue accounting (mirrors the IPEX R registers summed over
+	// the whole run; for a conventional prefetcher Throttled is 0).
+	PrefetchIssued    uint64
+	PrefetchThrottled uint64
+	// InflightServed counts demand misses served by waiting on an
+	// in-flight prefetch of the same block (§5.1 suppression).
+	InflightServed uint64
+	// InflightWiped counts in-flight prefetches lost to an outage before
+	// completion.
+	InflightWiped uint64
+	// InflightRedundant counts prefetches that completed after a demand
+	// read had already fetched the block (late prefetches whose energy
+	// was wasted; §5.1's DupSuppress=false ablation inflates this).
+	InflightRedundant uint64
+	// PrefetchReissued counts prefetches replayed by the ReissueOnExit
+	// extension (subset of PrefetchIssued).
+	PrefetchReissued uint64
+	// AddressGenGated counts prefetcher triggers suppressed entirely by
+	// the §5.2 address-generation gate (degree 0 in energy-saving mode).
+	AddressGenGated uint64
+	// StallCycles is pipeline stall time attributable to this cache's
+	// misses (including waits on in-flight prefetches).
+	StallCycles uint64
+	// IPEX carries the controller statistics when one was attached.
+	IPEX core.Stats
+}
+
+// usefulPrefetches returns prefetched blocks that served a demand access
+// before being lost.
+func (s SideStats) usefulPrefetches() uint64 {
+	if s.ToCache {
+		return s.Cache.PrefetchedUseful + s.InflightServed
+	}
+	return s.Buffer.UsefulEvicted
+}
+
+// Accuracy returns the fraction of issued prefetches that received a demand
+// hit before being lost (the paper's Table 2 metric).
+func (s SideStats) Accuracy() float64 {
+	if s.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(s.usefulPrefetches()) / float64(s.PrefetchIssued)
+}
+
+// Coverage returns the fraction of would-be misses served by prefetched
+// blocks (Table 2): in prefetch-to-cache mode a timely prefetch turns the
+// miss into a hit, so the denominator reconstructs the unprefetched miss
+// count.
+func (s SideStats) Coverage() float64 {
+	if s.ToCache {
+		den := s.Cache.PrefetchedUseful + s.Cache.Misses
+		if den == 0 {
+			return 0
+		}
+		return float64(s.usefulPrefetches()) / float64(den)
+	}
+	if s.Cache.Misses == 0 {
+		return 0
+	}
+	return float64(s.Cache.BufHits) / float64(s.Cache.Misses)
+}
+
+// WipedUnused returns prefetched blocks lost to power failures before their
+// first use — the paper's motivating waste.
+func (s SideStats) WipedUnused() uint64 {
+	if s.ToCache {
+		return s.Cache.PrefetchedWiped + s.InflightWiped
+	}
+	return s.Buffer.WipedUnused
+}
+
+// PowerCycleStats describes one power cycle (reboot to outage) when
+// Config.RecordCycles is set.
+type PowerCycleStats struct {
+	// StartCycle is the absolute cycle number at which the power cycle
+	// began (0 for the first).
+	StartCycle uint64
+	// OnCycles and Insts are the powered duration and committed
+	// instructions of this cycle.
+	OnCycles uint64
+	Insts    uint64
+	// PrefetchIssued/PrefetchThrottled are this cycle's prefetch
+	// operations (both cache sides).
+	PrefetchIssued    uint64
+	PrefetchThrottled uint64
+	// WipedUnused counts prefetched blocks this cycle's terminating
+	// outage destroyed before use.
+	WipedUnused uint64
+	// DirtyAtBackup is the number of dirty DCache blocks the JIT
+	// checkpoint had to persist.
+	DirtyAtBackup int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	App   string
+	Trace string
+
+	// Completed is false when the run hit the MaxCycles budget before the
+	// workload finished; timing results of incomplete runs are not
+	// comparable.
+	Completed bool
+
+	// Insts is the number of committed instructions.
+	Insts uint64
+	// Cycles is total wall-clock time in cycles: OnCycles (powered
+	// execution, incl. backup/restore) + OffCycles (dead, recharging).
+	Cycles    uint64
+	OnCycles  uint64
+	OffCycles uint64
+
+	// Outages counts power failures survived.
+	Outages uint64
+
+	// Energy is the consumed-energy breakdown (Fig. 14's buckets).
+	Energy energy.Breakdown
+
+	Inst SideStats
+	Data SideStats
+
+	// NVM is the main-memory traffic seen by this run.
+	NVM mem.Stats
+
+	// GuardViolations counts outages whose JIT checkpoint needed more
+	// energy than the Vbackup→Voff guard band provides — a sign the
+	// voltage monitor's backup threshold is set too low for the workload's
+	// dirty-data volume. The simulator still completes the backup (the
+	// paper assumes a correctly provisioned guard band), but the count
+	// surfaces the misconfiguration.
+	GuardViolations uint64
+
+	// PowerCycleLog holds per-cycle statistics when Config.RecordCycles
+	// was set (the final, interrupted cycle is included without a
+	// terminating outage).
+	PowerCycleLog []PowerCycleStats
+}
+
+// Seconds returns the wall-clock run time in seconds.
+func (r Result) Seconds() float64 {
+	return float64(r.Cycles) * energy.CycleSeconds
+}
+
+// StallFraction returns (istall+dstall)/OnCycles.
+func (r Result) StallFraction() float64 {
+	if r.OnCycles == 0 {
+		return 0
+	}
+	return float64(r.Inst.StallCycles+r.Data.StallCycles) / float64(r.OnCycles)
+}
+
+// PrefetchesIssued returns total prefetch operations issued on both sides.
+func (r Result) PrefetchesIssued() uint64 {
+	return r.Inst.PrefetchIssued + r.Data.PrefetchIssued
+}

@@ -1,0 +1,684 @@
+package nvp
+
+import (
+	"fmt"
+
+	"ipex/internal/cache"
+	"ipex/internal/capacitor"
+	"ipex/internal/core"
+	"ipex/internal/energy"
+	"ipex/internal/mem"
+	"ipex/internal/power"
+	"ipex/internal/prefetch"
+	"ipex/internal/workload"
+)
+
+// side bundles the per-cache-side hardware: cache, prefetch buffer,
+// prefetcher, IPEX controller, and statistics.
+type side struct {
+	name   string
+	cache  *cache.Cache
+	buf    *cache.PrefetchBuffer
+	pf     prefetch.Prefetcher
+	ctl    *core.Controller
+	params energy.CacheParams
+	stats  SideStats
+	cands  []uint64 // scratch candidate list, reused per access
+	// inflight stages issued-but-incomplete prefetch reads in
+	// prefetch-to-cache mode; its capacity is the prefetch buffer size.
+	inflight []pfReq
+	// agNJ is the prefetcher's per-trigger address-generation energy
+	// (§5.2), zero for register-based prefetchers.
+	agNJ float64
+	// throttledQ remembers IPEX-throttled candidate blocks for the
+	// ReissueOnExit extension (bounded FIFO).
+	throttledQ []uint64
+}
+
+// throttledQCap bounds the reissue queue (ReissueOnExit): roughly one
+// power cycle's worth of suppressed stream heads.
+const throttledQCap = 16
+
+// pfReq is one outstanding prefetch read.
+type pfReq struct {
+	block   uint64
+	readyAt uint64
+}
+
+// findInflight returns the index of block in the in-flight queue, or -1.
+func (sd *side) findInflight(block uint64) int {
+	for i := range sd.inflight {
+		if sd.inflight[i].block == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeInflight drops entry i, preserving order.
+func (sd *side) removeInflight(i int) {
+	sd.inflight = append(sd.inflight[:i], sd.inflight[i+1:]...)
+}
+
+// System is one assembled NVP simulation. Build with NewSystem, drive with
+// Run (or Step for fine-grained tests).
+type System struct {
+	cfg   Config
+	wl    workload.Generator
+	trace *power.Trace
+
+	cap  *capacitor.Capacitor
+	nvm  *mem.NVM
+	inst side
+	data side
+
+	// Absolute time in cycles and the accounting split.
+	now       uint64
+	onCycles  uint64
+	offCycles uint64
+	outages   uint64
+	insts     uint64
+
+	// Pending dynamic energy per bucket, drained by advanceOn.
+	pend energy.Breakdown
+	// Accumulated consumed energy.
+	consumed energy.Breakdown
+
+	// Per-cycle leakage constants (nJ/cycle), split by bucket.
+	leakCacheNJ   float64
+	leakMemNJ     float64
+	leakComputeNJ float64
+
+	maxCycles uint64
+
+	// Telemetry (Config.RecordCycles) and guard-band accounting.
+	guardViolations uint64
+	cycleLog        []PowerCycleStats
+	mark            cycleMark
+}
+
+// cycleMark snapshots the counters at the start of a power cycle so the
+// per-cycle deltas can be computed at the outage.
+type cycleMark struct {
+	startCycle uint64
+	onCycles   uint64
+	insts      uint64
+	issued     uint64
+	throttled  uint64
+	wiped      uint64
+}
+
+// NewSystem builds a system for one workload and power trace.
+func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wl == nil {
+		return nil, fmt.Errorf("nvp: nil workload")
+	}
+	if trace == nil {
+		return nil, fmt.Errorf("nvp: nil power trace")
+	}
+	cp, err := capacitor.New(cfg.Capacitor)
+	if err != nil {
+		return nil, err
+	}
+
+	buildSide := func(name string, size int, kind prefetch.Kind, factory func() prefetch.Prefetcher, ipexOn bool) (side, error) {
+		params := energy.CacheFor(size, cfg.Ways)
+		c, err := cache.New(params)
+		if err != nil {
+			return side{}, err
+		}
+		var pf prefetch.Prefetcher
+		if factory != nil {
+			pf = factory()
+		} else if pf, err = prefetch.New(kind); err != nil {
+			return side{}, err
+		}
+		ipexCfg := cfg.IPEX
+		ipexCfg.Enabled = ipexOn && pf != nil
+		ipexCfg.InitialDegree = cfg.InitialDegree
+		ctl, err := core.NewController(ipexCfg)
+		if err != nil {
+			return side{}, err
+		}
+		sd := side{
+			name:   name,
+			cache:  c,
+			buf:    cache.NewPrefetchBuffer(cfg.PrefetchBufEntries),
+			pf:     pf,
+			ctl:    ctl,
+			params: params,
+		}
+		if coster, ok := pf.(prefetch.AddressGenCoster); ok {
+			sd.agNJ = coster.AddressGenNJ()
+		}
+		return sd, nil
+	}
+
+	is, err := buildSide("icache", cfg.ICacheSize, cfg.IPrefetcher, cfg.IPrefetcherFactory, cfg.IPEXInst)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := buildSide("dcache", cfg.DCacheSize, cfg.DPrefetcher, cfg.DPrefetcherFactory, cfg.IPEXData)
+	if err != nil {
+		return nil, err
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+
+	s := &System{
+		cfg:       cfg,
+		wl:        wl,
+		trace:     trace,
+		cap:       cp,
+		nvm:       mem.New(cfg.NVM),
+		inst:      is,
+		data:      ds,
+		maxCycles: maxCycles,
+
+		leakCacheNJ:   energy.LeakNJPerCycle(is.params.LeakMW) + energy.LeakNJPerCycle(ds.params.LeakMW),
+		leakMemNJ:     energy.LeakNJPerCycle(cfg.NVM.LeakMW),
+		leakComputeNJ: energy.LeakNJPerCycle(energy.CoreLeakMW),
+	}
+	// The system boots with the capacitor at Von: the reboot threshold is
+	// the defined start-of-power-cycle state.
+	s.cap.SetVoltage(cfg.Capacitor.Von)
+	return s, nil
+}
+
+// Run executes the workload to completion (or the cycle budget) and
+// returns the result.
+func Run(wl workload.Generator, trace *power.Trace, cfg Config) (Result, error) {
+	s, err := NewSystem(wl, trace, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.run()
+}
+
+func (s *System) run() (Result, error) {
+	wl := s.wl
+	completed := true
+	for {
+		a, ok := wl.Next()
+		if !ok {
+			break
+		}
+		s.insts++
+
+		// Instruction fetch.
+		istall := s.access(&s.inst, a.PC, a.PC, false)
+		cycles := uint64(1) + istall
+		s.inst.stats.StallCycles += istall
+		s.pend.Compute += energy.ComputeNJPerInst
+
+		// Data reference.
+		if a.HasData {
+			dstall := s.access(&s.data, a.PC, a.DataAddr, a.Write)
+			cycles += dstall
+			s.data.stats.StallCycles += dstall
+		}
+
+		s.advanceOn(cycles)
+
+		// Voltage monitor: IPEX observation and outage detection.
+		v := s.cap.Voltage()
+		for _, sd := range [2]*side{&s.inst, &s.data} {
+			before := sd.ctl.Degree()
+			sd.ctl.Observe(v)
+			if s.cfg.ReissueOnExit && sd.ctl.Degree() > before {
+				// Back toward high-performance mode: replay what was
+				// throttled earlier in this power cycle.
+				s.reissueThrottled(sd)
+			}
+		}
+		if s.cap.BelowBackup() {
+			s.outage()
+		}
+
+		if s.now >= s.maxCycles {
+			completed = false
+			break
+		}
+	}
+	return s.result(completed), nil
+}
+
+// snapshotCycle re-marks the counters at a power-cycle boundary.
+func (s *System) snapshotCycle() {
+	s.mark = cycleMark{
+		startCycle: s.now,
+		onCycles:   s.onCycles,
+		insts:      s.insts,
+		issued:     s.inst.stats.PrefetchIssued + s.data.stats.PrefetchIssued,
+		throttled:  s.inst.stats.PrefetchThrottled + s.data.stats.PrefetchThrottled,
+		wiped:      s.wipedUnusedNow(),
+	}
+}
+
+// wipedUnusedNow totals outage-destroyed unused prefetches so far.
+func (s *System) wipedUnusedNow() uint64 {
+	return s.inst.cache.Stats().PrefetchedWiped + s.data.cache.Stats().PrefetchedWiped +
+		s.inst.buf.Stats().WipedUnused + s.data.buf.Stats().WipedUnused +
+		s.inst.stats.InflightWiped + s.data.stats.InflightWiped
+}
+
+// flushCycle appends the finished (or final partial) power cycle to the
+// telemetry log.
+func (s *System) flushCycle(dirtyAtBackup int) {
+	if !s.cfg.RecordCycles {
+		return
+	}
+	s.cycleLog = append(s.cycleLog, PowerCycleStats{
+		StartCycle:        s.mark.startCycle,
+		OnCycles:          s.onCycles - s.mark.onCycles,
+		Insts:             s.insts - s.mark.insts,
+		PrefetchIssued:    s.inst.stats.PrefetchIssued + s.data.stats.PrefetchIssued - s.mark.issued,
+		PrefetchThrottled: s.inst.stats.PrefetchThrottled + s.data.stats.PrefetchThrottled - s.mark.throttled,
+		WipedUnused:       s.wipedUnusedNow() - s.mark.wiped,
+		DirtyAtBackup:     dirtyAtBackup,
+	})
+}
+
+// drainPrefetches moves completed in-flight prefetches into the cache
+// (prefetch-to-cache mode). A block whose demand copy arrived first counts
+// as a useless (redundant) prefetch.
+func (s *System) drainPrefetches(sd *side) {
+	for i := 0; i < len(sd.inflight); {
+		e := sd.inflight[i]
+		if e.readyAt > s.now {
+			i++
+			continue
+		}
+		sd.removeInflight(i)
+		if sd.cache.Contains(e.block) {
+			// Redundant: a demand fill won the race; the read energy is
+			// wasted (this is what §5.1's suppression avoids).
+			sd.stats.InflightRedundant++
+			continue
+		}
+		s.pend.Cache += sd.params.AccessNJ // array write on promote
+		if sd.cache.FillPrefetched(e.block) {
+			_, wnj := s.nvm.Write(mem.WritebackWrite)
+			s.pend.Memory += wnj
+		}
+	}
+}
+
+// access performs one demand access on a side and returns the stall cycles
+// it caused beyond the base pipeline cycle.
+func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
+	block := sd.cache.BlockAddr(addr)
+	if s.cfg.PrefetchToCache {
+		s.drainPrefetches(sd)
+	}
+	hit := sd.cache.Access(addr, write)
+	s.pend.Cache += sd.params.AccessNJ
+
+	bufHit := false
+	switch {
+	case hit:
+		// Nothing to do; a first hit on a prefetched line was counted as
+		// useful by the cache itself.
+	case s.cfg.PrefetchToCache:
+		if idx := sd.findInflight(block); idx >= 0 && s.cfg.DupSuppress {
+			// §5.1: an in-flight prefetch holds the block; wait for it
+			// rather than issuing a duplicate NVM request.
+			bufHit = true
+			e := sd.inflight[idx]
+			if e.readyAt > s.now {
+				stall += e.readyAt - s.now
+			}
+			sd.removeInflight(idx)
+			sd.stats.InflightServed++
+			sd.cache.NoteBufHit()
+			stall++ // promotion into the cache
+			s.pend.Cache += sd.params.AccessNJ
+			s.fill(sd, addr, write)
+		} else {
+			// A duplicate in-flight copy (DupSuppress off) drains later
+			// and is classified redundant by drainPrefetches.
+			rc, rnj := s.nvm.Read(mem.DemandRead)
+			stall += rc
+			s.pend.Memory += rnj
+			s.pend.Cache += sd.params.AccessNJ
+			s.fill(sd, addr, write)
+		}
+	default:
+		if e := sd.buf.Lookup(block); e != nil && s.cfg.DupSuppress {
+			// Buffer mode §5.1: the prefetch buffer holds the block (or
+			// its in-flight read); wait and promote.
+			bufHit = true
+			if e.ReadyAt > s.now {
+				stall += e.ReadyAt - s.now
+			}
+			sd.buf.Take(block)
+			sd.cache.NoteBufHit()
+			stall++ // promotion into the cache
+			s.pend.Cache += sd.params.AccessNJ
+			s.fill(sd, addr, write)
+		} else {
+			if sd.buf.Lookup(block) != nil {
+				// Ablation path (DupSuppress off): the duplicate demand
+				// read is issued anyway; the buffered copy ends its life
+				// unused.
+				sd.buf.Drop(block)
+			}
+			rc, rnj := s.nvm.Read(mem.DemandRead)
+			stall += rc
+			s.pend.Memory += rnj
+			s.pend.Cache += sd.params.AccessNJ
+			s.fill(sd, addr, write)
+		}
+	}
+
+	// Prefetcher observation and issue. Prefetch reads go on the bus
+	// after the demand traffic of this access, so their completion time
+	// includes the stall accrued so far — late prefetches (§5.1) arise
+	// naturally from this serialization.
+	if sd.pf != nil {
+		// §5.2: with IPEX holding the degree at zero, the prefetcher's
+		// table-lookup address generation is powered down entirely.
+		if s.cfg.GateAddressGen && sd.agNJ > 0 && sd.ctl.Enabled() && sd.ctl.Degree() == 0 {
+			sd.stats.AddressGenGated++
+			return stall
+		}
+		s.pend.Cache += sd.agNJ
+		sd.cands = sd.pf.OnAccess(sd.cands[:0], prefetch.Event{
+			PC:        pc,
+			Addr:      addr,
+			Block:     block,
+			Miss:      !hit,
+			BufHit:    bufHit,
+			BlockSize: uint64(sd.params.BlockSize),
+		})
+		s.issuePrefetches(sd, stall)
+	}
+	return stall
+}
+
+// fill inserts a block into a side's cache, handling dirty writeback.
+func (s *System) fill(sd *side, addr uint64, write bool) {
+	if sd.cache.Fill(addr, write) {
+		// Posted writeback: energy and traffic, no pipeline stall.
+		_, wnj := s.nvm.Write(mem.WritebackWrite)
+		s.pend.Memory += wnj
+	}
+}
+
+// issuePrefetches filters a side's candidate list and issues up to the
+// active degree, recording throttling against the conventional degree.
+func (s *System) issuePrefetches(sd *side, busyCycles uint64) {
+	// Filter candidates already covered or out of memory bounds, in place.
+	memSize := uint64(s.cfg.NVM.SizeBytes)
+	kept := sd.cands[:0]
+candidates:
+	for _, c := range sd.cands {
+		b := sd.cache.BlockAddr(c)
+		if b >= memSize {
+			continue
+		}
+		if sd.cache.Contains(b) {
+			continue
+		}
+		if s.cfg.PrefetchToCache {
+			if sd.findInflight(b) >= 0 {
+				continue
+			}
+		} else if sd.buf.Lookup(b) != nil {
+			continue
+		}
+		for _, k := range kept {
+			if k == b {
+				continue candidates
+			}
+		}
+		kept = append(kept, b)
+	}
+	if len(kept) == 0 {
+		return
+	}
+	requested := len(kept)
+	if requested > s.cfg.InitialDegree {
+		requested = s.cfg.InitialDegree
+	}
+	// IPEX grants up to the current degree; the staging capacity then
+	// bounds how many reads can actually be outstanding (that drop is a
+	// structural limit, not IPEX throttling, and is not Recorded).
+	granted := len(kept)
+	if granted > sd.ctl.Degree() {
+		granted = sd.ctl.Degree()
+	}
+	issue := granted
+	if s.cfg.PrefetchToCache {
+		if free := s.cfg.PrefetchBufEntries - len(sd.inflight); issue > free {
+			issue = free
+		}
+	}
+	for i := 0; i < issue; i++ {
+		rc, rnj := s.nvm.Read(mem.PrefetchRead)
+		s.pend.Memory += rnj
+		start := s.now + busyCycles
+		if s.cfg.PrefetchToCache {
+			sd.inflight = append(sd.inflight, pfReq{block: kept[i], readyAt: start + rc})
+		} else {
+			sd.buf.Insert(kept[i], start+rc)
+		}
+	}
+	sd.ctl.Record(requested, granted)
+	sd.stats.PrefetchIssued += uint64(issue)
+	if requested > granted {
+		sd.stats.PrefetchThrottled += uint64(requested - granted)
+		if s.cfg.ReissueOnExit {
+			for _, b := range kept[granted:requested] {
+				if len(sd.throttledQ) == throttledQCap {
+					sd.throttledQ = sd.throttledQ[1:]
+				}
+				sd.throttledQ = append(sd.throttledQ, b)
+			}
+		}
+	}
+}
+
+// reissueThrottled re-issues previously throttled prefetches after IPEX
+// returns to high-performance mode — the §5.1 extension the paper leaves
+// as future work (Config.ReissueOnExit).
+func (s *System) reissueThrottled(sd *side) {
+	memSize := uint64(s.cfg.NVM.SizeBytes)
+	for len(sd.throttledQ) > 0 {
+		b := sd.throttledQ[0]
+		sd.throttledQ = sd.throttledQ[1:]
+		if b >= memSize || sd.cache.Contains(b) {
+			continue
+		}
+		if s.cfg.PrefetchToCache {
+			if sd.findInflight(b) >= 0 {
+				continue
+			}
+			if len(sd.inflight) >= s.cfg.PrefetchBufEntries {
+				// No staging slot: put it back and stop for now.
+				sd.throttledQ = append([]uint64{b}, sd.throttledQ...)
+				return
+			}
+			rc, rnj := s.nvm.Read(mem.PrefetchRead)
+			s.pend.Memory += rnj
+			sd.inflight = append(sd.inflight, pfReq{block: b, readyAt: s.now + rc})
+		} else {
+			if sd.buf.Lookup(b) != nil {
+				continue
+			}
+			rc, rnj := s.nvm.Read(mem.PrefetchRead)
+			s.pend.Memory += rnj
+			sd.buf.Insert(b, s.now+rc)
+		}
+		sd.stats.PrefetchIssued++
+		sd.stats.PrefetchReissued++
+	}
+}
+
+// advanceOn moves powered time forward by `cycles`, charging leakage,
+// draining pending dynamic energy, and harvesting from the trace.
+func (s *System) advanceOn(cycles uint64) {
+	s.harvest(cycles)
+
+	leak := energy.Breakdown{
+		Cache:   s.leakCacheNJ * float64(cycles),
+		Memory:  s.leakMemNJ * float64(cycles),
+		Compute: s.leakComputeNJ * float64(cycles),
+	}
+	s.pend.Add(leak)
+
+	s.cap.Consume(s.pend.Total())
+	s.consumed.Add(s.pend)
+	s.pend = energy.Breakdown{}
+
+	s.now += cycles
+	s.onCycles += cycles
+}
+
+// harvest integrates the power trace over [now, now+cycles), honouring the
+// 10 µs sample boundaries.
+func (s *System) harvest(cycles uint64) {
+	t := s.now
+	remaining := cycles
+	for remaining > 0 {
+		boundary := (t/power.SampleIntervalCycles + 1) * power.SampleIntervalCycles
+		chunk := boundary - t
+		if chunk > remaining {
+			chunk = remaining
+		}
+		s.cap.Harvest(power.EnergyNJ(s.trace.PowerAt(t), chunk))
+		t += chunk
+		remaining -= chunk
+	}
+}
+
+// outage performs the JIT checkpoint, powers the system off, recharges,
+// restores, and reboots.
+func (s *System) outage() {
+	s.outages++
+
+	// 1. JIT checkpoint: dirty DCache blocks + all volatile registers.
+	dirtyAddrs := s.data.cache.DirtyAddrs()
+	if !s.cfg.Ideal {
+		var bkCycles uint64
+		var bkNJ float64
+		for range dirtyAddrs {
+			wc, wnj := s.nvm.Write(mem.CheckpointWrite)
+			bkCycles += wc
+			bkNJ += wnj
+		}
+		bkCycles += 16 // register file into NVFFs
+		bkNJ += energy.RegisterBackupNJ
+		if bkNJ > s.cap.GuardEnergyNJ() {
+			// The guard band cannot fund this checkpoint: a real system
+			// would brown out mid-backup. Count the misprovisioning; the
+			// backup itself still completes (see Result.GuardViolations).
+			s.guardViolations++
+		}
+		s.pend.BkRst += bkNJ
+		s.harvest(bkCycles)
+		s.cap.Consume(s.pend.Total())
+		s.consumed.Add(s.pend)
+		s.pend = energy.Breakdown{}
+		s.now += bkCycles
+		s.onCycles += bkCycles
+	}
+	s.inst.ctl.Backup()
+	s.data.ctl.Backup()
+
+	// 2. Power failure wipes all volatile state, including in-flight
+	// prefetch reads (their energy is already spent — pure waste).
+	s.inst.cache.Wipe()
+	s.data.cache.Wipe()
+	s.inst.buf.Wipe()
+	s.data.buf.Wipe()
+	for _, sd := range [2]*side{&s.inst, &s.data} {
+		sd.stats.InflightWiped += uint64(len(sd.inflight))
+		sd.inflight = sd.inflight[:0]
+		sd.throttledQ = sd.throttledQ[:0]
+	}
+	if s.inst.pf != nil {
+		s.inst.pf.Reset()
+	}
+	if s.data.pf != nil {
+		s.data.pf.Reset()
+	}
+
+	// 3. Dead until the capacitor recharges to Von. No consumption while
+	// off; time passes in trace-sample steps.
+	for !s.cap.AtOrAboveOn() && s.now < s.maxCycles {
+		chunk := power.SampleIntervalCycles - s.now%power.SampleIntervalCycles
+		s.cap.Harvest(power.EnergyNJ(s.trace.PowerAt(s.now), chunk))
+		s.now += chunk
+		s.offCycles += chunk
+	}
+
+	// 4. Reboot: restore registers and the checkpointed dirty blocks.
+	if !s.cfg.Ideal {
+		var rsCycles uint64
+		var rsNJ float64
+		for _, addr := range dirtyAddrs {
+			rc, rnj := s.nvm.Read(mem.RestoreRead)
+			rsCycles += rc
+			rsNJ += rnj
+			// Restored blocks re-enter the cache clean (NVM now holds
+			// their latest value).
+			s.data.cache.Fill(addr, false)
+		}
+		rsCycles += 12
+		rsNJ += energy.RegisterRestoreNJ
+		s.pend.BkRst += rsNJ
+		s.harvest(rsCycles)
+		s.cap.Consume(s.pend.Total())
+		s.consumed.Add(s.pend)
+		s.pend = energy.Breakdown{}
+		s.now += rsCycles
+		s.onCycles += rsCycles
+	}
+	s.inst.ctl.OnReboot()
+	s.data.ctl.OnReboot()
+
+	s.flushCycle(len(dirtyAddrs))
+	s.snapshotCycle()
+}
+
+// result finalizes statistics into a Result.
+func (s *System) result(completed bool) Result {
+	s.inst.buf.Drain()
+	s.data.buf.Drain()
+	s.inst.cache.DrainPrefetchStats()
+	s.data.cache.DrainPrefetchStats()
+
+	collect := func(sd *side) SideStats {
+		st := sd.stats
+		st.ToCache = s.cfg.PrefetchToCache
+		// Still-in-flight reads at end of run never served anyone.
+		st.Cache = sd.cache.Stats()
+		st.Buffer = sd.buf.Stats()
+		st.IPEX = sd.ctl.Stats()
+		return st
+	}
+	s.flushCycle(s.data.cache.DirtyBlocks())
+	return Result{
+		App:             s.wl.Name(),
+		Trace:           s.trace.Name,
+		Completed:       completed,
+		Insts:           s.insts,
+		Cycles:          s.now,
+		OnCycles:        s.onCycles,
+		OffCycles:       s.offCycles,
+		Outages:         s.outages,
+		Energy:          s.consumed,
+		Inst:            collect(&s.inst),
+		Data:            collect(&s.data),
+		NVM:             s.nvm.Stats(),
+		GuardViolations: s.guardViolations,
+		PowerCycleLog:   s.cycleLog,
+	}
+}

@@ -1,0 +1,103 @@
+package nvp
+
+import (
+	"testing"
+
+	"ipex/internal/workload"
+)
+
+func TestPowerCycleLogDisabled(t *testing.T) {
+	r := runApp(t, "gsme", 0.1, nil)
+	if len(r.PowerCycleLog) != 0 {
+		t.Errorf("telemetry recorded while disabled: %d entries", len(r.PowerCycleLog))
+	}
+}
+
+func TestPowerCycleLogConsistency(t *testing.T) {
+	r := runApp(t, "jpegd", 0.3, func(c *Config) { c.RecordCycles = true })
+	if r.Outages == 0 {
+		t.Skip("no outages at this scale")
+	}
+	// One entry per outage plus the final partial cycle.
+	if got, want := uint64(len(r.PowerCycleLog)), r.Outages+1; got != want {
+		t.Fatalf("log entries = %d, want %d (outages+1)", got, want)
+	}
+
+	var insts, on, issued, throttled, wiped uint64
+	for i, pc := range r.PowerCycleLog {
+		insts += pc.Insts
+		on += pc.OnCycles
+		issued += pc.PrefetchIssued
+		throttled += pc.PrefetchThrottled
+		wiped += pc.WipedUnused
+		if pc.DirtyAtBackup < 0 || pc.DirtyAtBackup > DefaultConfig().DCacheSize/16 {
+			t.Errorf("cycle %d: dirty count %d out of range", i, pc.DirtyAtBackup)
+		}
+		if i > 0 && pc.StartCycle <= r.PowerCycleLog[i-1].StartCycle {
+			t.Errorf("cycle %d: start cycles not increasing", i)
+		}
+	}
+	// Per-cycle deltas must sum to the run totals.
+	if insts != r.Insts {
+		t.Errorf("cycle insts sum %d != total %d", insts, r.Insts)
+	}
+	if on != r.OnCycles {
+		t.Errorf("cycle on-cycles sum %d != total %d", on, r.OnCycles)
+	}
+	if issued != r.PrefetchesIssued() {
+		t.Errorf("cycle issued sum %d != total %d", issued, r.PrefetchesIssued())
+	}
+	if throttled != r.Inst.PrefetchThrottled+r.Data.PrefetchThrottled {
+		t.Errorf("cycle throttled sum %d != total", throttled)
+	}
+	if wiped != r.Inst.WipedUnused()+r.Data.WipedUnused() {
+		t.Errorf("cycle wiped sum %d != total %d", wiped,
+			r.Inst.WipedUnused()+r.Data.WipedUnused())
+	}
+}
+
+func TestGuardViolationsDefaultZero(t *testing.T) {
+	// The default guard band (Vbackup 3.18 → Voff 2.9) covers a full
+	// 128-block checkpoint; no run should violate it.
+	for _, app := range []string{"pegwite", "qsort"} {
+		r := runApp(t, app, 0.2, nil)
+		if r.GuardViolations != 0 {
+			t.Errorf("%s: %d guard violations with the default band", app, r.GuardViolations)
+		}
+	}
+}
+
+func TestGuardViolationsDetected(t *testing.T) {
+	// Shrink the guard band until a write-heavy checkpoint cannot fit.
+	r := runApp(t, "pegwite", 0.2, func(c *Config) {
+		c.Capacitor.Vbackup = 3.18
+		c.Capacitor.Voff = 3.175
+	})
+	if r.Outages == 0 {
+		t.Skip("no outages")
+	}
+	if r.GuardViolations == 0 {
+		t.Error("a 0.005V guard band should not fund checkpoints, yet no violation was counted")
+	}
+}
+
+func TestTelemetryDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordCycles = true
+	a, err := Run(workload.MustNew("fft", 0.1), testTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(workload.MustNew("fft", 0.1), testTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.PowerCycleLog) != len(b.PowerCycleLog) {
+		t.Fatal("log lengths differ")
+	}
+	for i := range a.PowerCycleLog {
+		if a.PowerCycleLog[i] != b.PowerCycleLog[i] {
+			t.Fatalf("cycle %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package power
+
+import (
+	"fmt"
+
+	"ipex/internal/capacitor"
+	"ipex/internal/energy"
+)
+
+// OutageEstimate summarizes how a power trace would drive the
+// intermittent-execution life cycle for a system with a constant running
+// draw — a fast capacitor-only model (no core simulation) for sizing
+// studies and trace triage. The full simulator refines this with the
+// workload's actual dynamic draw.
+type OutageEstimate struct {
+	// Outages is the number of power failures over one pass of the trace.
+	Outages uint64
+	// OnSeconds/OffSeconds split the trace duration into powered and
+	// recharging time.
+	OnSeconds  float64
+	OffSeconds float64
+	// MeanCycleSeconds is the average powered duration of a completed
+	// power cycle (0 if no outage occurred).
+	MeanCycleSeconds float64
+	// HarvestedJ and ShedJ are the total energy stored vs. discarded at
+	// the Vmax clamp, in joules.
+	HarvestedJ float64
+	ShedJ      float64
+}
+
+// OnFraction returns the powered share of the trace duration.
+func (e OutageEstimate) OnFraction() float64 {
+	total := e.OnSeconds + e.OffSeconds
+	if total == 0 {
+		return 0
+	}
+	return e.OnSeconds / total
+}
+
+// String summarizes the estimate.
+func (e OutageEstimate) String() string {
+	return fmt.Sprintf("outages=%d on=%.1f%% meanCycle=%.1fµs shed=%.1f%%",
+		e.Outages, 100*e.OnFraction(), 1e6*e.MeanCycleSeconds,
+		100*e.ShedJ/(e.HarvestedJ+e.ShedJ+1e-30))
+}
+
+// Analyze walks one pass of the trace against a capacitor configuration
+// and a constant system draw (watts) while powered, reproducing the
+// on/backup/off/reboot life cycle at trace-sample granularity.
+func Analyze(tr *Trace, drawWatts float64, cfg capacitor.Config) (OutageEstimate, error) {
+	if tr == nil || len(tr.Samples) == 0 {
+		return OutageEstimate{}, fmt.Errorf("power: empty trace")
+	}
+	if drawWatts < 0 {
+		return OutageEstimate{}, fmt.Errorf("power: negative draw %g", drawWatts)
+	}
+	cap_, err := capacitor.New(cfg)
+	if err != nil {
+		return OutageEstimate{}, err
+	}
+	cap_.SetVoltage(cfg.Von)
+
+	var est OutageEstimate
+	on := true
+	var cycleStartS float64
+	var cycleSeconds []float64
+	nowS := 0.0
+
+	for _, p := range tr.Samples {
+		inNJ := p * SampleIntervalSeconds * 1e9
+		stored := cap_.Harvest(inNJ)
+		est.HarvestedJ += stored * 1e-9
+		est.ShedJ += (inNJ - stored) * 1e-9
+
+		if on {
+			cap_.Consume(drawWatts * SampleIntervalSeconds * 1e9)
+			est.OnSeconds += SampleIntervalSeconds
+			if cap_.BelowBackup() {
+				est.Outages++
+				cycleSeconds = append(cycleSeconds, nowS+SampleIntervalSeconds-cycleStartS)
+				on = false
+			}
+		} else {
+			est.OffSeconds += SampleIntervalSeconds
+			if cap_.AtOrAboveOn() {
+				on = true
+				cycleStartS = nowS + SampleIntervalSeconds
+			}
+		}
+		nowS += SampleIntervalSeconds
+	}
+	if len(cycleSeconds) > 0 {
+		sum := 0.0
+		for _, c := range cycleSeconds {
+			sum += c
+		}
+		est.MeanCycleSeconds = sum / float64(len(cycleSeconds))
+	}
+	return est, nil
+}
+
+// DefaultSystemDrawWatts approximates the default NVP's running draw:
+// leakage (two caches + NVM + core) plus typical dynamic activity. It is
+// the draw the synthetic sources are calibrated around.
+func DefaultSystemDrawWatts() float64 {
+	leakMW := 2*energy.CacheLeakMW + energy.NVMLeakMW + energy.CoreLeakMW
+	const dynamicMW = 8.0 // empirical dynamic draw of the default system
+	return (leakMW + dynamicMW) * 1e-3
+}

@@ -1,0 +1,113 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ipex/internal/capacitor"
+)
+
+func TestAnalyzeValidation(t *testing.T) {
+	cfg := capacitor.DefaultConfig()
+	if _, err := Analyze(nil, 0.01, cfg); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := Analyze(&Trace{}, 0.01, cfg); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := Analyze(Generate(RFHome, 1000, 1), -1, cfg); err == nil {
+		t.Error("negative draw accepted")
+	}
+	if _, err := Analyze(Generate(RFHome, 1000, 1), 0.01, capacitor.Config{}); err == nil {
+		t.Error("invalid capacitor accepted")
+	}
+}
+
+func TestAnalyzeStrongSupplyNeverDies(t *testing.T) {
+	// Input power always above the draw: no outages, fully on.
+	tr := &Trace{Name: "strong", Samples: make([]float64, 2000)}
+	for i := range tr.Samples {
+		tr.Samples[i] = 50e-3
+	}
+	est, err := Analyze(tr, 20e-3, capacitor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Outages != 0 {
+		t.Errorf("outages = %d with a strong supply", est.Outages)
+	}
+	if est.OnFraction() < 0.999 {
+		t.Errorf("on fraction = %v, want ~1", est.OnFraction())
+	}
+	if est.ShedJ <= 0 {
+		t.Error("a strong supply must shed energy at the clamp")
+	}
+}
+
+func TestAnalyzeDeadSupplyDiesOnce(t *testing.T) {
+	tr := &Trace{Name: "dead", Samples: make([]float64, 5000)}
+	est, err := Analyze(tr, 20e-3, capacitor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Outages != 1 {
+		t.Errorf("outages = %d, want exactly 1 (initial charge spent, never recharges)", est.Outages)
+	}
+	if est.OffSeconds <= est.OnSeconds {
+		t.Error("a dead supply should be mostly off")
+	}
+	if est.HarvestedJ != 0 {
+		t.Errorf("harvested %v J from a dead supply", est.HarvestedJ)
+	}
+}
+
+func TestAnalyzeWeakSupplyCycles(t *testing.T) {
+	// Drip supply below the draw: the system must cycle on/off repeatedly.
+	tr := &Trace{Name: "drip", Samples: make([]float64, 20000)}
+	for i := range tr.Samples {
+		tr.Samples[i] = 5e-3
+	}
+	est, err := Analyze(tr, 20e-3, capacitor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Outages < 10 {
+		t.Errorf("outages = %d, want many for a drip supply", est.Outages)
+	}
+	if est.MeanCycleSeconds <= 0 {
+		t.Error("mean cycle length missing")
+	}
+	// Energy conservation at steady state: on-time power balance.
+	// on-time * draw ≈ harvested (within the capacitor's storage slack).
+	spent := est.OnSeconds * 20e-3
+	if math.Abs(spent-est.HarvestedJ) > 2e-6+0.1*est.HarvestedJ {
+		t.Errorf("energy balance off: spent %.2eJ vs harvested %.2eJ", spent, est.HarvestedJ)
+	}
+}
+
+func TestAnalyzeMatchesSimulatorRegime(t *testing.T) {
+	// The analytic estimate should land in the same outage regime as the
+	// synthetic sources were calibrated for: frequent outages on RFHome.
+	est, err := Analyze(Generate(RFHome, DefaultTraceSamples, 1), DefaultSystemDrawWatts(), capacitor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Outages < 50 {
+		t.Errorf("RFHome outages = %d over 0.5s, want frequent (>=50)", est.Outages)
+	}
+	if est.OnFraction() < 0.05 || est.OnFraction() > 0.95 {
+		t.Errorf("on fraction = %v, want a genuinely intermittent regime", est.OnFraction())
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := OutageEstimate{Outages: 3, OnSeconds: 1, OffSeconds: 1}
+	if !strings.Contains(e.String(), "outages=3") {
+		t.Errorf("String() = %q", e.String())
+	}
+	var zero OutageEstimate
+	if zero.OnFraction() != 0 {
+		t.Error("zero estimate OnFraction should be 0")
+	}
+}

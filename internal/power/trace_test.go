@@ -1,0 +1,124 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ipex/internal/energy"
+)
+
+func TestSampleIntervalCycles(t *testing.T) {
+	// 10 µs at 200 MHz is 2000 cycles.
+	if SampleIntervalCycles != 2000 {
+		t.Errorf("SampleIntervalCycles = %d, want 2000", SampleIntervalCycles)
+	}
+}
+
+func TestPowerAtWrapsAround(t *testing.T) {
+	tr := &Trace{Name: "x", Samples: []float64{1, 2, 3}}
+	if got := tr.PowerAt(0); got != 1 {
+		t.Errorf("PowerAt(0) = %v", got)
+	}
+	if got := tr.PowerAt(SampleIntervalCycles); got != 2 {
+		t.Errorf("PowerAt(one interval) = %v", got)
+	}
+	if got := tr.PowerAt(3 * SampleIntervalCycles); got != 1 {
+		t.Errorf("PowerAt should wrap: got %v", got)
+	}
+	if got := tr.PowerAt(SampleIntervalCycles - 1); got != 1 {
+		t.Errorf("PowerAt(interval-1) = %v, want still sample 0", got)
+	}
+}
+
+func TestPowerAtEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if got := tr.PowerAt(123456); got != 0 {
+		t.Errorf("empty trace PowerAt = %v", got)
+	}
+}
+
+func TestEnergyNJ(t *testing.T) {
+	// 1 W for 2000 cycles (10 µs) = 10 µJ = 10000 nJ.
+	got := EnergyNJ(1, SampleIntervalCycles)
+	if math.Abs(got-10000) > 1e-6 {
+		t.Errorf("EnergyNJ(1W, 10µs) = %v nJ, want 10000", got)
+	}
+	_ = energy.ClockHz // document the dependency
+}
+
+func TestMeanPowerAndDuration(t *testing.T) {
+	tr := &Trace{Samples: []float64{2e-3, 4e-3}}
+	if got := tr.MeanPower(); math.Abs(got-3e-3) > 1e-12 {
+		t.Errorf("MeanPower = %v", got)
+	}
+	if got := tr.Duration(); math.Abs(got-2*SampleIntervalSeconds) > 1e-15 {
+		t.Errorf("Duration = %v", got)
+	}
+	empty := &Trace{}
+	if empty.MeanPower() != 0 {
+		t.Error("empty MeanPower should be 0")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		samples := make([]float64, 0, len(raw)+1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			samples = append(samples, math.Mod(math.Abs(v), 1))
+		}
+		samples = append(samples, 0.005) // ensure non-empty
+		tr := &Trace{Name: "t", Samples: samples}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load("t", &buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Samples) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if math.Abs(got.Samples[i]-samples[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# harvested power log\n\n0.001\n0.002\n# trailing comment\n0.003\n"
+	tr, err := Load("log", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 3 || tr.Samples[1] != 0.002 {
+		t.Errorf("parsed %v", tr.Samples)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load("bad", strings.NewReader("0.001\nnotanumber\n")); err == nil {
+		t.Error("Load accepted a non-numeric line")
+	}
+	if _, err := Load("neg", strings.NewReader("-0.5\n")); err == nil {
+		t.Error("Load accepted negative power")
+	}
+	if _, err := Load("empty", strings.NewReader("")); err == nil {
+		t.Error("Load accepted an empty trace")
+	}
+	if _, err := Load("onlycomments", strings.NewReader("# nothing\n")); err == nil {
+		t.Error("Load accepted a comment-only trace")
+	}
+}

@@ -1,0 +1,147 @@
+package prefetch
+
+import "testing"
+
+// feedAMPM replays a block-address miss stream.
+func feedAMPM(a *AMPM, blocks []uint64) []uint64 {
+	var got []uint64
+	for _, b := range blocks {
+		got = a.OnAccess(nil, Event{PC: 0x40, Addr: b, Block: b &^ 15, Miss: true, BlockSize: 16})
+	}
+	return got
+}
+
+func TestAMPMForwardSweep(t *testing.T) {
+	a := NewAMPM(32)
+	got := feedAMPM(a, []uint64{0x1000, 0x1010, 0x1020})
+	if len(got) == 0 {
+		t.Fatal("forward sweep not detected")
+	}
+	if got[0] != 0x1030 {
+		t.Errorf("first candidate = %#x, want 0x1030", got[0])
+	}
+}
+
+func TestAMPMBackwardSweep(t *testing.T) {
+	a := NewAMPM(32)
+	got := feedAMPM(a, []uint64{0x1040, 0x1030, 0x1020})
+	if len(got) == 0 {
+		t.Fatal("backward sweep not detected")
+	}
+	found := false
+	for _, c := range got {
+		if c == 0x1010 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("backward candidate missing: %#x", got)
+	}
+}
+
+func TestAMPMStridedSweep(t *testing.T) {
+	a := NewAMPM(32)
+	// Stride of 2 blocks (32 B).
+	got := feedAMPM(a, []uint64{0x1000, 0x1020, 0x1040})
+	want := uint64(0x1060)
+	found := false
+	for _, c := range got {
+		if c == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stride-2 candidate %#x missing from %#x", want, got)
+	}
+}
+
+func TestAMPMNoPatternStaysSilent(t *testing.T) {
+	a := NewAMPM(32)
+	got := feedAMPM(a, []uint64{0x1000, 0x5430, 0x2980})
+	if len(got) != 0 {
+		t.Errorf("random accesses produced candidates: %#x", got)
+	}
+}
+
+func TestAMPMSkipsAlreadyAccessed(t *testing.T) {
+	a := NewAMPM(32)
+	// Sweep up, then revisit the middle: the +1/+2 blocks are already in
+	// the map and must not be re-proposed.
+	feedAMPM(a, []uint64{0x1000, 0x1010, 0x1020, 0x1030, 0x1040})
+	got := feedAMPM(a, []uint64{0x1020})
+	for _, c := range got {
+		if c == 0x1030 || c == 0x1040 {
+			t.Errorf("re-proposed already-mapped block %#x", c)
+		}
+	}
+}
+
+func TestAMPMCrossesZoneBoundary(t *testing.T) {
+	a := NewAMPM(32)
+	// Zone size is 64 blocks = 1 kB; sweep across 0x1400 (a 1 kB boundary).
+	got := feedAMPM(a, []uint64{0x13d0, 0x13e0, 0x13f0})
+	if len(got) == 0 {
+		t.Fatal("sweep near boundary not detected")
+	}
+	if got[0] != 0x1400 {
+		t.Errorf("cross-zone candidate = %#x, want 0x1400", got[0])
+	}
+}
+
+func TestAMPMHitsTrainSilently(t *testing.T) {
+	a := NewAMPM(32)
+	var got []uint64
+	for _, b := range []uint64{0x1000, 0x1010, 0x1020} {
+		got = a.OnAccess(nil, Event{PC: 0x40, Addr: b, Block: b, Miss: false, BlockSize: 16})
+	}
+	if len(got) != 0 {
+		t.Errorf("hits emitted candidates: %#x", got)
+	}
+	// But the map was trained: the next miss fires immediately.
+	got = feedAMPM(a, []uint64{0x1030})
+	if len(got) == 0 {
+		t.Error("hit-trained map did not fire on miss")
+	}
+}
+
+func TestAMPMZoneEviction(t *testing.T) {
+	a := NewAMPM(8)
+	// Touch 20 distinct zones; the table holds 8 and must recycle without
+	// losing consistency.
+	for i := uint64(0); i < 20; i++ {
+		feedAMPM(a, []uint64{0x1000 + i*1024})
+	}
+	if len(a.index) > 8 {
+		t.Errorf("index grew past capacity: %d", len(a.index))
+	}
+	// The most recent zones must still work.
+	got := feedAMPM(a, []uint64{0x1000 + 19*1024 + 16, 0x1000 + 19*1024 + 32})
+	if len(got) == 0 {
+		t.Error("recent zone lost after eviction churn")
+	}
+}
+
+func TestAMPMDegreeCap(t *testing.T) {
+	a := NewAMPM(32)
+	// Dense map triggers multiple offsets; output stays capped.
+	got := feedAMPM(a, []uint64{0x1000, 0x1010, 0x1020, 0x1030, 0x1040, 0x1050, 0x1020})
+	if len(got) > MaxDegree {
+		t.Errorf("emitted %d > MaxDegree", len(got))
+	}
+}
+
+func TestAMPMReset(t *testing.T) {
+	a := NewAMPM(32)
+	feedAMPM(a, []uint64{0x1000, 0x1010, 0x1020})
+	a.Reset()
+	if got := feedAMPM(a, []uint64{0x1030}); len(got) != 0 {
+		t.Errorf("reset did not clear zones: %#x", got)
+	}
+}
+
+func TestAMPMRegistry(t *testing.T) {
+	pf, err := New(KindAMPM)
+	if err != nil || pf == nil || pf.Name() != "ampm" {
+		t.Fatalf("registry: %v, %v", pf, err)
+	}
+}

@@ -1,0 +1,121 @@
+package prefetch
+
+// BO implements a compact Best-Offset data prefetcher (Michaud,
+// HPCA'16-style), evaluated by the paper in Table 4. The prefetcher learns
+// the block offset O that most often satisfies "the line X−O was requested
+// recently when X misses" — i.e. an offset that would have been timely — by
+// scoring a fixed candidate list against a small recent-requests table. At
+// the end of each learning round the best-scoring offset becomes the active
+// prefetch offset; prefetch candidates are X+O, X+2·O, ….
+type BO struct {
+	offsets []int64
+	scores  []int
+	current int64 // active offset in blocks (0 = no prefetching yet)
+
+	rr     []uint64 // recent-requests table of block addresses
+	rrMask uint64
+
+	probe      int // which candidate offset the current miss tests
+	round      int // misses seen in the current learning round
+	roundLen   int
+	blockBytes uint64
+}
+
+// boDefaultOffsets is the candidate list: small offsets suited to a 16 B
+// block embedded memory system.
+var boDefaultOffsets = []int64{1, 2, 3, 4, 5, 6, 8, -1, -2}
+
+// NewBO returns a best-offset prefetcher with a recent-requests table of n
+// entries (rounded up to a power of two, minimum 32) and a learning round
+// of 64 misses.
+func NewBO(n int) *BO {
+	size := 32
+	for size < n {
+		size <<= 1
+	}
+	return &BO{
+		offsets:  append([]int64(nil), boDefaultOffsets...),
+		scores:   make([]int, len(boDefaultOffsets)),
+		rr:       make([]uint64, size),
+		rrMask:   uint64(size - 1),
+		roundLen: 64,
+		current:  1, // start as next-line until the first round completes
+	}
+}
+
+// Name implements Prefetcher.
+func (b *BO) Name() string { return "bo" }
+
+func (b *BO) rrInsert(block uint64) {
+	h := (block * 0x9e3779b97f4a7c15) >> 32
+	b.rr[h&b.rrMask] = block
+}
+
+func (b *BO) rrHit(block uint64) bool {
+	h := (block * 0x9e3779b97f4a7c15) >> 32
+	return b.rr[h&b.rrMask] == block && block != 0
+}
+
+// OnAccess implements Prefetcher.
+func (b *BO) OnAccess(dst []uint64, ev Event) []uint64 {
+	if !ev.Miss && !ev.BufHit {
+		return dst
+	}
+	b.blockBytes = ev.BlockSize
+	b.rrInsert(ev.Block)
+
+	// Learning: test one candidate offset per miss (round-robin).
+	off := b.offsets[b.probe]
+	test := int64(ev.Block) - off*int64(ev.BlockSize)
+	if test >= 0 && b.rrHit(uint64(test)) {
+		b.scores[b.probe]++
+	}
+	b.probe = (b.probe + 1) % len(b.offsets)
+	b.round++
+	if b.round >= b.roundLen {
+		best := 0
+		for i := 1; i < len(b.scores); i++ {
+			if b.scores[i] > b.scores[best] {
+				best = i
+			}
+		}
+		if b.scores[best] > 0 {
+			b.current = b.offsets[best]
+		}
+		for i := range b.scores {
+			b.scores[i] = 0
+		}
+		b.round = 0
+	}
+
+	if b.current == 0 {
+		return dst
+	}
+	addr := int64(ev.Block)
+	step := b.current * int64(ev.BlockSize)
+	for k := 0; k < MaxDegree; k++ {
+		addr += step
+		if addr < 0 {
+			break
+		}
+		dst = append(dst, uint64(addr))
+	}
+	return dst
+}
+
+// AddressGenNJ implements prefetch address-generation costing (§5.2):
+// a recent-requests probe and one score update.
+func (b *BO) AddressGenNJ() float64 { return 0.002 }
+
+// Reset implements Prefetcher.
+func (b *BO) Reset() {
+	for i := range b.rr {
+		b.rr[i] = 0
+	}
+	for i := range b.scores {
+		b.scores[i] = 0
+	}
+	b.probe = 0
+	b.round = 0
+	b.current = 1
+}

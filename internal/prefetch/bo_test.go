@@ -1,0 +1,88 @@
+package prefetch
+
+import "testing"
+
+func TestBOStartsAsNextLine(t *testing.T) {
+	b := NewBO(64)
+	got := b.OnAccess(nil, evt(0x40, 0x1000, true, false))
+	if len(got) == 0 {
+		t.Fatal("fresh BO emitted nothing")
+	}
+	if got[0] != 0x1010 {
+		t.Errorf("initial offset should be next line: got %#x", got[0])
+	}
+}
+
+func TestBOLearnsDominantOffset(t *testing.T) {
+	b := NewBO(64)
+	// Stream with offset +2 blocks between consecutive misses; after a
+	// learning round the active offset should be 2.
+	addr := uint64(0x1000)
+	for i := 0; i < 200; i++ {
+		b.OnAccess(nil, evt(0x40, addr, true, false))
+		addr += 32
+	}
+	if b.current != 2 {
+		t.Errorf("learned offset = %d, want 2", b.current)
+	}
+	got := b.OnAccess(nil, evt(0x40, addr, true, false))
+	if len(got) == 0 || got[0] != addr+32 {
+		t.Errorf("prediction with offset 2 = %v, want first %#x", got, addr+32)
+	}
+}
+
+func TestBOEmitsMultiplesOfOffset(t *testing.T) {
+	b := NewBO(64)
+	got := b.OnAccess(nil, evt(0x40, 0x1000, true, false))
+	if len(got) != MaxDegree {
+		t.Fatalf("candidates = %d, want %d", len(got), MaxDegree)
+	}
+	for i, c := range got {
+		want := uint64(0x1000 + 16*(i+1))
+		if c != want {
+			t.Errorf("candidate %d = %#x, want %#x", i, c, want)
+		}
+	}
+}
+
+func TestBOHitsIgnored(t *testing.T) {
+	b := NewBO(64)
+	if got := b.OnAccess(nil, evt(0x40, 0x1000, false, false)); len(got) != 0 {
+		t.Errorf("hit produced candidates: %v", got)
+	}
+}
+
+func TestBONegativeOffsetLearnable(t *testing.T) {
+	b := NewBO(64)
+	addr := uint64(0x100000)
+	for i := 0; i < 200; i++ {
+		b.OnAccess(nil, evt(0x40, addr, true, false))
+		addr -= 16
+	}
+	if b.current != -1 {
+		t.Errorf("learned offset = %d, want -1 for a descending stream", b.current)
+	}
+}
+
+func TestBOReset(t *testing.T) {
+	b := NewBO(64)
+	addr := uint64(0x1000)
+	for i := 0; i < 200; i++ {
+		b.OnAccess(nil, evt(0x40, addr, true, false))
+		addr += 32
+	}
+	b.Reset()
+	if b.current != 1 {
+		t.Errorf("reset offset = %d, want 1", b.current)
+	}
+	got := b.OnAccess(nil, evt(0x40, 0x2000, true, false))
+	if len(got) == 0 || got[0] != 0x2010 {
+		t.Errorf("post-reset prediction = %v", got)
+	}
+}
+
+func TestBOName(t *testing.T) {
+	if NewBO(1).Name() != "bo" {
+		t.Error("wrong name")
+	}
+}

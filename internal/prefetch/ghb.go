@@ -1,0 +1,165 @@
+package prefetch
+
+// GHB implements Global History Buffer prefetching (Nesbit & Smith,
+// HPCA'04) in its PC/DC (delta-correlation) flavour, evaluated by the paper
+// as a data prefetcher (Table 4). Cache misses enter a circular global
+// history buffer; an index table links the misses of each PC into a chain.
+// On a miss, the prefetcher walks the PC's chain to extract the recent
+// delta stream, looks for the most recent earlier occurrence of the last
+// delta pair, and replays the deltas that followed it.
+type GHB struct {
+	buf   []ghbNode
+	head  int
+	count int // total insertions (monotonic)
+	it    []ghbIndexEntry
+	mask  uint64
+}
+
+type ghbNode struct {
+	addr uint64
+	prev int // absolute insertion number of previous miss by same PC, -1 none
+	seq  int // absolute insertion number of this node
+}
+
+type ghbIndexEntry struct {
+	pc    uint64
+	last  int // absolute insertion number of the PC's most recent miss
+	valid bool
+}
+
+// ghbChainMax bounds how much of a PC's delta history is reconstructed.
+const ghbChainMax = 16
+
+// NewGHB returns a GHB prefetcher with a history buffer of n entries
+// (rounded up to a power of two, minimum 128) and an index table of n/4.
+func NewGHB(n int) *GHB {
+	size := 128
+	for size < n {
+		size <<= 1
+	}
+	its := size / 4
+	return &GHB{
+		buf:  make([]ghbNode, size),
+		it:   make([]ghbIndexEntry, its),
+		mask: uint64(its - 1),
+	}
+}
+
+// Name implements Prefetcher.
+func (g *GHB) Name() string { return "ghb" }
+
+func (g *GHB) itEntry(pc uint64) *ghbIndexEntry {
+	return &g.it[(pc>>2)&g.mask]
+}
+
+// node returns the buffer node with absolute insertion number seq, or nil
+// if it has been overwritten.
+func (g *GHB) node(seq int) *ghbNode {
+	if seq < 0 || seq <= g.count-len(g.buf)-1 || seq >= g.count {
+		return nil
+	}
+	n := &g.buf[seq%len(g.buf)]
+	if n.seq != seq {
+		return nil
+	}
+	return n
+}
+
+// OnAccess implements Prefetcher. Only misses (including prefetch-buffer
+// hits, which are misses of the cache proper) train the GHB, as in the
+// original design's L2-miss stream.
+func (g *GHB) OnAccess(dst []uint64, ev Event) []uint64 {
+	if !ev.Miss && !ev.BufHit {
+		return dst
+	}
+	// Insert the miss.
+	e := g.itEntry(ev.PC)
+	prev := -1
+	if e.valid && e.pc == ev.PC {
+		prev = e.last
+	}
+	seq := g.count
+	g.buf[g.head] = ghbNode{addr: ev.Addr, prev: prev, seq: seq}
+	g.head = (g.head + 1) % len(g.buf)
+	g.count++
+	*e = ghbIndexEntry{pc: ev.PC, last: seq, valid: true}
+
+	// Reconstruct the PC's recent address chain (most recent first).
+	var chain [ghbChainMax]uint64
+	n := 0
+	for s := seq; n < ghbChainMax; {
+		nd := g.node(s)
+		if nd == nil {
+			break
+		}
+		chain[n] = nd.addr
+		n++
+		s = nd.prev
+	}
+	if n < 4 {
+		return dst
+	}
+	// Delta stream, oldest first: d[i] = a[i+1] - a[i].
+	var deltas [ghbChainMax - 1]int64
+	nd := 0
+	for i := n - 1; i > 0; i-- {
+		deltas[nd] = int64(chain[i-1]) - int64(chain[i])
+		nd++
+	}
+	// Correlate on the last delta pair.
+	l1, l2 := deltas[nd-2], deltas[nd-1]
+	for i := nd - 3; i >= 1; i-- {
+		if deltas[i-1] == l1 && deltas[i] == l2 {
+			// Replay deltas that followed the match.
+			addr := int64(ev.Addr)
+			emitted := 0
+			for j := i + 1; j < nd && emitted < MaxDegree; j++ {
+				addr += deltas[j]
+				if addr < 0 {
+					break
+				}
+				dst = append(dst, uint64(addr))
+				emitted++
+			}
+			// Wrap the replay around the delta window if short.
+			for j := 1; j < nd && emitted < MaxDegree; j++ {
+				addr += deltas[j]
+				if addr < 0 {
+					break
+				}
+				dst = append(dst, uint64(addr))
+				emitted++
+			}
+			return dst
+		}
+	}
+	// No correlation found: fall back to repeating the last delta (the
+	// constant-stride case PC/CS would catch).
+	if l2 != 0 && l1 == l2 {
+		addr := int64(ev.Addr)
+		for k := 0; k < MaxDegree; k++ {
+			addr += l2
+			if addr < 0 {
+				break
+			}
+			dst = append(dst, uint64(addr))
+		}
+	}
+	return dst
+}
+
+// AddressGenNJ implements prefetch address-generation costing (§5.2):
+// an index-table probe plus a history-chain walk.
+func (g *GHB) AddressGenNJ() float64 { return 0.006 }
+
+// Reset implements Prefetcher.
+func (g *GHB) Reset() {
+	for i := range g.buf {
+		g.buf[i] = ghbNode{}
+	}
+	for i := range g.it {
+		g.it[i] = ghbIndexEntry{}
+	}
+	g.head = 0
+	g.count = 0
+}

@@ -1,0 +1,121 @@
+package prefetch
+
+// Markov is the correlation-based prefetcher of Joseph & Grunwald: a table
+// maps a miss address to the addresses that historically followed it, with
+// per-successor counts approximating transition probabilities. On a miss at
+// B it records the transition prev→B and proposes B's most probable
+// successors, best first. The paper evaluates it as an instruction
+// prefetcher (Table 3).
+type Markov struct {
+	table    []markovEntry
+	mask     uint64
+	prev     uint64
+	havePrev bool
+}
+
+// markovSuccessors is the number of successor slots per entry (4, as in the
+// original design's first-order table).
+const markovSuccessors = 4
+
+type markovEntry struct {
+	key   uint64
+	valid bool
+	succ  [markovSuccessors]uint64
+	count [markovSuccessors]uint16
+}
+
+// NewMarkov returns a Markov prefetcher with a correlation table of n
+// entries (rounded up to a power of two, minimum 64).
+func NewMarkov(n int) *Markov {
+	size := 64
+	for size < n {
+		size <<= 1
+	}
+	return &Markov{table: make([]markovEntry, size), mask: uint64(size - 1)}
+}
+
+// Name implements Prefetcher.
+func (m *Markov) Name() string { return "markov" }
+
+func (m *Markov) entry(block uint64) *markovEntry {
+	// Fibonacci hashing spreads block addresses across the table.
+	h := (block * 0x9e3779b97f4a7c15) >> 40
+	return &m.table[h&m.mask]
+}
+
+// OnAccess implements Prefetcher. Only the miss stream trains and triggers
+// the table, as in the original design.
+func (m *Markov) OnAccess(dst []uint64, ev Event) []uint64 {
+	if !ev.Miss && !ev.BufHit {
+		return dst
+	}
+	if m.havePrev && m.prev != ev.Block {
+		m.train(m.prev, ev.Block)
+	}
+	m.prev = ev.Block
+	m.havePrev = true
+
+	e := m.entry(ev.Block)
+	if !e.valid || e.key != ev.Block {
+		return dst
+	}
+	// Emit successors in decreasing count order (insertion sort over 4).
+	type cand struct {
+		addr  uint64
+		count uint16
+	}
+	var cands [markovSuccessors]cand
+	n := 0
+	for i := 0; i < markovSuccessors; i++ {
+		if e.count[i] == 0 {
+			continue
+		}
+		cands[n] = cand{e.succ[i], e.count[i]}
+		n++
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && cands[j].count > cands[j-1].count; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for i := 0; i < n && i < MaxDegree; i++ {
+		dst = append(dst, cands[i].addr)
+	}
+	return dst
+}
+
+func (m *Markov) train(from, to uint64) {
+	e := m.entry(from)
+	if !e.valid || e.key != from {
+		*e = markovEntry{key: from, valid: true}
+	}
+	// Existing successor: bump its count (saturating).
+	minIdx := 0
+	for i := 0; i < markovSuccessors; i++ {
+		if e.count[i] > 0 && e.succ[i] == to {
+			if e.count[i] < 1<<15 {
+				e.count[i]++
+			}
+			return
+		}
+		if e.count[i] < e.count[minIdx] {
+			minIdx = i
+		}
+	}
+	// Replace the weakest successor.
+	e.succ[minIdx] = to
+	e.count[minIdx] = 1
+}
+
+// AddressGenNJ implements prefetch address-generation costing (§5.2):
+// one correlation-table lookup (4-successor entry read).
+func (m *Markov) AddressGenNJ() float64 { return 0.006 }
+
+// Reset implements Prefetcher.
+func (m *Markov) Reset() {
+	for i := range m.table {
+		m.table[i] = markovEntry{}
+	}
+	m.prev = 0
+	m.havePrev = false
+}

@@ -1,0 +1,119 @@
+package prefetch
+
+import "testing"
+
+// replayMisses feeds a block-address miss sequence (instruction-side PCs
+// equal the addresses) and returns the candidates of the final event.
+func replayMisses(m *Markov, blocks []uint64) []uint64 {
+	var got []uint64
+	for _, b := range blocks {
+		got = m.OnAccess(nil, Event{PC: b, Addr: b, Block: b, Miss: true, BlockSize: 16})
+	}
+	return got
+}
+
+func TestMarkovLearnsSuccessor(t *testing.T) {
+	m := NewMarkov(256)
+	// A->B repeatedly, then a miss at A should predict B.
+	seq := []uint64{0x100, 0x200, 0x100, 0x200, 0x100}
+	got := replayMisses(m, seq)
+	if len(got) == 0 || got[0] != 0x200 {
+		t.Fatalf("prediction after A = %v, want [0x200 ...]", got)
+	}
+}
+
+func TestMarkovRanksByFrequency(t *testing.T) {
+	m := NewMarkov(256)
+	// A->B twice, A->C once; best successor of A is B.
+	seq := []uint64{0x100, 0x200, 0x100, 0x300, 0x100, 0x200, 0x100}
+	got := replayMisses(m, seq)
+	if len(got) < 2 {
+		t.Fatalf("expected two successors, got %v", got)
+	}
+	if got[0] != 0x200 || got[1] != 0x300 {
+		t.Errorf("ranking = %#x,%#x, want 0x200,0x300", got[0], got[1])
+	}
+}
+
+func TestMarkovIgnoresHits(t *testing.T) {
+	m := NewMarkov(256)
+	got := m.OnAccess(nil, Event{PC: 0x100, Addr: 0x100, Block: 0x100, BlockSize: 16})
+	if len(got) != 0 {
+		t.Errorf("hit produced candidates: %v", got)
+	}
+}
+
+func TestMarkovColdMissSilent(t *testing.T) {
+	m := NewMarkov(256)
+	if got := replayMisses(m, []uint64{0x100}); len(got) != 0 {
+		t.Errorf("cold miss predicted %v", got)
+	}
+}
+
+func TestMarkovSuccessorReplacement(t *testing.T) {
+	m := NewMarkov(256)
+	// Fill A's successor slots with 4 entries, then add a 5th repeatedly;
+	// it must displace the weakest and become predictable.
+	var seq []uint64
+	for _, b := range []uint64{0x200, 0x300, 0x400, 0x500} {
+		seq = append(seq, 0x100, b)
+	}
+	for i := 0; i < 3; i++ {
+		seq = append(seq, 0x100, 0x600)
+	}
+	seq = append(seq, 0x100)
+	got := replayMisses(m, seq)
+	found := false
+	for _, c := range got {
+		if c == 0x600 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new frequent successor not adopted: %v", got)
+	}
+}
+
+func TestMarkovDegreeCap(t *testing.T) {
+	m := NewMarkov(256)
+	var seq []uint64
+	for _, b := range []uint64{0x200, 0x300, 0x400, 0x500} {
+		seq = append(seq, 0x100, b)
+	}
+	seq = append(seq, 0x100)
+	got := replayMisses(m, seq)
+	if len(got) > MaxDegree {
+		t.Errorf("emitted %d candidates, cap is %d", len(got), MaxDegree)
+	}
+}
+
+func TestMarkovBufHitTrains(t *testing.T) {
+	m := NewMarkov(256)
+	var got []uint64
+	stream := []Event{
+		{PC: 0x100, Addr: 0x100, Block: 0x100, Miss: true, BlockSize: 16},
+		{PC: 0x200, Addr: 0x200, Block: 0x200, BufHit: true, Miss: true, BlockSize: 16},
+		{PC: 0x100, Addr: 0x100, Block: 0x100, Miss: true, BlockSize: 16},
+	}
+	for _, ev := range stream {
+		got = m.OnAccess(nil, ev)
+	}
+	if len(got) == 0 || got[0] != 0x200 {
+		t.Errorf("buffer-hit transitions not learned: %v", got)
+	}
+}
+
+func TestMarkovReset(t *testing.T) {
+	m := NewMarkov(256)
+	replayMisses(m, []uint64{0x100, 0x200, 0x100, 0x200})
+	m.Reset()
+	if got := replayMisses(m, []uint64{0x100}); len(got) != 0 {
+		t.Errorf("reset did not clear table: %v", got)
+	}
+}
+
+func TestMarkovName(t *testing.T) {
+	if NewMarkov(1).Name() != "markov" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,69 @@
+// Package prefetch implements the hardware prefetchers of the NVP and the
+// degree-controlled interface IPEX throttles.
+//
+// A Prefetcher observes the demand-access stream of one cache and, on each
+// access, proposes an ordered list of candidate blocks to fetch. The engine
+// (internal/nvp) decides how many of those candidates are actually issued:
+// the current prefetch degree R_cpd — normally the configured initial degree
+// R_ipd, dynamically lowered/raised by IPEX — caps the issue count, and the
+// difference between what the prefetcher wanted at its natural degree and
+// what was issued is counted as throttled (the statistic IPEX's adaptive
+// threshold tuning feeds on).
+//
+// Six prefetchers are provided, matching the paper's Tables 1, 3 and 4:
+//
+//	instruction: Sequential (next-line), Markov, TIFS
+//	data:        Stride (PC-indexed RPT), GHB (PC/DC), BO (best-offset)
+//
+// All prefetcher state is volatile hardware: a power failure resets it.
+package prefetch
+
+// Event describes one demand access as seen by a prefetcher. Addresses are
+// block-aligned; BlockSize is the block size in bytes so prefetchers can
+// form neighbouring block addresses.
+type Event struct {
+	// PC is the program counter of the access (for an instruction fetch it
+	// equals the fetched address).
+	PC uint64
+	// Addr is the raw byte address accessed. Address-correlating
+	// prefetchers (stride, GHB) must train on it: block-aligning first
+	// quantizes away strides that are not multiples of the block size.
+	Addr uint64
+	// Block is the block-aligned address accessed.
+	Block uint64
+	// Miss reports whether the access missed in the cache (before the
+	// prefetch buffer was consulted); BufHit whether the prefetch buffer
+	// served it.
+	Miss   bool
+	BufHit bool
+	// BlockSize is the cache block size in bytes.
+	BlockSize uint64
+}
+
+// Prefetcher proposes prefetch candidates from the demand stream.
+type Prefetcher interface {
+	// Name identifies the prefetcher (e.g. "stride").
+	Name() string
+	// OnAccess observes one demand access and appends candidate block
+	// addresses (best first) to dst, returning the extended slice. The
+	// engine truncates the list to the active prefetch degree; prefetchers
+	// should propose up to MaxDegree candidates when they have them.
+	OnAccess(dst []uint64, ev Event) []uint64
+	// Reset clears all volatile state (power failure).
+	Reset()
+}
+
+// MaxDegree is the architectural cap on the prefetch degree (the paper's
+// R_ipd register is 3 bits; IPEX allows a maximal degree of 4).
+const MaxDegree = 4
+
+// AddressGenCoster is implemented by prefetchers whose address generation
+// involves an energy-consuming table lookup (§5.2 of the paper: Markov's
+// correlation table, TIFS's miss log, GHB's history buffer, …). The
+// simulator charges the returned energy (nJ) per triggering access, and
+// IPEX's energy-saving mode can gate the whole lookup when the degree is
+// throttled to zero. Prefetchers without this method (sequential, stride)
+// generate addresses from a couple of registers and are treated as free.
+type AddressGenCoster interface {
+	AddressGenNJ() float64
+}

@@ -1,0 +1,42 @@
+package prefetch
+
+// Sequential is the classic next-line instruction prefetcher (IBM
+// System/360 Model 91 lineage): when the fetch stream enters a new block,
+// it proposes the following MaxDegree sequential blocks. It is the paper's
+// default instruction prefetcher.
+type Sequential struct {
+	lastBlock uint64
+	haveLast  bool
+}
+
+// NewSequential returns a sequential (next-line) prefetcher.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Name implements Prefetcher.
+func (s *Sequential) Name() string { return "sequential" }
+
+// OnAccess implements Prefetcher. The prefetcher is tagged: it triggers on
+// a demand miss and on the first use of a prefetched block (the buffer
+// hit), proposing the next sequential blocks. Miss/tag triggering keeps a
+// stream running ahead of the fetch unit without spraying prefetches while
+// a cache-resident loop is hitting.
+func (s *Sequential) OnAccess(dst []uint64, ev Event) []uint64 {
+	if !ev.Miss && !ev.BufHit {
+		return dst
+	}
+	if s.haveLast && s.lastBlock == ev.Block {
+		return dst
+	}
+	s.lastBlock = ev.Block
+	s.haveLast = true
+	for i := uint64(1); i <= MaxDegree; i++ {
+		dst = append(dst, ev.Block+i*ev.BlockSize)
+	}
+	return dst
+}
+
+// Reset implements Prefetcher.
+func (s *Sequential) Reset() {
+	s.lastBlock = 0
+	s.haveLast = false
+}

@@ -1,0 +1,82 @@
+package prefetch
+
+import "testing"
+
+func evt(pc, addr uint64, miss, bufHit bool) Event {
+	return Event{
+		PC:        pc,
+		Addr:      addr,
+		Block:     addr &^ 15,
+		Miss:      miss,
+		BufHit:    bufHit,
+		BlockSize: 16,
+	}
+}
+
+func TestSequentialProposesNextBlocksOnMiss(t *testing.T) {
+	s := NewSequential()
+	got := s.OnAccess(nil, evt(0x100, 0x100, true, false))
+	if len(got) != MaxDegree {
+		t.Fatalf("candidates = %d, want %d", len(got), MaxDegree)
+	}
+	for i, c := range got {
+		want := uint64(0x100 + 16*(i+1))
+		if c != want {
+			t.Errorf("candidate %d = %#x, want %#x", i, c, want)
+		}
+	}
+}
+
+func TestSequentialSilentOnHit(t *testing.T) {
+	s := NewSequential()
+	if got := s.OnAccess(nil, evt(0x100, 0x100, false, false)); len(got) != 0 {
+		t.Errorf("hit produced candidates: %v", got)
+	}
+}
+
+func TestSequentialTriggersOnBufHit(t *testing.T) {
+	s := NewSequential()
+	got := s.OnAccess(nil, evt(0x100, 0x100, true, true))
+	if len(got) == 0 {
+		t.Error("buffer hit should continue the stream")
+	}
+}
+
+func TestSequentialDedupesSameBlock(t *testing.T) {
+	s := NewSequential()
+	s.OnAccess(nil, evt(0x100, 0x100, true, false))
+	// Another miss in the same block (e.g. different word) must not
+	// re-trigger.
+	if got := s.OnAccess(nil, evt(0x104, 0x104, true, false)); len(got) != 0 {
+		t.Errorf("same-block retrigger: %v", got)
+	}
+	// A different block triggers again.
+	if got := s.OnAccess(nil, evt(0x110, 0x110, true, false)); len(got) == 0 {
+		t.Error("new block did not trigger")
+	}
+}
+
+func TestSequentialReset(t *testing.T) {
+	s := NewSequential()
+	s.OnAccess(nil, evt(0x100, 0x100, true, false))
+	s.Reset()
+	// After reset the same block triggers again (state was volatile).
+	if got := s.OnAccess(nil, evt(0x100, 0x100, true, false)); len(got) == 0 {
+		t.Error("reset did not clear last-block state")
+	}
+}
+
+func TestSequentialAppendsToDst(t *testing.T) {
+	s := NewSequential()
+	dst := []uint64{0xdead}
+	got := s.OnAccess(dst, evt(0x100, 0x100, true, false))
+	if got[0] != 0xdead || len(got) != 1+MaxDegree {
+		t.Errorf("OnAccess must append to dst: %v", got)
+	}
+}
+
+func TestSequentialName(t *testing.T) {
+	if NewSequential().Name() != "sequential" {
+		t.Error("wrong name")
+	}
+}

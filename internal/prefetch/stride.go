@@ -1,0 +1,99 @@
+package prefetch
+
+// Stride is the PC-indexed reference prediction table (RPT) data prefetcher
+// of Chen & Baer — the paper's default data prefetcher. Each table entry
+// tracks the last address and last stride observed for one load/store PC;
+// after the same stride repeats (confidence reaches the steady state) the
+// prefetcher proposes addr + k*stride for k = 1..MaxDegree.
+type Stride struct {
+	entries []strideEntry
+	mask    uint64
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8 // 2-bit saturating confidence
+	valid    bool
+}
+
+// confThreshold is the confidence at which predictions are emitted.
+const confThreshold = 2
+
+// NewStride returns a stride prefetcher with a table of n entries (rounded
+// up to a power of two, minimum 16). The paper-scale embedded configuration
+// uses a 64-entry table.
+func NewStride(n int) *Stride {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &Stride{entries: make([]strideEntry, size), mask: uint64(size - 1)}
+}
+
+// Name implements Prefetcher.
+func (s *Stride) Name() string { return "stride" }
+
+// OnAccess implements Prefetcher. Every access trains the table (the raw
+// byte address is used: block-aligning first would quantize away strides
+// smaller than a block), but candidates are only emitted on a miss or on
+// the first use of a prefetched block — the classic RPT issue policy, which
+// bounds the prefetch rate by the miss rate and keeps a small prefetch
+// buffer from thrashing. The lookahead skips predictions that stay within
+// the current block so each candidate names a new block.
+func (s *Stride) OnAccess(dst []uint64, ev Event) []uint64 {
+	e := &s.entries[(ev.PC>>2)&s.mask]
+	if !e.valid || e.pc != ev.PC {
+		*e = strideEntry{pc: ev.PC, lastAddr: ev.Addr, valid: true}
+		return dst
+	}
+	stride := int64(ev.Addr) - int64(e.lastAddr)
+	if stride == 0 {
+		// Same address again; keep state, nothing to learn or predict.
+		return dst
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = stride
+		}
+	}
+	e.lastAddr = ev.Addr
+	if !ev.Miss && !ev.BufHit {
+		return dst
+	}
+	if e.conf >= confThreshold && e.stride != 0 {
+		addr := int64(ev.Addr)
+		prevBlock := ev.Block
+		emitted := 0
+		// Look ahead far enough to cover MaxDegree *new* blocks even when
+		// several strides land in one block.
+		for step := 0; step < 64 && emitted < MaxDegree; step++ {
+			addr += e.stride
+			if addr < 0 {
+				break
+			}
+			blk := uint64(addr) &^ (ev.BlockSize - 1)
+			if blk == prevBlock {
+				continue
+			}
+			prevBlock = blk
+			dst = append(dst, blk)
+			emitted++
+		}
+	}
+	return dst
+}
+
+// Reset implements Prefetcher.
+func (s *Stride) Reset() {
+	for i := range s.entries {
+		s.entries[i] = strideEntry{}
+	}
+}

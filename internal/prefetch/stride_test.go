@@ -1,0 +1,154 @@
+package prefetch
+
+import "testing"
+
+// feed replays a constant-stride access stream by one PC and returns the
+// candidates emitted at the final (miss) access.
+func feedStride(s *Stride, pc uint64, start uint64, stride int64, n int) []uint64 {
+	var got []uint64
+	addr := int64(start)
+	for i := 0; i < n; i++ {
+		got = s.OnAccess(nil, evt(pc, uint64(addr), true, false))
+		addr += stride
+	}
+	return got
+}
+
+func TestStrideLearnsConstantStride(t *testing.T) {
+	s := NewStride(64)
+	got := feedStride(s, 0x40, 0x1000, 32, 5)
+	if len(got) == 0 {
+		t.Fatal("trained stride emitted nothing")
+	}
+	// Last access was at 0x1000+4*32 = 0x1080; predictions are new blocks
+	// along +32: first candidate block is 0x10a0 (0x1080+32 block-aligned).
+	if got[0] != 0x10a0 {
+		t.Errorf("first candidate = %#x, want 0x10a0", got[0])
+	}
+	// Candidates must be distinct blocks.
+	seen := map[uint64]bool{}
+	for _, c := range got {
+		b := c &^ 15
+		if seen[b] {
+			t.Errorf("duplicate block candidate %#x", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestStrideSubBlockStrideSkipsCurrentBlock(t *testing.T) {
+	s := NewStride(64)
+	got := feedStride(s, 0x40, 0x1000, 4, 6)
+	if len(got) == 0 {
+		t.Fatal("no candidates for 4B stride")
+	}
+	last := uint64(0x1000 + 5*4)
+	for _, c := range got {
+		if c&^15 == last&^15 {
+			t.Errorf("candidate %#x stays in the current block", c)
+		}
+	}
+}
+
+func TestStrideRequiresConfidence(t *testing.T) {
+	s := NewStride(64)
+	// Two accesses only: stride observed once, confidence below threshold.
+	if got := feedStride(s, 0x40, 0x1000, 32, 2); len(got) != 0 {
+		t.Errorf("low-confidence prediction emitted: %v", got)
+	}
+}
+
+func TestStrideRandomDeltasStaySilent(t *testing.T) {
+	s := NewStride(64)
+	addrs := []uint64{0x1000, 0x5008, 0x2010, 0x9004, 0x3020, 0x800c}
+	var got []uint64
+	for _, a := range addrs {
+		got = s.OnAccess(nil, evt(0x40, a, true, false))
+	}
+	if len(got) != 0 {
+		t.Errorf("random deltas produced predictions: %v", got)
+	}
+}
+
+func TestStrideOnlyEmitsOnMissOrBufHit(t *testing.T) {
+	s := NewStride(64)
+	addr := uint64(0x1000)
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		got = s.OnAccess(nil, evt(0x40, addr, false, false)) // hits train silently
+		addr += 32
+	}
+	if len(got) != 0 {
+		t.Errorf("hit emitted predictions: %v", got)
+	}
+	// The next miss emits immediately (table is already trained).
+	got = s.OnAccess(nil, evt(0x40, addr, true, false))
+	if len(got) == 0 {
+		t.Error("post-training miss emitted nothing")
+	}
+}
+
+func TestStrideNegativeStride(t *testing.T) {
+	s := NewStride(64)
+	got := feedStride(s, 0x40, 0x10000, -32, 6)
+	if len(got) == 0 {
+		t.Fatal("negative stride not learned")
+	}
+	last := uint64(0x10000 - 5*32)
+	if got[0] >= last {
+		t.Errorf("candidate %#x not below %#x for negative stride", got[0], last)
+	}
+}
+
+func TestStrideNeverPredictsNegativeAddresses(t *testing.T) {
+	s := NewStride(64)
+	got := feedStride(s, 0x40, 96, -32, 4)
+	for _, c := range got {
+		if int64(c) < 0 {
+			t.Errorf("negative address predicted: %d", int64(c))
+		}
+	}
+}
+
+func TestStridePerPCIsolation(t *testing.T) {
+	s := NewStride(64)
+	// Two PCs with different strides; both should learn independently.
+	for i := 0; i < 6; i++ {
+		s.OnAccess(nil, evt(0x40, uint64(0x1000+i*32), true, false))
+		s.OnAccess(nil, evt(0x44, uint64(0x9000+i*64), true, false))
+	}
+	gotA := s.OnAccess(nil, evt(0x40, 0x1000+6*32, true, false))
+	gotB := s.OnAccess(nil, evt(0x44, 0x9000+6*64, true, false))
+	if len(gotA) == 0 || len(gotB) == 0 {
+		t.Fatal("interleaved PCs failed to train")
+	}
+	if gotA[0] == gotB[0] {
+		t.Error("PCs share prediction state")
+	}
+}
+
+func TestStrideReset(t *testing.T) {
+	s := NewStride(64)
+	feedStride(s, 0x40, 0x1000, 32, 6)
+	s.Reset()
+	if got := s.OnAccess(nil, evt(0x40, 0x1000+7*32, true, false)); len(got) != 0 {
+		t.Errorf("reset did not clear table: %v", got)
+	}
+}
+
+func TestStrideTableSizeRounding(t *testing.T) {
+	s := NewStride(100)
+	if len(s.entries) != 128 {
+		t.Errorf("table size = %d, want rounded to 128", len(s.entries))
+	}
+	s = NewStride(0)
+	if len(s.entries) != 16 {
+		t.Errorf("minimum table size = %d, want 16", len(s.entries))
+	}
+}
+
+func TestStrideName(t *testing.T) {
+	if NewStride(64).Name() != "stride" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,117 @@
+package prefetch
+
+// TIFS implements Temporal Instruction Fetch Streaming (Ferdman et al.,
+// MICRO'08), the most aggressive instruction prefetcher the paper evaluates
+// (Table 3). Instruction-cache misses are appended to a circular Instruction
+// Miss Log (IML); an index maps a block to its most recent log position. On
+// a miss, TIFS looks the block up in the IML and streams out the blocks that
+// followed it last time. Hits in the prefetch buffer advance the stream,
+// keeping it ahead of the fetch unit.
+type TIFS struct {
+	log    []uint64 // circular IML of miss block addresses
+	head   int      // next write position
+	filled bool
+	index  []tifsIndexEntry
+	mask   uint64
+	stream int  // IML position of the active stream's next block
+	live   bool // whether a stream is active
+}
+
+type tifsIndexEntry struct {
+	block uint64
+	pos   int
+	valid bool
+}
+
+// NewTIFS returns a TIFS prefetcher with an IML of n entries (rounded up to
+// a power of two, minimum 256) and an index of the same size.
+func NewTIFS(n int) *TIFS {
+	size := 256
+	for size < n {
+		size <<= 1
+	}
+	return &TIFS{
+		log:   make([]uint64, size),
+		index: make([]tifsIndexEntry, size),
+		mask:  uint64(size - 1),
+	}
+}
+
+// Name implements Prefetcher.
+func (t *TIFS) Name() string { return "tifs" }
+
+func (t *TIFS) idxEntry(block uint64) *tifsIndexEntry {
+	h := (block * 0x9e3779b97f4a7c15) >> 40
+	return &t.index[h&t.mask]
+}
+
+// logLen returns the number of valid IML entries.
+func (t *TIFS) logLen() int {
+	if t.filled {
+		return len(t.log)
+	}
+	return t.head
+}
+
+// OnAccess implements Prefetcher.
+func (t *TIFS) OnAccess(dst []uint64, ev Event) []uint64 {
+	switch {
+	case ev.Miss && !ev.BufHit:
+		// Record the miss in the IML and (re)locate the stream.
+		e := t.idxEntry(ev.Block)
+		t.live = false
+		if e.valid && e.block == ev.Block && e.pos < t.logLen() && t.log[e.pos] == ev.Block {
+			t.stream = e.pos + 1
+			t.live = true
+		}
+		*e = tifsIndexEntry{block: ev.Block, pos: t.head, valid: true}
+		t.log[t.head] = ev.Block
+		t.head++
+		if t.head == len(t.log) {
+			t.head = 0
+			t.filled = true
+		}
+	case ev.BufHit:
+		// The stream delivered a useful block: keep streaming.
+	default:
+		return dst
+	}
+	if !t.live {
+		return dst
+	}
+	n := t.logLen()
+	for k := 0; k < MaxDegree; k++ {
+		pos := t.stream + k
+		if t.filled {
+			pos &= len(t.log) - 1
+		} else if pos >= n {
+			break
+		}
+		if pos == t.head { // do not read past the log's write point
+			break
+		}
+		dst = append(dst, t.log[pos])
+	}
+	t.stream++
+	if t.filled {
+		t.stream &= len(t.log) - 1
+	} else if t.stream >= n {
+		t.live = false
+	}
+	return dst
+}
+
+// AddressGenNJ implements prefetch address-generation costing (§5.2):
+// an IML index probe plus a log-window read.
+func (t *TIFS) AddressGenNJ() float64 { return 0.008 }
+
+// Reset implements Prefetcher.
+func (t *TIFS) Reset() {
+	for i := range t.index {
+		t.index[i] = tifsIndexEntry{}
+	}
+	t.head = 0
+	t.filled = false
+	t.live = false
+	t.stream = 0
+}

@@ -1,0 +1,121 @@
+package prefetch
+
+import "testing"
+
+func missEv(b uint64) Event {
+	return Event{PC: b, Addr: b, Block: b, Miss: true, BlockSize: 16}
+}
+
+func TestTIFSReplaysMissStream(t *testing.T) {
+	tf := NewTIFS(256)
+	stream := []uint64{0x100, 0x200, 0x300, 0x400, 0x500}
+	for _, b := range stream {
+		tf.OnAccess(nil, missEv(b))
+	}
+	// A repeated miss at the head of the logged stream should replay the
+	// blocks that followed it.
+	got := tf.OnAccess(nil, missEv(0x100))
+	if len(got) == 0 {
+		t.Fatal("repeat miss replayed nothing")
+	}
+	want := []uint64{0x200, 0x300, 0x400, 0x500}
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			t.Errorf("replay[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTIFSStreamsOnBufHits(t *testing.T) {
+	tf := NewTIFS(256)
+	stream := []uint64{0x100, 0x200, 0x300, 0x400, 0x500, 0x600, 0x700}
+	for _, b := range stream {
+		tf.OnAccess(nil, missEv(b))
+	}
+	tf.OnAccess(nil, missEv(0x100)) // locate stream
+	// Buffer hit advances the stream further.
+	got := tf.OnAccess(nil, Event{PC: 0x200, Addr: 0x200, Block: 0x200, Miss: true, BufHit: true, BlockSize: 16})
+	if len(got) == 0 {
+		t.Fatal("buffer hit did not continue the stream")
+	}
+	if got[0] != 0x300 {
+		t.Errorf("stream continuation starts at %#x, want 0x300", got[0])
+	}
+}
+
+func TestTIFSColdMissesSilent(t *testing.T) {
+	tf := NewTIFS(256)
+	for i, b := range []uint64{0x100, 0x200, 0x300} {
+		if got := tf.OnAccess(nil, missEv(b)); len(got) != 0 {
+			t.Errorf("cold miss %d replayed %v", i, got)
+		}
+	}
+}
+
+func TestTIFSHitsIgnored(t *testing.T) {
+	tf := NewTIFS(256)
+	got := tf.OnAccess(nil, Event{PC: 0x100, Addr: 0x100, Block: 0x100, BlockSize: 16})
+	if len(got) != 0 {
+		t.Errorf("cache hit produced candidates: %v", got)
+	}
+}
+
+func TestTIFSDegreeCap(t *testing.T) {
+	tf := NewTIFS(256)
+	for i := uint64(0); i < 10; i++ {
+		tf.OnAccess(nil, missEv(0x100+i*0x100))
+	}
+	got := tf.OnAccess(nil, missEv(0x100))
+	if len(got) > MaxDegree {
+		t.Errorf("replay emitted %d, cap %d", len(got), MaxDegree)
+	}
+}
+
+func TestTIFSLogWraparound(t *testing.T) {
+	tf := NewTIFS(256) // log size 256
+	// Overflow the log; old entries must be safely dropped.
+	for i := uint64(0); i < 600; i++ {
+		tf.OnAccess(nil, missEv(0x1000+i*16))
+	}
+	// A very old block's index entry points at an overwritten slot; the
+	// lookup must not replay garbage.
+	got := tf.OnAccess(nil, missEv(0x1000))
+	for _, c := range got {
+		if c < 0x1000 {
+			t.Errorf("garbage candidate %#x after wraparound", c)
+		}
+	}
+}
+
+func TestTIFSRecentStreamAfterWraparound(t *testing.T) {
+	tf := NewTIFS(256)
+	for i := uint64(0); i < 300; i++ {
+		tf.OnAccess(nil, missEv(0x1000+(i%280)*16))
+	}
+	// A block missed ~40 misses ago is still in the wrapped log and must
+	// replay its recorded successors.
+	got := tf.OnAccess(nil, missEv(0x1000+260*16))
+	if len(got) == 0 {
+		t.Fatal("recent stream lost after wraparound")
+	}
+	if got[0] != 0x1000+261*16 {
+		t.Errorf("replay head = %#x, want %#x", got[0], uint64(0x1000+261*16))
+	}
+}
+
+func TestTIFSReset(t *testing.T) {
+	tf := NewTIFS(256)
+	for _, b := range []uint64{0x100, 0x200, 0x300} {
+		tf.OnAccess(nil, missEv(b))
+	}
+	tf.Reset()
+	if got := tf.OnAccess(nil, missEv(0x100)); len(got) != 0 {
+		t.Errorf("reset did not clear the IML: %v", got)
+	}
+}
+
+func TestTIFSName(t *testing.T) {
+	if NewTIFS(1).Name() != "tifs" {
+		t.Error("wrong name")
+	}
+}

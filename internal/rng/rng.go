@@ -1,0 +1,63 @@
+// Package rng provides a tiny, fully deterministic pseudo-random number
+// generator (splitmix64 seeding a xorshift64* core) used by the synthetic
+// power-trace and workload generators.
+//
+// Determinism across platforms and Go versions is a correctness requirement
+// here — the paper's methodology replays the exact same input energy and the
+// exact same access stream for every configuration — so the simulator does
+// not depend on math/rand's sequence stability.
+package rng
+
+// RNG is a deterministic generator. The zero value is NOT valid; use New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators with the same
+// seed produce identical sequences forever.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 scrambling so that nearby seeds yield unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.state = z ^ (z >> 31)
+	if r.state == 0 {
+		r.state = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits (xorshift64*).
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns an approximately standard-normal value using the sum of 12
+// uniforms (Irwin–Hall); cheap and deterministic, accurate enough for the
+// noise terms the generators need.
+func (r *RNG) Norm() float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s - 6
+}

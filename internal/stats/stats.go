@@ -1,0 +1,101 @@
+// Package stats provides small numeric helpers shared by the simulator and
+// the experiment harness: means, geometric means, ratios, and percentage
+// formatting that matches the way the IPEX paper reports its results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs, or 0 for an empty slice.
+// Non-positive entries are invalid for a geometric mean; they yield NaN so
+// the error is visible rather than silently absorbed.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Ratio returns num/den, or 0 when den == 0. Cache miss rates, throttling
+// rates, and normalized energies all use it so a zero denominator (e.g. an
+// app that never prefetches) reads as 0 rather than NaN.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Pct formats a fraction as a percentage with two decimals, e.g. 0.0786 ->
+// "7.86%".
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.2f%%", frac*100)
+}
+
+// Speedup returns baseline/variant: how many times faster the variant
+// completed than the baseline, given their total execution times.
+func Speedup(baselineTime, variantTime float64) float64 {
+	return Ratio(baselineTime, variantTime)
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

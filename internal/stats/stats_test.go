@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-12 || math.Abs(a-b) < 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); !almostEqual(got, 4) {
+		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	}
+	if got := Geomean([]float64{1, 1, 1}); !almostEqual(got, 1) {
+		t.Errorf("Geomean(1,1,1) = %v, want 1", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", got)
+	}
+	if got := Geomean([]float64{-1, 2}); !math.IsNaN(got) {
+		t.Errorf("Geomean with negative input = %v, want NaN", got)
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty slice should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 2); !almostEqual(got, 0.5) {
+		t.Errorf("Ratio(1,2) = %v", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("Ratio(1,0) = %v, want 0", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0786); got != "7.86%" {
+		t.Errorf("Pct(0.0786) = %q", got)
+	}
+	if got := Pct(1); got != "100.00%" {
+		t.Errorf("Pct(1) = %q", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); !almostEqual(got, 2) {
+		t.Errorf("Speedup(200,100) = %v, want 2", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup with zero variant time = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); !almostEqual(got, 2.5) {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v, want 0", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}

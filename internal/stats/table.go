@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders fixed-width text tables in the style the experiment harness
+// uses to print paper figures and tables. Columns are sized to their widest
+// cell; the first row added with Header is separated by a rule.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// Header sets the column titles.
+func (t *Table) Header(cols ...string) {
+	t.header = cols
+}
+
+// Row appends a data row. Cells beyond the header width are still rendered;
+// short rows are padded with empty cells.
+func (t *Table) Row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Rowf appends a row built from Sprintf-formatted values.
+func (t *Table) Rowf(format string, args ...any) {
+	t.rows = append(t.rows, strings.Split(fmt.Sprintf(format, args...), "\t"))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersHeaderAndRows(t *testing.T) {
+	var tb Table
+	tb.Header("app", "speedup")
+	tb.Row("fft", "1.09")
+	tb.Row("gsme", "1.23")
+	out := tb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines (header, rule, 2 rows), got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "app") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "fft") || !strings.Contains(lines[2], "1.09") {
+		t.Errorf("row line = %q", lines[2])
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	var tb Table
+	tb.Header("a", "b")
+	tb.Row("longer-cell", "x")
+	tb.Row("s", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// Second column should start at the same offset in both data rows.
+	x := strings.Index(lines[2], "x")
+	y := strings.Index(lines[3], "y")
+	if x != y {
+		t.Errorf("column 2 misaligned: %d vs %d\n%s", x, y, tb.String())
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	var tb Table
+	tb.Header("a", "b", "c")
+	tb.Row("1")                // short row: padded
+	tb.Row("1", "2", "3", "4") // long row: extra cell still rendered
+	out := tb.String()
+	if !strings.Contains(out, "4") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestTableRowf(t *testing.T) {
+	var tb Table
+	tb.Header("app", "v")
+	tb.Rowf("fft\t%.2f", 1.2345)
+	if !strings.Contains(tb.String(), "1.23") {
+		t.Errorf("Rowf formatting lost:\n%s", tb.String())
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	var tb Table
+	tb.Row("only", "rows")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("rule rendered without header:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+// specs parameterises the 20 MediaBench/MiBench stand-ins. The comments on
+// each entry state which published property of the app the parameters
+// target; counts are instructions of the synthetic kernel (default scale).
+//
+// Magnitudes, for reference while tuning: the ICache/DCache are 2 kB with
+// 16 B blocks and the ReRAM miss penalty is 11 cycles. A hot loop plus its
+// callees exceeding ~2 kB produces instruction conflict misses. A streaming
+// PC with stride s misses once per 16/s of its executions; a random pattern
+// over ≫2 kB misses almost always; table/stack patterns of ≲2 kB mostly
+// hit. Every app gets a cache-resident "stack" background pattern — the
+// register-spill and locals traffic that dominates real dynamic loads.
+var specs = map[string]spec{
+	// ADPCM decode: tiny branchy inner loop over sequential sample
+	// streams; very low ICache pressure, light sequential data.
+	"adpcmd": {
+		name: "adpcmd", insts: 220_000, memRatio: 0.22, writeRatio: 0.30,
+		code: codeSpec{loopBytes: 832, funcs: 2, funcBytes: 384, callEvery: 90, callLen: 30, jumpProb: 0.41, innerBytes: 128, innerIters: 10},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 96 << 10, strideBytes: 4, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 4, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 768, strideBytes: 4, weight: 1.0}, // stack/locals
+		},
+	},
+	// ADPCM encode: like decode with a slightly larger loop and more
+	// writes (output stream).
+	"adpcme": {
+		name: "adpcme", insts: 240_000, memRatio: 0.23, writeRatio: 0.40,
+		code: codeSpec{loopBytes: 896, funcs: 2, funcBytes: 384, callEvery: 85, callLen: 30, jumpProb: 0.41, innerBytes: 128, innerIters: 10},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 96 << 10, strideBytes: 4, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 2, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 768, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// basicmath: math-function kernels; moderate code with helper calls,
+	// small data (mostly stack traffic), low DCache pressure.
+	"basicm": {
+		name: "basicm", insts: 260_000, memRatio: 0.16, writeRatio: 0.25,
+		code: codeSpec{loopBytes: 1984, funcs: 4, funcBytes: 768, callEvery: 70, callLen: 45, jumpProb: 0.36, innerBytes: 128, innerIters: 8},
+		data: []dataSpec{
+			{kind: patSeq, regionBytes: 32 << 10, strideBytes: 4, pcs: 1},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 8, weight: 1.0},
+		},
+	},
+	// FFT: butterfly passes — short sequential runs (complex pairs)
+	// separated by power-of-two row jumps; highly stride-predictable.
+	"fft": {
+		name: "fft", insts: 300_000, memRatio: 0.30, writeRatio: 0.35,
+		code: codeSpec{loopBytes: 1536, funcs: 2, funcBytes: 512, callEvery: 120, callLen: 30, jumpProb: 0.29, innerBytes: 192, innerIters: 12},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 8, rowBytes: 512, runBytes: 64, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 4, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 8, weight: 1.0},
+		},
+	},
+	// G.721 decode: small cache-resident loop and lookup table; almost no
+	// misses, hence few prefetch triggers (the paper calls out its
+	// marginal IPEX gains).
+	"g721d": {
+		name: "g721d", insts: 280_000, memRatio: 0.15, writeRatio: 0.20,
+		code: codeSpec{loopBytes: 1088, funcs: 1, funcBytes: 512, callEvery: 200, callLen: 20, jumpProb: 0.29, innerBytes: 96, innerIters: 8},
+		data: []dataSpec{
+			{kind: patSeq, regionBytes: 8 << 10, strideBytes: 2, pcs: 1},
+			{kind: patTable, regionBytes: 768, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// G.721 encode: as decode.
+	"g721e": {
+		name: "g721e", insts: 300_000, memRatio: 0.15, writeRatio: 0.25,
+		code: codeSpec{loopBytes: 1216, funcs: 1, funcBytes: 512, callEvery: 190, callLen: 22, jumpProb: 0.29, innerBytes: 96, innerIters: 8},
+		data: []dataSpec{
+			{kind: patSeq, regionBytes: 8 << 10, strideBytes: 2, pcs: 1},
+			{kind: patTable, regionBytes: 768, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// GSM decode: frame-oriented streaming with a mid-size code footprint.
+	"gsmd": {
+		name: "gsmd", insts: 260_000, memRatio: 0.22, writeRatio: 0.30,
+		code: codeSpec{loopBytes: 1856, funcs: 4, funcBytes: 512, callEvery: 80, callLen: 35, jumpProb: 0.36, innerBytes: 160, innerIters: 10},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 96 << 10, strideBytes: 8, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// GSM encode: larger code and more streaming than decode; lots of
+	// sequential prefetch opportunity (Fig. 12 shows a big reduction).
+	"gsme": {
+		name: "gsme", insts: 280_000, memRatio: 0.25, writeRatio: 0.35,
+		code: codeSpec{loopBytes: 2176, funcs: 5, funcBytes: 512, callEvery: 70, callLen: 40, jumpProb: 0.36, innerBytes: 192, innerIters: 10},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 128 << 10, strideBytes: 8, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 32 << 10, strideBytes: 4, rowBytes: 256, runBytes: 64, pcs: 1},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// Inverse FFT: fft with a different pass geometry, same character.
+	"ifft": {
+		name: "ifft", insts: 300_000, memRatio: 0.30, writeRatio: 0.35,
+		code: codeSpec{loopBytes: 1536, funcs: 2, funcBytes: 512, callEvery: 120, callLen: 30, jumpProb: 0.29, innerBytes: 192, innerIters: 12},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 8, rowBytes: 1024, runBytes: 64, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 4, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 8, weight: 1.0},
+		},
+	},
+	// JPEG decode: 8x8-block walks over the image plus quantization
+	// tables; big code footprint (Huffman + IDCT + color).
+	"jpegd": {
+		name: "jpegd", insts: 320_000, memRatio: 0.28, writeRatio: 0.30,
+		code: codeSpec{loopBytes: 2496, funcs: 6, funcBytes: 768, callEvery: 60, callLen: 50, jumpProb: 0.41, innerBytes: 192, innerIters: 9},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 128 << 10, strideBytes: 4, rowBytes: 1024, runBytes: 32, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 2, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 2 << 10, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// Patricia: trie lookups — pointer chasing over a medium working set;
+	// irregular, prefetch-hostile data.
+	"patricia": {
+		name: "patricia", insts: 260_000, memRatio: 0.30, writeRatio: 0.15,
+		code: codeSpec{loopBytes: 1216, funcs: 3, funcBytes: 512, callEvery: 75, callLen: 35, jumpProb: 0.49, innerBytes: 128, innerIters: 8},
+		data: []dataSpec{
+			{kind: patSeq, regionBytes: 16 << 10, strideBytes: 2, pcs: 1},
+			{kind: patRandom, regionBytes: 256 << 10, strideBytes: 16, weight: 0.40},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 0.60},
+		},
+	},
+	// Pegwit decrypt: elliptic-curve bignum ops over scattered heap data;
+	// the paper's worst DCache-stall app (>60%).
+	"pegwitd": {
+		name: "pegwitd", insts: 280_000, memRatio: 0.40, writeRatio: 0.30,
+		code: codeSpec{loopBytes: 1536, funcs: 3, funcBytes: 512, callEvery: 90, callLen: 35, jumpProb: 0.36, innerBytes: 160, innerIters: 9},
+		data: []dataSpec{
+			{kind: patSeq, regionBytes: 32 << 10, strideBytes: 4, pcs: 1},
+			{kind: patRandom, regionBytes: 384 << 10, strideBytes: 16, weight: 0.75},
+			{kind: patTable, regionBytes: 768, strideBytes: 4, weight: 0.25},
+		},
+	},
+	// Pegwit encrypt: as decrypt, slightly larger working set.
+	"pegwite": {
+		name: "pegwite", insts: 300_000, memRatio: 0.42, writeRatio: 0.35,
+		code: codeSpec{loopBytes: 1536, funcs: 3, funcBytes: 512, callEvery: 90, callLen: 35, jumpProb: 0.36, innerBytes: 160, innerIters: 9},
+		data: []dataSpec{
+			{kind: patSeq, regionBytes: 32 << 10, strideBytes: 4, pcs: 1},
+			{kind: patRandom, regionBytes: 512 << 10, strideBytes: 16, weight: 0.78},
+			{kind: patTable, regionBytes: 768, strideBytes: 4, weight: 0.22},
+		},
+	},
+	// Quicksort: partition sweeps — sequential scans over the array plus
+	// random pivot probing.
+	"qsort": {
+		name: "qsort", insts: 280_000, memRatio: 0.30, writeRatio: 0.40,
+		code: codeSpec{loopBytes: 1536, funcs: 2, funcBytes: 512, callEvery: 100, callLen: 30, jumpProb: 0.41, innerBytes: 128, innerIters: 10},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 128 << 10, strideBytes: 8, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 128 << 10, strideBytes: 4, rowBytes: 4096, runBytes: 32, pcs: 1},
+			{kind: patRandom, regionBytes: 128 << 10, strideBytes: 8, weight: 0.30},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 0.70},
+		},
+	},
+	// Rijndael decrypt: S-box lookups (slightly bigger than the cache)
+	// plus heavy sequential block streaming (Fig. 12/13 call out its large
+	// prefetch and traffic reductions).
+	"rijndaeld": {
+		name: "rijndaeld", insts: 300_000, memRatio: 0.32, writeRatio: 0.35,
+		code: codeSpec{loopBytes: 1856, funcs: 3, funcBytes: 512, callEvery: 110, callLen: 30, jumpProb: 0.29, innerBytes: 224, innerIters: 12},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 160 << 10, strideBytes: 8, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 8, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patRandom, regionBytes: 4 << 10, strideBytes: 4, weight: 0.35}, // S-boxes: 2x the cache
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 0.65},
+		},
+	},
+	// Rijndael encrypt: as decrypt.
+	"rijndaele": {
+		name: "rijndaele", insts: 300_000, memRatio: 0.32, writeRatio: 0.35,
+		code: codeSpec{loopBytes: 1856, funcs: 3, funcBytes: 512, callEvery: 105, callLen: 30, jumpProb: 0.29, innerBytes: 224, innerIters: 12},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 160 << 10, strideBytes: 8, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 8, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patRandom, regionBytes: 4 << 10, strideBytes: 4, weight: 0.35},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 0.65},
+		},
+	},
+	// stringsearch: sequential scans through text with a small skip
+	// table; tiny loop, streaming data.
+	"strings": {
+		name: "strings", insts: 240_000, memRatio: 0.28, writeRatio: 0.10,
+		code: codeSpec{loopBytes: 576, funcs: 2, funcBytes: 384, callEvery: 130, callLen: 25, jumpProb: 0.41, innerBytes: 96, innerIters: 10},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 96 << 10, strideBytes: 4, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 768, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// SUSAN corners: 2-D image sweep with a small neighbourhood window.
+	"susanc": {
+		name: "susanc", insts: 320_000, memRatio: 0.30, writeRatio: 0.20,
+		code: codeSpec{loopBytes: 1536, funcs: 3, funcBytes: 512, callEvery: 95, callLen: 35, jumpProb: 0.36, innerBytes: 192, innerIters: 11},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 192 << 10, strideBytes: 2, rowBytes: 768, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 96 << 10, strideBytes: 2, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// SUSAN edges: as corners over a larger image.
+	"susane": {
+		name: "susane", insts: 340_000, memRatio: 0.30, writeRatio: 0.25,
+		code: codeSpec{loopBytes: 1600, funcs: 3, funcBytes: 512, callEvery: 95, callLen: 35, jumpProb: 0.36, innerBytes: 192, innerIters: 11},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 256 << 10, strideBytes: 2, rowBytes: 1024, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 128 << 10, strideBytes: 2, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 1.0},
+		},
+	},
+	// unepic: wavelet image decompression — mixed sequential output and
+	// irregular coefficient fetches, larger code.
+	"unepic": {
+		name: "unepic", insts: 300_000, memRatio: 0.26, writeRatio: 0.35,
+		code: codeSpec{loopBytes: 2176, funcs: 5, funcBytes: 640, callEvery: 65, callLen: 45, jumpProb: 0.41, innerBytes: 160, innerIters: 9},
+		data: []dataSpec{
+			{kind: patStride2D, regionBytes: 96 << 10, strideBytes: 2, rowBytes: 64, runBytes: 48, pcs: 1},
+			{kind: patStride2D, regionBytes: 64 << 10, strideBytes: 4, rowBytes: 512, runBytes: 32, pcs: 1},
+			{kind: patRandom, regionBytes: 64 << 10, strideBytes: 16, weight: 0.30},
+			{kind: patTable, regionBytes: 1 << 10, strideBytes: 4, weight: 0.70},
+		},
+	},
+}

@@ -1,0 +1,96 @@
+package workload
+
+import "testing"
+
+func TestSpecsWellFormed(t *testing.T) {
+	for name, s := range specs {
+		if s.name != name {
+			t.Errorf("%s: name field %q mismatched", name, s.name)
+		}
+		if s.insts < 100_000 || s.insts > 1_000_000 {
+			t.Errorf("%s: implausible instruction count %d", name, s.insts)
+		}
+		if s.memRatio <= 0 || s.memRatio > 0.6 {
+			t.Errorf("%s: memRatio %v out of range", name, s.memRatio)
+		}
+		if s.writeRatio < 0 || s.writeRatio > 1 {
+			t.Errorf("%s: writeRatio %v out of range", name, s.writeRatio)
+		}
+		if s.code.loopBytes == 0 || s.code.loopBytes%instLen != 0 {
+			t.Errorf("%s: loopBytes %d invalid", name, s.code.loopBytes)
+		}
+		if s.code.funcBytes%instLen != 0 {
+			t.Errorf("%s: funcBytes %d not instruction-aligned", name, s.code.funcBytes)
+		}
+		if len(s.data) == 0 {
+			t.Errorf("%s: no data patterns", name)
+		}
+		hasBackground := false
+		for i, d := range s.data {
+			if d.regionBytes == 0 {
+				t.Errorf("%s: pattern %d has zero region", name, i)
+			}
+			if d.kind.isStream() {
+				if d.pcs < 1 {
+					t.Errorf("%s: stream pattern %d needs pcs >= 1", name, i)
+				}
+				if d.strideBytes == 0 {
+					t.Errorf("%s: stream pattern %d has zero stride", name, i)
+				}
+				if d.kind == patStride2D && (d.runBytes == 0 || d.rowBytes == 0) {
+					t.Errorf("%s: 2D pattern %d missing run/row geometry", name, i)
+				}
+			} else {
+				hasBackground = true
+				if d.weight <= 0 {
+					t.Errorf("%s: background pattern %d needs positive weight", name, i)
+				}
+			}
+		}
+		if !hasBackground {
+			t.Errorf("%s: every app needs a background (stack) pattern", name)
+		}
+	}
+}
+
+func TestStreamBudget(t *testing.T) {
+	// The 4-entry prefetch buffer supports at most ~2-3 concurrent
+	// streams; specs exceeding that would thrash it (see package doc).
+	for name, s := range specs {
+		streams := 0
+		for _, d := range s.data {
+			if d.kind.isStream() {
+				streams += d.pcs
+			}
+		}
+		if streams > 3 {
+			t.Errorf("%s: %d streaming PCs exceed the prefetch-buffer budget", name, streams)
+		}
+	}
+}
+
+func TestPaperTextureTargets(t *testing.T) {
+	// Spot-check the per-app characteristics the paper's figures rely on.
+	if specs["pegwitd"].memRatio < specs["adpcmd"].memRatio {
+		t.Error("pegwitd must be more memory-intensive than adpcmd (Fig. 2)")
+	}
+	if specs["g721d"].code.loopBytes > 1280 {
+		t.Error("g721d must have a small, mostly cache-resident loop")
+	}
+	if specs["jpegd"].code.loopBytes < specs["g721d"].code.loopBytes {
+		t.Error("jpegd must have a larger code footprint than g721d")
+	}
+	// pegwit* working sets must exceed the 2kB cache by orders of
+	// magnitude (their D-stall dominates, Fig. 2).
+	for _, app := range []string{"pegwitd", "pegwite"} {
+		big := false
+		for _, d := range specs[app].data {
+			if d.kind == patRandom && d.regionBytes >= 256<<10 {
+				big = true
+			}
+		}
+		if !big {
+			t.Errorf("%s: missing the large irregular working set", app)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := MustNew("fft", 0.02)
+	var buf bytes.Buffer
+	if err := WriteTrace(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Name() != "fft" || replay.Len() != orig.Len() {
+		t.Fatalf("header mismatch: %s/%d", replay.Name(), replay.Len())
+	}
+	orig.Reset()
+	for i := 0; ; i++ {
+		want, okW := orig.Next()
+		got, okG := replay.Next()
+		if okW != okG {
+			t.Fatalf("stream lengths differ at %d", i)
+		}
+		if !okW {
+			break
+		}
+		if want != got {
+			t.Fatalf("access %d differs: %+v vs %+v", i, want, got)
+		}
+	}
+}
+
+func TestTraceReplayResets(t *testing.T) {
+	g := FromAccesses("x", []Access{{PC: 1}, {PC: 2, HasData: true, DataAddr: 7, Write: true}})
+	a1, _ := g.Next()
+	g.Next()
+	if _, ok := g.Next(); ok {
+		t.Fatal("stream too long")
+	}
+	g.Reset()
+	b1, ok := g.Next()
+	if !ok || a1 != b1 {
+		t.Fatal("reset replay differs")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a trace\n100\n",
+		"#ipextrace v1 fft\n", // missing count
+		"#ipextrace v1 fft abc\n",
+		"#ipextrace v1 fft 1\nzz R 10\n",
+		"#ipextrace v1 fft 1\n100 X 10\n",
+		"#ipextrace v1 fft 1\n100 R\n",
+		"#ipextrace v1 fft 2\n100\n", // count mismatch
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadTraceSkipsComments(t *testing.T) {
+	in := "#ipextrace v1 demo 2\n# a comment\n100\n\n104 W 2000\n"
+	g, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	g.Next()
+	a, _ := g.Next()
+	if !a.Write || a.DataAddr != 0x2000 {
+		t.Errorf("second access = %+v", a)
+	}
+}
+
+func TestTraceFormatIsStable(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTrace(FromAccesses("t", []Access{
+		{PC: 0x10},
+		{PC: 0x14, HasData: true, DataAddr: 0x2000},
+		{PC: 0x18, HasData: true, DataAddr: 0x2004, Write: true},
+	}), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "#ipextrace v1 t 3\n10\n14 R 2000\n18 W 2004\n"
+	if buf.String() != want {
+		t.Errorf("format drifted:\n%q\nwant\n%q", buf.String(), want)
+	}
+}

@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNamesHasAll20Apps(t *testing.T) {
+	names := Names()
+	if len(names) != 20 {
+		t.Fatalf("got %d apps, want 20: %v", len(names), names)
+	}
+	want := []string{
+		"adpcmd", "adpcme", "basicm", "fft", "g721d", "g721e", "gsmd",
+		"gsme", "ifft", "jpegd", "patricia", "pegwitd", "pegwite", "qsort",
+		"rijndaeld", "rijndaele", "strings", "susanc", "susane", "unepic",
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestNewUnknownApp(t *testing.T) {
+	if _, err := New("doom", 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestLenAndTermination(t *testing.T) {
+	g := MustNew("fft", 0.01)
+	n := 0
+	for {
+		_, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != g.Len() {
+		t.Errorf("produced %d, Len() = %d", n, g.Len())
+	}
+	// After exhaustion Next keeps returning false.
+	if _, ok := g.Next(); ok {
+		t.Error("Next returned true after end of stream")
+	}
+}
+
+func TestScale(t *testing.T) {
+	full := MustNew("fft", 1)
+	half := MustNew("fft", 0.5)
+	if half.Len() >= full.Len() {
+		t.Errorf("scale 0.5 len %d !< full len %d", half.Len(), full.Len())
+	}
+	def := MustNew("fft", 0)
+	if def.Len() != full.Len() {
+		t.Error("scale <= 0 should mean 1.0")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	for _, app := range []string{"fft", "pegwitd", "g721d"} {
+		a := MustNew(app, 0.05)
+		b := MustNew(app, 0.05)
+		for i := 0; ; i++ {
+			x, okA := a.Next()
+			y, okB := b.Next()
+			if okA != okB {
+				t.Fatalf("%s: streams ended at different points", app)
+			}
+			if !okA {
+				break
+			}
+			if x != y {
+				t.Fatalf("%s: access %d differs: %+v vs %+v", app, i, x, y)
+			}
+		}
+	}
+}
+
+func TestResetReplaysIdentically(t *testing.T) {
+	g := MustNew("qsort", 0.05)
+	var first []Access
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		first = append(first, a)
+	}
+	g.Reset()
+	for i := range first {
+		a, ok := g.Next()
+		if !ok {
+			t.Fatalf("replay ended early at %d", i)
+		}
+		if a != first[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a, first[i])
+		}
+	}
+}
+
+func TestAddressBounds(t *testing.T) {
+	// All addresses must stay inside the smallest main memory the paper
+	// sweeps (2 MB, Fig. 20).
+	for _, app := range Names() {
+		g := MustNew(app, 0.05)
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			if a.PC >= 2<<20 || (a.HasData && a.DataAddr >= 2<<20) {
+				t.Fatalf("%s: address out of 2MB bound: %+v", app, a)
+			}
+			if a.PC < codeBase {
+				t.Fatalf("%s: PC below code base: %#x", app, a.PC)
+			}
+			if a.HasData && a.DataAddr < dataBase {
+				t.Fatalf("%s: data address below data base: %#x", app, a.DataAddr)
+			}
+		}
+	}
+}
+
+func TestInstructionToDataRatio(t *testing.T) {
+	// §6.2: instruction accesses outnumber data accesses roughly 4:1 on
+	// average across the suite.
+	totalInsts, totalData := 0, 0
+	for _, app := range Names() {
+		g := MustNew(app, 0.05)
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			totalInsts++
+			if a.HasData {
+				totalData++
+			}
+		}
+	}
+	ratio := float64(totalInsts) / float64(totalData)
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Errorf("I:D access ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestMemorySlotsAreStaticProperties(t *testing.T) {
+	// A PC that accessed memory once must always access memory (and with
+	// the same store/load direction), as in compiled code.
+	g := MustNew("gsme", 0.05)
+	type slot struct {
+		hasData bool
+		write   bool
+	}
+	seen := map[uint64]slot{}
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		if prev, ok := seen[a.PC]; ok {
+			if prev.hasData != a.HasData || (a.HasData && prev.write != a.Write) {
+				t.Fatalf("PC %#x changed its memory behavior", a.PC)
+			}
+		} else {
+			seen[a.PC] = slot{a.HasData, a.Write}
+		}
+	}
+}
+
+func TestStreamingPCsHaveConstantStride(t *testing.T) {
+	// Each streaming PC must expose a constant per-execution stride to
+	// the prefetchers (modulo lane wraparound).
+	for _, app := range []string{"gsme", "rijndaeld", "fft"} {
+		g := MustNew(app, 0.1).(*gen)
+		lastAddr := map[uint64]uint64{}
+		strides := map[uint64]map[int64]int{}
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			if !a.HasData {
+				continue
+			}
+			b, bound := g.bindings[a.PC]
+			if !bound || !g.spec.data[b.pat].kind.isStream() || g.spec.data[b.pat].kind != patSeq {
+				continue
+			}
+			if prev, ok := lastAddr[a.PC]; ok {
+				d := int64(a.DataAddr) - int64(prev)
+				if strides[a.PC] == nil {
+					strides[a.PC] = map[int64]int{}
+				}
+				strides[a.PC][d]++
+			}
+			lastAddr[a.PC] = a.DataAddr
+		}
+		for pc, hist := range strides {
+			total, dominant := 0, 0
+			for _, n := range hist {
+				total += n
+				if n > dominant {
+					dominant = n
+				}
+			}
+			if total > 20 && float64(dominant)/float64(total) < 0.95 {
+				t.Errorf("%s: stream PC %#x stride not constant: %v", app, pc, hist)
+			}
+		}
+	}
+}
+
+func TestWorkloadPropertiesQuick(t *testing.T) {
+	// Any app/scale combination yields a valid, in-bounds stream.
+	names := Names()
+	f := func(appIdx uint8, scaleRaw uint8) bool {
+		app := names[int(appIdx)%len(names)]
+		scale := 0.002 + float64(scaleRaw%50)/1000
+		g, err := New(app, scale)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			n++
+			if a.PC == 0 {
+				return false
+			}
+			if a.Write && !a.HasData {
+				return false
+			}
+		}
+		return n == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew("doom", 1)
+}
+
+func TestCodeAndDataRegionsDisjoint(t *testing.T) {
+	// Instruction fetches and data references must live in disjoint
+	// address ranges: overlap would let the DCache serve instruction
+	// blocks and corrupt the per-side statistics.
+	for _, app := range Names() {
+		g := MustNew(app, 0.02)
+		maxPC, minData := uint64(0), uint64(1<<63)
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			if a.PC > maxPC {
+				maxPC = a.PC
+			}
+			if a.HasData && a.DataAddr < minData {
+				minData = a.DataAddr
+			}
+		}
+		if maxPC >= minData {
+			t.Errorf("%s: code (max %#x) overlaps data (min %#x)", app, maxPC, minData)
+		}
+	}
+}
+
+func TestInnerKernelConcentratesExecution(t *testing.T) {
+	// The inner kernel must execute more often per PC than the outer loop
+	// (the loop-nesting model streaming PCs rely on).
+	g := MustNew("gsme", 0.1).(*gen)
+	lo, hi := g.innerRange()
+	if hi == 0 {
+		t.Skip("app has no inner kernel")
+	}
+	counts := map[uint64]int{}
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[a.PC]++
+	}
+	innerTotal, innerN, outerTotal, outerN := 0, 0, 0, 0
+	for pc, n := range counts {
+		if pc >= lo && pc < hi {
+			innerTotal += n
+			innerN++
+		} else if pc < lo || pc >= hi {
+			outerTotal += n
+			outerN++
+		}
+	}
+	if innerN == 0 || outerN == 0 {
+		t.Fatal("classification failed")
+	}
+	innerMean := float64(innerTotal) / float64(innerN)
+	outerMean := float64(outerTotal) / float64(outerN)
+	if innerMean < 2*outerMean {
+		t.Errorf("inner kernel PCs execute %.1fx the outer mean, want >= 2x",
+			innerMean/outerMean)
+	}
+}

@@ -1,0 +1,230 @@
+// Package ipex is the public API of the IPEX reproduction: a trace-driven
+// simulator of a batteryless, energy-harvesting nonvolatile processor (NVP)
+// with volatile caches, hardware prefetchers, and the paper's
+// Intermittence-aware Prefetching EXtension ("Rethinking Prefetching for
+// Intermittent Computing", ISCA 2025).
+//
+// Quickstart:
+//
+//	trace := ipex.GenerateTrace(ipex.RFHome, 0, 1)
+//	base, _ := ipex.Run("fft", 1.0, trace, ipex.DefaultConfig())
+//	with, _ := ipex.Run("fft", 1.0, trace, ipex.DefaultConfig().WithIPEX())
+//	fmt.Printf("IPEX speedup: %.3f\n", float64(base.Cycles)/float64(with.Cycles))
+//
+// The package re-exports the simulator's configuration and result types; the
+// paper's full evaluation lives in cmd/experiments, and DESIGN.md maps every
+// figure and table to its generator.
+package ipex
+
+import (
+	"io"
+
+	"ipex/internal/capacitor"
+	"ipex/internal/core"
+	"ipex/internal/energy"
+	"ipex/internal/experiments"
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/prefetch"
+	"ipex/internal/workload"
+)
+
+// Config assembles one simulated system; see DefaultConfig for the paper's
+// Table-1 defaults and the WithIPEX/WithIPEXData/WithoutPrefetch helpers for
+// the evaluated variants.
+type Config = nvp.Config
+
+// IPEXConfig parameterises the IPEX controller inside a Config.
+type IPEXConfig = core.Config
+
+// Result is the outcome of one simulation run.
+type Result = nvp.Result
+
+// SideStats carries the per-cache-side statistics of a Result.
+type SideStats = nvp.SideStats
+
+// Breakdown is the consumed-energy split (cache/memory/compute/backup).
+type Breakdown = energy.Breakdown
+
+// Trace is a replayable harvested-power recording (one average-power sample
+// per 10 µs).
+type Trace = power.Trace
+
+// Source selects a synthetic ambient-energy source.
+type Source = power.Source
+
+// The four synthetic sources the paper evaluates.
+const (
+	RFHome   = power.RFHome
+	RFOffice = power.RFOffice
+	Solar    = power.Solar
+	Thermal  = power.Thermal
+)
+
+// NVMTech selects the main-memory technology.
+type NVMTech = energy.NVMTech
+
+// The three NVM technologies of the paper's Figure 21.
+const (
+	ReRAM  = energy.ReRAM
+	STTRAM = energy.STTRAM
+	PCM    = energy.PCM
+)
+
+// Workload is a deterministic application access-stream generator.
+// Implement it to simulate your own firmware (see examples/sensorlogger).
+type Workload = workload.Generator
+
+// Access is one committed instruction of a Workload stream.
+type Access = workload.Access
+
+// Prefetcher is the degree-controlled prefetcher interface; implement it
+// and install a factory in Config.IPrefetcherFactory/DPrefetcherFactory to
+// run (and IPEX-throttle) a custom prefetcher.
+type Prefetcher = prefetch.Prefetcher
+
+// PrefetchEvent is the demand-access observation a Prefetcher receives.
+type PrefetchEvent = prefetch.Event
+
+// MaxPrefetchDegree is the architectural cap on the prefetch degree.
+const MaxPrefetchDegree = prefetch.MaxDegree
+
+// PrefetcherKind names a built-in prefetcher for Config.IPrefetcher /
+// Config.DPrefetcher.
+type PrefetcherKind = prefetch.Kind
+
+// The built-in prefetchers: the paper's six (Tables 1, 3, 4) plus AMPM
+// from its related work.
+const (
+	NoPrefetcher         PrefetcherKind = prefetch.KindNone
+	SequentialPrefetcher PrefetcherKind = prefetch.KindSequential
+	StridePrefetcher     PrefetcherKind = prefetch.KindStride
+	MarkovPrefetcher     PrefetcherKind = prefetch.KindMarkov
+	TIFSPrefetcher       PrefetcherKind = prefetch.KindTIFS
+	GHBPrefetcher        PrefetcherKind = prefetch.KindGHB
+	BOPrefetcher         PrefetcherKind = prefetch.KindBO
+	AMPMPrefetcher       PrefetcherKind = prefetch.KindAMPM
+)
+
+// DefaultConfig returns the paper's Table-1 system: 2 kB 4-way caches,
+// 4-entry prefetch buffers, sequential + stride prefetchers at degree 2,
+// 16 MB ReRAM, a 0.47 µF capacitor, and IPEX disabled.
+func DefaultConfig() Config { return nvp.DefaultConfig() }
+
+// NVMFor returns main-memory parameters for a technology and capacity,
+// usable as Config.NVM.
+func NVMFor(tech NVMTech, sizeBytes int64) energy.NVMParams {
+	return energy.NVMFor(tech, sizeBytes)
+}
+
+// Workloads lists the 20 benchmark names.
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload builds the named benchmark's generator; scale multiplies its
+// instruction count (<= 0 means 1.0).
+func NewWorkload(name string, scale float64) (Workload, error) {
+	return workload.New(name, scale)
+}
+
+// GenerateTrace synthesizes a power trace for a source; n <= 0 uses the
+// default length (0.5 s). The same (source, n, seed) always produces the
+// identical trace.
+func GenerateTrace(src Source, n int, seed uint64) *Trace {
+	return power.Generate(src, n, seed)
+}
+
+// LoadTrace reads a recorded power log in the paper's text format (one
+// average-power value in watts per line; '#' comments allowed).
+func LoadTrace(name string, r io.Reader) (*Trace, error) {
+	return power.Load(name, r)
+}
+
+// OutageEstimate is the capacitor-only outage analysis of a power trace.
+type OutageEstimate = power.OutageEstimate
+
+// AnalyzeTrace estimates outage behaviour for a trace against the given
+// constant running draw (watts) and the default capacitor — a fast sizing
+// tool; the full simulator refines it with the workload's real draw.
+func AnalyzeTrace(tr *Trace, drawWatts float64) (OutageEstimate, error) {
+	return power.Analyze(tr, drawWatts, capacitor.DefaultConfig())
+}
+
+// PowerCycleStats is one entry of Result.PowerCycleLog (Config.RecordCycles).
+type PowerCycleStats = nvp.PowerCycleStats
+
+// WriteAccessTrace records a workload's complete access stream in the
+// repository's text trace format (see internal/workload); ReadAccessTrace
+// replays such a file, including traces captured outside this simulator.
+func WriteAccessTrace(wl Workload, w io.Writer) error {
+	return workload.WriteTrace(wl, w)
+}
+
+// ReadAccessTrace parses an access-trace file into a replayable Workload.
+func ReadAccessTrace(r io.Reader) (Workload, error) {
+	return workload.ReadTrace(r)
+}
+
+// AccessTraceFromSlice wraps a pre-built access sequence as a Workload.
+func AccessTraceFromSlice(name string, accesses []Access) Workload {
+	return workload.FromAccesses(name, accesses)
+}
+
+// Run simulates one workload under one power trace and configuration.
+func Run(app string, scale float64, trace *Trace, cfg Config) (Result, error) {
+	wl, err := workload.New(app, scale)
+	if err != nil {
+		return Result{}, err
+	}
+	return nvp.Run(wl, trace, cfg)
+}
+
+// RunWorkload simulates a caller-provided workload generator (e.g. a custom
+// application model) under one power trace and configuration.
+func RunWorkload(wl Workload, trace *Trace, cfg Config) (Result, error) {
+	return nvp.Run(wl, trace, cfg)
+}
+
+// Speedup returns how much faster b completed than a (wall-clock cycles,
+// including recharge time — the paper's performance metric).
+func Speedup(a, b Result) float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Cycles) / float64(b.Cycles)
+}
+
+// Overhead reports IPEX's hardware cost (§6.1 of the paper: 99 bits per
+// cache, 0.0018 % of the core area for the default two caches).
+func Overhead(caches int) core.OverheadReport { return core.Overhead(caches) }
+
+// ExperimentOptions controls the paper-evaluation sweeps re-exported below.
+type ExperimentOptions = experiments.Options
+
+// Experiment entry points: each regenerates one figure or table of the
+// paper (see DESIGN.md's experiment index). They are thin re-exports of
+// internal/experiments for programmatic use; cmd/experiments drives them
+// from the command line.
+var (
+	Fig01  = experiments.Fig01
+	Fig02  = experiments.Fig02
+	Fig04  = experiments.Fig04
+	Fig10  = experiments.Fig10
+	Fig11  = experiments.Fig11
+	Fig12  = experiments.Fig12
+	Fig13  = experiments.Fig13
+	Fig14  = experiments.Fig14
+	Fig15  = experiments.Fig15
+	Table2 = experiments.Table2
+	Table3 = experiments.Table3
+	Table4 = experiments.Table4
+	Fig16  = experiments.Fig16
+	Fig17  = experiments.Fig17
+	Fig18  = experiments.Fig18
+	Fig19  = experiments.Fig19
+	Fig20  = experiments.Fig20
+	Fig21  = experiments.Fig21
+	Fig22  = experiments.Fig22
+	Fig23  = experiments.Fig23
+	Fig24  = experiments.Fig24
+	Fig25  = experiments.Fig25
+)

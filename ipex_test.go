@@ -1,0 +1,90 @@
+package ipex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	trace := GenerateTrace(RFHome, 20000, 1)
+	base, err := Run("fft", 0.05, trace, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run("fft", 0.05, trace, DefaultConfig().WithIPEX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Completed || !with.Completed {
+		t.Fatal("runs did not complete")
+	}
+	s := Speedup(base, with)
+	if s < 0.5 || s > 2 {
+		t.Errorf("implausible IPEX speedup %v", s)
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	if len(Workloads()) != 20 {
+		t.Errorf("Workloads() = %d names", len(Workloads()))
+	}
+	if _, err := NewWorkload("nosuch", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunWorkloadCustomGenerator(t *testing.T) {
+	wl, err := NewWorkload("qsort", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunWorkload(wl, GenerateTrace(Solar, 20000, 2), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.App != "qsort" {
+		t.Errorf("App = %q", r.App)
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	tr, err := LoadTrace("log", strings.NewReader("0.001\n0.002\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 2 {
+		t.Errorf("samples = %d", len(tr.Samples))
+	}
+}
+
+func TestOverheadExported(t *testing.T) {
+	r := Overhead(2)
+	if r.TotalBits != 198 {
+		t.Errorf("TotalBits = %d", r.TotalBits)
+	}
+}
+
+func TestNVMForExported(t *testing.T) {
+	p := NVMFor(PCM, 16<<20)
+	if p.Tech != PCM {
+		t.Errorf("tech = %v", p.Tech)
+	}
+}
+
+func TestSpeedupZeroGuard(t *testing.T) {
+	if Speedup(Result{Cycles: 10}, Result{}) != 0 {
+		t.Error("zero-cycle divisor not guarded")
+	}
+}
+
+func TestExperimentReexports(t *testing.T) {
+	o := ExperimentOptions{Scale: 0.02, Apps: []string{"fft"}}
+	r, err := Fig04(o)
+	if err != nil || len(r.Points) == 0 {
+		t.Fatalf("Fig04: %v", err)
+	}
+	f2, err := Fig02(o)
+	if err != nil || len(f2.Rows) != 1 {
+		t.Fatalf("Fig02: %v", err)
+	}
+}
