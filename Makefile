@@ -1,0 +1,39 @@
+# Development entry points. `make ci` is the full gate a change must pass;
+# the individual targets exist for quick iteration.
+
+GO ?= go
+BENCH_JSON ?= BENCH_hotloop.json
+
+.PHONY: all build vet test race bench golden ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the committed hot-loop record: the Fig10-class sweep benchmark
+# plus the raw simulator-throughput probe, which writes $(BENCH_JSON) via
+# bench_test.go when BENCH_HOTLOOP_JSON is set.
+bench:
+	BENCH_HOTLOOP_JSON=$(BENCH_JSON) $(GO) test -run=NONE \
+		-bench='BenchmarkFig10|BenchmarkSimulatorThroughput' -benchtime=10x ./...
+
+# The golden determinism gate: simulator results must stay bit-identical to
+# testdata/golden_rfhome.json (captured before the hot-loop optimization).
+golden:
+	$(GO) test -run TestGoldenDeterminism .
+
+ci: build vet race golden
+	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
+
+clean:
+	$(GO) clean -testcache

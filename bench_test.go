@@ -7,8 +7,11 @@
 package ipex
 
 import (
+	"os"
+	"runtime"
 	"testing"
 
+	"ipex/internal/benchio"
 	"ipex/internal/experiments"
 )
 
@@ -147,4 +150,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		insts += r.Insts
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/s")
+
+	// With BENCH_HOTLOOP_JSON set (the Makefile's bench target), persist
+	// the hot-loop figures so performance travels with the commit. An
+	// existing record is updated in place — its experiment timings and
+	// notes (the seed baseline) are preserved.
+	if path := os.Getenv("BENCH_HOTLOOP_JSON"); path != "" {
+		perRun := insts / uint64(b.N)
+		nsPerRun := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if _, err := Run("gsme", 1.0, trace, cfg); err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&m1)
+
+		rec := benchio.NewRecord()
+		if old, err := benchio.Read(path); err == nil {
+			rec.Scale = old.Scale
+			rec.Experiments = old.Experiments
+			rec.Notes = old.Notes
+		}
+		rec.Hotloop = &benchio.Hotloop{
+			App: "gsme", Scale: 1, Insts: perRun,
+			NsPerInst:    nsPerRun / float64(perRun),
+			InstsPerSec:  float64(insts) / b.Elapsed().Seconds(),
+			AllocsPerRun: int64(m1.Mallocs - m0.Mallocs),
+			BytesPerRun:  int64(m1.TotalAlloc - m0.TotalAlloc),
+		}
+		if err := benchio.Write(path, rec); err != nil {
+			b.Logf("writing %s: %v", path, err)
+		}
+	}
 }

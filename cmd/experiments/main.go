@@ -15,11 +15,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
+	"ipex/internal/benchio"
 	"ipex/internal/experiments"
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/workload"
 )
 
 type runner func(experiments.Options) (fmt.Stringer, error)
@@ -86,8 +93,42 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
 		apps   = flag.String("apps", "", "comma-separated app subset (default all 20)")
 		seed   = flag.Uint64("seed", 1, "power-trace seed")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchJSON  = flag.String("benchjson", "", "write hot-loop + per-experiment timings to this JSON file (e.g. BENCH_hotloop.json)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		ids := make([]string, 0, len(registry))
@@ -125,6 +166,7 @@ func main() {
 		fmt.Println()
 	}
 
+	var timings []benchio.Experiment
 	for _, id := range ids {
 		start := time.Now()
 		r, err := registry[id](o)
@@ -132,6 +174,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start).Seconds()
+		timings = append(timings, benchio.Experiment{ID: id, WallSeconds: elapsed})
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -142,6 +186,49 @@ func main() {
 			continue
 		}
 		fmt.Println(r.String())
-		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s took %.1fs)\n\n", id, elapsed)
+	}
+
+	if *benchJSON != "" {
+		rec := benchio.NewRecord()
+		rec.Scale = *scale
+		rec.Hotloop = probeHotloop(*scale)
+		rec.Experiments = timings
+		if err := benchio.Write(*benchJSON, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%.1f ns/inst, %d experiments)\n",
+			*benchJSON, rec.Hotloop.NsPerInst, len(timings))
+	}
+}
+
+// probeHotloop measures the simulator core the way bench_test.go's
+// BenchmarkSimulatorThroughput does: repeated nvp.Run of one memoized
+// workload on the default configuration, normalized per instruction.
+func probeHotloop(scale float64) *benchio.Hotloop {
+	const app = "gsme"
+	tr := power.Generate(power.RFHome, power.DefaultTraceSamples, 1)
+	cfg := nvp.DefaultConfig()
+	wl := workload.Shared().MustGet(app, scale)
+	insts := uint64(wl.Len())
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nvp.Run(workload.Shared().MustGet(app, scale), tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	nsPerRun := float64(res.NsPerOp())
+	return &benchio.Hotloop{
+		App:          app,
+		Scale:        scale,
+		Insts:        insts,
+		NsPerInst:    nsPerRun / float64(insts),
+		InstsPerSec:  float64(insts) / (nsPerRun / 1e9),
+		AllocsPerRun: res.AllocsPerOp(),
+		BytesPerRun:  res.AllocedBytesPerOp(),
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ipex/internal/core"
@@ -49,8 +51,38 @@ func main() {
 		bufferMode = flag.Bool("buffermode", false, "keep prefetches in the buffer until use instead of filling the cache")
 		cycles     = flag.Int("cycles", 0, "print per-power-cycle telemetry for the first N cycles")
 		saveTrace  = flag.String("savetrace", "", "record the workload's access trace to this file and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ipexsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ipexsim: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := nvp.DefaultConfig()
 	cfg.ICacheSize = *icache

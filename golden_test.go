@@ -1,0 +1,126 @@
+package ipex
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/workload"
+)
+
+// The golden determinism test pins the simulator's observable behaviour:
+// every optimization of the hot loop must reproduce the seed simulator's
+// Result fields bit-for-bit (cycles, energy breakdown, outages, prefetch
+// stats — everything in nvp.Result) for all 20 apps on the RFHome trace,
+// across three configurations that exercise the no-prefetch, conventional
+// prefetch, and IPEX code paths.
+//
+// testdata/golden_rfhome.json was generated from the unoptimized seed
+// simulator. Regenerate it with `go test -run TestGoldenDeterminism -update`
+// ONLY for an intentional behaviour change, never to paper over an
+// optimization that drifted.
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from current behaviour")
+
+// goldenScale keeps the 20-app × 3-config sweep around a second while still
+// running every app through multiple power cycles.
+const goldenScale = 0.25
+
+const goldenPath = "testdata/golden_rfhome.json"
+
+// goldenRun is one (app, config) record. Result round-trips through JSON
+// exactly: Go marshals float64 with the shortest representation that parses
+// back to the identical bits, so DeepEqual after decode is a bit-identical
+// comparison.
+type goldenRun struct {
+	App    string
+	Config string
+	Result nvp.Result
+}
+
+func goldenConfigs() []struct {
+	name string
+	cfg  nvp.Config
+} {
+	return []struct {
+		name string
+		cfg  nvp.Config
+	}{
+		{"default", nvp.DefaultConfig()},
+		{"ipex-both", nvp.DefaultConfig().WithIPEX()},
+		{"no-prefetch", nvp.DefaultConfig().WithoutPrefetch()},
+	}
+}
+
+func computeGolden(t *testing.T) []goldenRun {
+	t.Helper()
+	trace := power.Generate(power.RFHome, power.DefaultTraceSamples, 1)
+	var runs []goldenRun
+	for _, app := range workload.Names() {
+		for _, c := range goldenConfigs() {
+			wl, err := workload.New(app, goldenScale)
+			if err != nil {
+				t.Fatalf("workload %s: %v", app, err)
+			}
+			r, err := nvp.Run(wl, trace, c.cfg)
+			if err != nil {
+				t.Fatalf("run %s/%s: %v", app, c.name, err)
+			}
+			runs = append(runs, goldenRun{App: app, Config: c.name, Result: r})
+		}
+	}
+	return runs
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	got := computeGolden(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden runs to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (generate with -update): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("decoding %s: %v", goldenPath, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden run count changed: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].App != want[i].App || got[i].Config != want[i].Config {
+			t.Fatalf("golden run order changed at %d: got %s/%s, want %s/%s",
+				i, got[i].App, got[i].Config, want[i].App, want[i].Config)
+		}
+		if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+			t.Errorf("%s/%s: Result drifted from seed behaviour\ngot:  %s\nwant: %s",
+				got[i].App, got[i].Config, mustJSON(got[i].Result), mustJSON(want[i].Result))
+		}
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err.Error()
+	}
+	return string(b)
+}

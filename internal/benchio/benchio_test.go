@@ -1,0 +1,45 @@
+package benchio
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := NewRecord()
+	want.Scale = 0.1
+	want.Hotloop = &Hotloop{
+		App: "gsme", Scale: 1, Insts: 123456,
+		NsPerInst: 42.5, InstsPerSec: 2.35e7,
+		AllocsPerRun: 46, BytesPerRun: 69939,
+	}
+	want.Experiments = []Experiment{{ID: "fig10", WallSeconds: 0.02}}
+	want.Notes = []string{"seed baseline: 100 ns/inst"}
+
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWriteFillsSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Write(path, Record{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != Schema {
+		t.Errorf("schema = %q, want %q", r.Schema, Schema)
+	}
+}

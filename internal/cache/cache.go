@@ -54,9 +54,16 @@ type Cache struct {
 	sets    [][]line
 	nsets   int
 	blockLg uint
+	setLg   uint // log2(nsets), precomputed for the per-access tag shift
 	setMask uint64
-	tick    uint64
-	stats   Stats
+	// hint[set] is the way of that set's last hit or fill. Demand streams
+	// re-touch the same line often, so probing it first usually resolves
+	// the tag match in one compare instead of a full way scan. Purely a
+	// search-order optimization: a set holds at most one line per tag, so
+	// hit/miss outcomes, LRU updates, and statistics are unchanged.
+	hint  []uint32
+	tick  uint64
+	stats Stats
 }
 
 // New builds a cache from the given geometry. Size must be a multiple of
@@ -93,7 +100,9 @@ func New(params energy.CacheParams) (*Cache, error) {
 		sets:    sets,
 		nsets:   nsets,
 		blockLg: blockLg,
+		setLg:   uintLog2(nsets),
 		setMask: uint64(nsets - 1),
+		hint:    make([]uint32, nsets),
 	}, nil
 }
 
@@ -119,7 +128,7 @@ func (c *Cache) BlockAddr(addr uint64) uint64 {
 
 func (c *Cache) index(block uint64) (set int, tag uint64) {
 	b := block >> c.blockLg
-	return int(b & c.setMask), b >> uintLog2(c.nsets)
+	return int(b & c.setMask), b >> c.setLg
 }
 
 func uintLog2(n int) uint {
@@ -138,22 +147,37 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	c.stats.Accesses++
 	c.tick++
 	set, tag := c.index(c.BlockAddr(addr))
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	lines := c.sets[set]
+	h := int(c.hint[set])
+	if l := &lines[h]; l.valid && l.tag == tag {
+		c.touch(l, write)
+		return true
+	}
+	for i := range lines {
+		if i == h {
+			continue
+		}
+		l := &lines[i]
 		if l.valid && l.tag == tag {
-			l.used = c.tick
-			if write {
-				l.dirty = true
-			}
-			if l.pfUnused {
-				l.pfUnused = false
-				c.stats.PrefetchedUseful++
-			}
+			c.hint[set] = uint32(i)
+			c.touch(l, write)
 			return true
 		}
 	}
 	c.stats.Misses++
 	return false
+}
+
+// touch applies a demand hit to a resident line.
+func (c *Cache) touch(l *line, write bool) {
+	l.used = c.tick
+	if write {
+		l.dirty = true
+	}
+	if l.pfUnused {
+		l.pfUnused = false
+		c.stats.PrefetchedUseful++
+	}
 }
 
 // NoteBufHit records that the miss just reported by Access was served from
@@ -164,8 +188,12 @@ func (c *Cache) NoteBufHit() { c.stats.BufHits++ }
 // touching statistics or LRU state.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(c.BlockAddr(addr))
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	lines := c.sets[set]
+	if l := &lines[c.hint[set]]; l.valid && l.tag == tag {
+		return true
+	}
+	for i := range lines {
+		l := &lines[i]
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -199,6 +227,7 @@ func (c *Cache) fill(addr uint64, write, prefetched bool) (evictedDirty bool) {
 			// Already present (e.g. filled by an overlapping path); just
 			// refresh. A prefetched refill never downgrades a demand line
 			// to unused.
+			c.hint[set] = uint32(i)
 			l.used = c.tick
 			if write {
 				l.dirty = true
@@ -225,12 +254,14 @@ func (c *Cache) fill(addr uint64, write, prefetched bool) (evictedDirty bool) {
 		}
 	}
 	*v = line{tag: tag, valid: true, dirty: write, pfUnused: prefetched, used: c.tick}
+	c.hint[set] = uint32(victim)
 	return evictedDirty
 }
 
-// DirtyBlocks returns the number of dirty lines currently resident; the JIT
-// checkpoint must write each of them to NVM.
-func (c *Cache) DirtyBlocks() int {
+// DirtyCount returns the number of dirty lines currently resident without
+// allocating — what the outage path needs when only the checkpoint size
+// matters (ideal mode, telemetry).
+func (c *Cache) DirtyCount() int {
 	n := 0
 	for _, set := range c.sets {
 		for i := range set {
@@ -241,6 +272,10 @@ func (c *Cache) DirtyBlocks() int {
 	}
 	return n
 }
+
+// DirtyBlocks returns the number of dirty lines currently resident; the JIT
+// checkpoint must write each of them to NVM.
+func (c *Cache) DirtyBlocks() int { return c.DirtyCount() }
 
 // ValidBlocks returns the number of valid lines currently resident.
 func (c *Cache) ValidBlocks() int {
@@ -258,17 +293,22 @@ func (c *Cache) ValidBlocks() int {
 // DirtyAddrs returns the block addresses of all dirty lines; the JIT
 // checkpoint writes each to NVM and the reboot path restores them.
 func (c *Cache) DirtyAddrs() []uint64 {
-	var addrs []uint64
-	setLg := uintLog2(c.nsets)
+	return c.DirtyAddrsAppend(nil)
+}
+
+// DirtyAddrsAppend appends the dirty block addresses to dst (in the same
+// set-major order DirtyAddrs uses) and returns the extended slice. Passing
+// a reused scratch buffer makes the per-outage checkpoint allocation-free.
+func (c *Cache) DirtyAddrsAppend(dst []uint64) []uint64 {
 	for si, set := range c.sets {
 		for i := range set {
 			if set[i].valid && set[i].dirty {
-				block := (set[i].tag<<setLg | uint64(si)) << c.blockLg
-				addrs = append(addrs, block)
+				block := (set[i].tag<<c.setLg | uint64(si)) << c.blockLg
+				dst = append(dst, block)
 			}
 		}
 	}
-	return addrs
+	return dst
 }
 
 // DrainPrefetchStats classifies still-resident prefetched-unused lines as

@@ -245,3 +245,38 @@ func TestCapacityNeverExceeded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDirtyCountAndAppendMatchDirtyAddrs(t *testing.T) {
+	c := MustNew(energy.CacheFor(512, 4))
+	for i := 0; i < 40; i++ {
+		addr := uint64(i * 48)
+		if !c.Access(addr, i%3 == 0) {
+			c.Fill(addr, i%3 == 0)
+		}
+	}
+	addrs := c.DirtyAddrs()
+	if got := c.DirtyCount(); got != len(addrs) {
+		t.Errorf("DirtyCount = %d, want %d", got, len(addrs))
+	}
+	if got := c.DirtyBlocks(); got != len(addrs) {
+		t.Errorf("DirtyBlocks = %d, want %d", got, len(addrs))
+	}
+	scratch := make([]uint64, 0, 8)
+	appended := c.DirtyAddrsAppend(scratch[:0])
+	if len(appended) != len(addrs) {
+		t.Fatalf("DirtyAddrsAppend returned %d addrs, want %d", len(appended), len(addrs))
+	}
+	for i := range addrs {
+		if appended[i] != addrs[i] {
+			t.Errorf("addr %d: append order %x differs from DirtyAddrs %x", i, appended[i], addrs[i])
+		}
+	}
+	// Reuse must not allocate once capacity suffices.
+	appended = c.DirtyAddrsAppend(appended[:0])
+	allocs := testing.AllocsPerRun(100, func() {
+		appended = c.DirtyAddrsAppend(appended[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("DirtyAddrsAppend with reused scratch allocates %v per run", allocs)
+	}
+}

@@ -59,6 +59,12 @@ type Capacitor struct {
 	// energyNJ is the stored energy in nJ.
 	energyNJ float64
 	maxNJ    float64
+	// backupCutNJ/onCutNJ are the exact energy-domain images of the
+	// Vbackup/Von comparisons: the smallest stored energy whose Voltage()
+	// is >= the threshold. The simulator's per-instruction voltage checks
+	// reduce to one float compare instead of a square root.
+	backupCutNJ float64
+	onCutNJ     float64
 }
 
 // New returns a capacitor charged to Vmax.
@@ -68,6 +74,8 @@ func New(cfg Config) (*Capacitor, error) {
 	}
 	c := &Capacitor{cfg: cfg, maxNJ: energyNJAt(cfg, cfg.Vmax)}
 	c.energyNJ = c.maxNJ
+	c.backupCutNJ = energyCutoffNJ(cfg, cfg.Vbackup)
+	c.onCutNJ = energyCutoffNJ(cfg, cfg.Von)
 	return c, nil
 }
 
@@ -82,6 +90,48 @@ func MustNew(cfg Config) *Capacitor {
 
 func energyNJAt(cfg Config, v float64) float64 {
 	return 0.5 * cfg.CapacitanceFarads * v * v * 1e9
+}
+
+// voltageOfNJ replicates Voltage()'s exact floating-point sequence for an
+// arbitrary stored energy. Every step (×2, ×1e-9, ÷C, sqrt) is a
+// correctly-rounded monotone operation, so the composition is weakly
+// monotone in e — the property energyCutoffNJ relies on.
+func voltageOfNJ(cfg Config, e float64) float64 {
+	if e <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * e * 1e-9 / cfg.CapacitanceFarads)
+}
+
+// energyCutoffNJ returns the smallest float64 energy e (in nJ) such that
+// voltageOfNJ(cfg, e) >= v. Because voltageOfNJ is weakly monotone, the set
+// {e : Voltage(e) >= v} is upward closed and "Voltage() >= v" is exactly
+// equivalent to "energyNJ >= cutoff" — bit-identical to comparing voltages,
+// without the per-call square root. The boundary is found by bisecting the
+// IEEE-754 bit representation (non-negative doubles order like their bits),
+// which pins the exact ULP in at most 64 steps.
+func energyCutoffNJ(cfg Config, v float64) float64 {
+	if v <= 0 {
+		// Voltage() is never negative, so the comparison always holds.
+		return math.Inf(-1)
+	}
+	hi := energyNJAt(cfg, cfg.Vmax)
+	for voltageOfNJ(cfg, hi) < v {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return math.Inf(1) // v is unreachable at any stored energy
+		}
+	}
+	lob, hib := uint64(0), math.Float64bits(hi)
+	for lob < hib {
+		mid := lob + (hib-lob)/2
+		if voltageOfNJ(cfg, math.Float64frombits(mid)) >= v {
+			hib = mid
+		} else {
+			lob = mid + 1
+		}
+	}
+	return math.Float64frombits(lob)
 }
 
 // Config returns the configuration the capacitor was built with.
@@ -137,11 +187,21 @@ func (c *Capacitor) SetVoltage(v float64) {
 }
 
 // BelowBackup reports whether the voltage has fallen to the JIT-checkpoint
-// trigger.
-func (c *Capacitor) BelowBackup() bool { return c.Voltage() < c.cfg.Vbackup }
+// trigger. The comparison runs in the energy domain (see energyCutoffNJ)
+// and is exactly equivalent to Voltage() < Vbackup.
+func (c *Capacitor) BelowBackup() bool { return c.energyNJ < c.backupCutNJ }
 
-// AtOrAboveOn reports whether a dead system may reboot.
-func (c *Capacitor) AtOrAboveOn() bool { return c.Voltage() >= c.cfg.Von }
+// AtOrAboveOn reports whether a dead system may reboot. Exactly equivalent
+// to Voltage() >= Von, without the square root.
+func (c *Capacitor) AtOrAboveOn() bool { return c.energyNJ >= c.onCutNJ }
+
+// EnergyCutoffNJ returns the smallest stored energy (nJ) at which
+// Voltage() >= v holds, so callers polling voltage thresholds every cycle
+// (the IPEX controllers) can compare stored energy directly. The
+// equivalence is exact: energyNJ >= cutoff iff Voltage() >= v.
+func (c *Capacitor) EnergyCutoffNJ(v float64) float64 {
+	return energyCutoffNJ(c.cfg, v)
+}
 
 // GuardEnergyNJ returns the energy available between the backup trigger and
 // brown-out — the budget a JIT checkpoint must fit into.

@@ -138,6 +138,52 @@ func TestThresholdPredicates(t *testing.T) {
 	}
 }
 
+// TestEnergyCutoffExactlyMatchesVoltage walks the stored energy ULP by ULP
+// across each threshold and checks that the energy-domain comparison agrees
+// with the voltage-domain one at every single float64 — the bit-identical
+// equivalence the hot loop relies on.
+func TestEnergyCutoffExactlyMatchesVoltage(t *testing.T) {
+	cfg := DefaultConfig()
+	c := MustNew(cfg)
+	thresholds := []float64{cfg.Vbackup, cfg.Von, 3.30, 3.25, 3.17, cfg.Voff, cfg.Vmax}
+	for _, v := range thresholds {
+		cut := c.EnergyCutoffNJ(v)
+		if voltageOfNJ(cfg, cut) < v {
+			t.Errorf("v=%v: Voltage(cutoff=%v) = %v < v", v, cut, voltageOfNJ(cfg, cut))
+		}
+		// Probe a window of adjacent floats straddling the cutoff.
+		e := cut
+		for i := 0; i < 64; i++ {
+			e = math.Nextafter(e, 0)
+		}
+		for i := 0; i < 128; i++ {
+			byVoltage := voltageOfNJ(cfg, e) >= v
+			byEnergy := e >= cut
+			if byVoltage != byEnergy {
+				t.Fatalf("v=%v e=%v (%x): voltage-domain %v, energy-domain %v",
+					v, e, math.Float64bits(e), byVoltage, byEnergy)
+			}
+			e = math.Nextafter(e, math.Inf(1))
+		}
+	}
+}
+
+// TestCutoffPredicatesMatchSqrtForm cross-checks BelowBackup/AtOrAboveOn
+// against their original sqrt formulations over random stored energies.
+func TestCutoffPredicatesMatchSqrtForm(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(raw float64) bool {
+		c := MustNew(cfg)
+		e := math.Mod(math.Abs(raw), c.maxNJ*1.5)
+		c.energyNJ = e
+		return c.BelowBackup() == (c.Voltage() < cfg.Vbackup) &&
+			c.AtOrAboveOn() == (c.Voltage() >= cfg.Von)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestGuardCoversCheckpoint(t *testing.T) {
 	// The backup guard band must cover a worst-case JIT checkpoint: 128
 	// dirty blocks at the ReRAM write energy plus the register file.

@@ -155,6 +155,14 @@ type Controller struct {
 	haveV      bool
 	cpd        int // R_cpd
 
+	// energyOf converts a voltage threshold to its exact stored-energy
+	// cutoff (capacitor.EnergyCutoffNJ); cuts caches the conversion of the
+	// live thresholds so ObserveEnergy replaces the hot loop's
+	// per-instruction sqrt with plain compares. Refreshed whenever the
+	// thresholds adapt (OnReboot).
+	energyOf func(v float64) float64
+	cuts     []float64
+
 	// Volatile per-power-cycle registers.
 	rThrottled uint64 // R_throttled
 	rTotal     uint64 // R_total
@@ -257,6 +265,59 @@ func (c *Controller) Observe(v float64) {
 	}
 }
 
+// UseEnergyCutoffs installs a voltage→energy-cutoff converter (typically
+// capacitor.EnergyCutoffNJ) so the simulator can feed ObserveEnergy the
+// capacitor's stored energy directly instead of computing a voltage every
+// instruction. The converter must satisfy: Voltage(e) >= v iff
+// e >= f(v) — the exact equivalence capacitor.EnergyCutoffNJ provides.
+func (c *Controller) UseEnergyCutoffs(f func(v float64) float64) {
+	c.energyOf = f
+	c.refreshCuts()
+}
+
+// refreshCuts recomputes the per-threshold energy cutoffs after the
+// thresholds change (installation and reboot-time adaptation).
+func (c *Controller) refreshCuts() {
+	if c.energyOf == nil {
+		return
+	}
+	if len(c.cuts) != len(c.thresholds) {
+		c.cuts = make([]float64, len(c.thresholds))
+	}
+	for i, t := range c.thresholds {
+		c.cuts[i] = c.energyOf(t)
+	}
+}
+
+// ObserveEnergy is Observe for a stored-energy sample (nJ). It requires
+// UseEnergyCutoffs and makes exactly the same crossing decisions Observe
+// would make for the corresponding voltage, with one float compare per
+// threshold and no square root.
+func (c *Controller) ObserveEnergy(e float64) {
+	if !c.cfg.Enabled {
+		return
+	}
+	if !c.haveV {
+		for i, cut := range c.cuts {
+			c.above[i] = e >= cut
+		}
+		c.haveV = true
+		return
+	}
+	for i, cut := range c.cuts {
+		nowAbove := e >= cut
+		if nowAbove == c.above[i] {
+			continue
+		}
+		c.above[i] = nowAbove
+		if nowAbove {
+			c.double()
+		} else {
+			c.halve()
+		}
+	}
+}
+
 func (c *Controller) halve() {
 	if c.cfg.LinearAdjust {
 		if c.cpd > 0 {
@@ -325,6 +386,7 @@ func (c *Controller) OnReboot() {
 			c.shiftThresholds(+c.cfg.StepV)
 			c.stats.MovesUp++
 		}
+		c.refreshCuts()
 	}
 
 	c.cpd = c.cfg.InitialDegree

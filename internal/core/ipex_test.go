@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"ipex/internal/capacitor"
 	"ipex/internal/prefetch"
+	"ipex/internal/rng"
 )
 
 func testConfig() Config {
@@ -370,5 +373,55 @@ func TestLinearAdjustPolicy(t *testing.T) {
 	}
 	if c.Degree() > cfg.MaxDegree {
 		t.Errorf("linear policy exceeded cap: %d", c.Degree())
+	}
+}
+
+// TestObserveEnergyMatchesObserve drives two identically configured
+// controllers in lockstep — one fed voltages, one fed the capacitor's
+// stored energy through the exact energy cutoffs — across many power
+// cycles with reboot-time threshold adaptation, and requires identical
+// degree decisions and statistics throughout.
+func TestObserveEnergyMatchesObserve(t *testing.T) {
+	capCfg := capacitor.DefaultConfig()
+	cp := capacitor.MustNew(capCfg)
+	cfg := testConfig()
+
+	byV := MustNewController(cfg)
+	byE := MustNewController(cfg)
+	byE.UseEnergyCutoffs(cp.EnergyCutoffNJ)
+
+	r := rng.New(7)
+	cp.SetVoltage(capCfg.Von)
+	for step := 0; step < 200_000; step++ {
+		// Random walk of the stored charge through the operating band.
+		if r.Float64() < 0.5 {
+			cp.Harvest(r.Float64() * 2)
+		} else {
+			cp.Consume(r.Float64() * 2)
+		}
+		byV.Observe(cp.Voltage())
+		byE.ObserveEnergy(cp.EnergyNJ())
+		if byV.Degree() != byE.Degree() {
+			t.Fatalf("step %d (V=%v E=%v): degree diverged: observe=%d energy=%d",
+				step, cp.Voltage(), cp.EnergyNJ(), byV.Degree(), byE.Degree())
+		}
+		if byV.Degree() < cfg.MaxDegree && r.Float64() < 0.1 {
+			byV.Record(2, byV.Degree())
+			byE.Record(2, byE.Degree())
+		}
+		if cp.BelowBackup() {
+			byV.Backup()
+			byE.Backup()
+			cp.SetVoltage(capCfg.Von)
+			byV.OnReboot()
+			byE.OnReboot()
+			if fmt.Sprint(byV.Thresholds()) != fmt.Sprint(byE.Thresholds()) {
+				t.Fatalf("step %d: thresholds diverged: %v vs %v",
+					step, byV.Thresholds(), byE.Thresholds())
+			}
+		}
+	}
+	if byV.Stats() != byE.Stats() {
+		t.Fatalf("stats diverged:\nobserve: %+v\nenergy:  %+v", byV.Stats(), byE.Stats())
 	}
 }

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ipex/internal/workload"
+)
+
+// TestFig10DeterministicAcrossParallelism asserts the worker pool does not
+// leak scheduling into results: a serial sweep and a NumCPU-wide sweep over
+// the same store must produce identical Fig10 rows, bit for bit.
+func TestFig10DeterministicAcrossParallelism(t *testing.T) {
+	opts := func(par int) Options {
+		return Options{
+			Scale:       0.02,
+			Apps:        []string{"gsme", "pegwitd", "jpegd", "fft"},
+			Parallelism: par,
+			Workloads:   workload.NewStore(),
+		}
+	}
+	serial, err := Fig10(opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Fig10(opts(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("Fig10 differs between Parallelism=1 and Parallelism=%d:\nserial: %+v\nwide:   %+v",
+			runtime.NumCPU(), serial, wide)
+	}
+}
+
+// TestRunAllSharesOneStream checks that every job of a sweep replays the
+// memoized stream rather than regenerating: after a multi-config sweep the
+// store holds exactly one entry per (app, scale).
+func TestRunAllSharesOneStream(t *testing.T) {
+	st := workload.NewStore()
+	o := Options{
+		Scale:     0.02,
+		Apps:      []string{"gsme", "fft"},
+		Workloads: st,
+	}
+	if _, err := Fig10(o); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.Len(), len(o.Apps); got != want {
+		t.Errorf("store holds %d streams after sweep, want %d (one per app)", got, want)
+	}
+}

@@ -30,6 +30,10 @@ type Options struct {
 	TraceSeed uint64
 	// Parallelism bounds concurrent simulations (default NumCPU).
 	Parallelism int
+	// Workloads supplies memoized access streams; nil means the shared
+	// process-wide store. Every configuration of a sweep replays the same
+	// generated-once stream instead of regenerating it per job.
+	Workloads *workload.Store
 }
 
 func (o Options) norm() Options {
@@ -45,12 +49,30 @@ func (o Options) norm() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
 	}
+	if o.Workloads == nil {
+		o.Workloads = workload.Shared()
+	}
 	return o
 }
 
-// trace builds the shared power trace for a source.
+// traceMemo caches generated power traces by (source, seed). Generation is
+// deterministic and traces are read-only once built, so every experiment of
+// a sweep shares one instance instead of re-synthesizing ~50k samples each.
+var traceMemo sync.Map
+
+type traceKey struct {
+	src  power.Source
+	seed uint64
+}
+
+// trace builds (or replays) the shared power trace for a source.
 func (o Options) trace(src power.Source) *power.Trace {
-	return power.Generate(src, power.DefaultTraceSamples, o.TraceSeed)
+	key := traceKey{src: src, seed: o.TraceSeed}
+	if v, ok := traceMemo.Load(key); ok {
+		return v.(*power.Trace)
+	}
+	v, _ := traceMemo.LoadOrStore(key, power.Generate(src, power.DefaultTraceSamples, o.TraceSeed))
+	return v.(*power.Trace)
 }
 
 // job is one simulation request.
@@ -60,26 +82,46 @@ type job struct {
 	tr  *power.Trace
 }
 
-// runAll executes jobs with bounded parallelism, preserving order.
+// runAll executes jobs on a bounded worker pool, preserving order. A fixed
+// pool (rather than one goroutine per job gated by a semaphore) keeps the
+// footprint at Parallelism goroutines regardless of sweep size — a headline
+// run enqueues thousands of jobs, and each blocked goroutine used to cost a
+// stack before its semaphore slot even opened.
 func runAll(o Options, jobs []job) ([]nvp.Result, error) {
+	store := o.Workloads
+	if store == nil {
+		store = workload.Shared()
+	}
 	results := make([]nvp.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, o.Parallelism)
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			wl, err := workload.New(j.app, o.Scale)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i], errs[i] = nvp.Run(wl, j.tr, j.cfg)
-		}(i, j)
+	workers := o.Parallelism
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				wl, err := store.Get(j.app, o.Scale)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = nvp.Run(wl, j.tr, j.cfg)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

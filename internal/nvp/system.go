@@ -30,10 +30,24 @@ type side struct {
 	// agNJ is the prefetcher's per-trigger address-generation energy
 	// (§5.2), zero for register-based prefetchers.
 	agNJ float64
+	// pfSkipHits marks a hit-indifferent, zero-address-gen-cost prefetcher
+	// (prefetch.HitIndifferent): plain demand hits then bypass the
+	// observation call without changing any simulated state or statistic.
+	pfSkipHits bool
+	// minReady is a watermark at or below the earliest readyAt in
+	// inflight (noReady when empty). drainPrefetches returns in O(1)
+	// while now < minReady — the common case, since it runs on every
+	// access but prefetch reads take tens of cycles to complete. The
+	// watermark may go stale-low after a removal (never stale-high), so
+	// it only ever causes a redundant scan, never a missed drain.
+	minReady uint64
 	// throttledQ remembers IPEX-throttled candidate blocks for the
 	// ReissueOnExit extension (bounded FIFO).
 	throttledQ []uint64
 }
+
+// noReady is the minReady watermark of an empty in-flight queue.
+const noReady = ^uint64(0)
 
 // throttledQCap bounds the reissue queue (ReissueOnExit): roughly one
 // power cycle's worth of suppressed stream heads.
@@ -46,6 +60,10 @@ type pfReq struct {
 }
 
 // findInflight returns the index of block in the in-flight queue, or -1.
+// The queue is bounded by Config.PrefetchBufEntries (≤ 8 in every evaluated
+// configuration), so a linear scan beats a block→index map: no hashing, no
+// allocation, and the whole queue fits in one cache line. The minReady
+// watermark, not a map, is what makes the per-access drain O(1).
 func (sd *side) findInflight(block uint64) int {
 	for i := range sd.inflight {
 		if sd.inflight[i].block == block {
@@ -88,6 +106,18 @@ type System struct {
 	leakCacheNJ   float64
 	leakMemNJ     float64
 	leakComputeNJ float64
+
+	// Harvest sample cache: samplePow is trace.PowerAt for the sample
+	// window ending at cycle sampleEnd. The trace is piecewise-constant
+	// over SampleIntervalCycles windows and simulated time is monotonic,
+	// so one lookup per window replaces one per harvested chunk.
+	sampleEnd uint64
+	samplePow float64
+
+	// dirtyScratch is the reused checkpoint address buffer; outage()
+	// refills it instead of allocating a fresh DirtyAddrs slice per
+	// power failure.
+	dirtyScratch []uint64
 
 	maxCycles uint64
 
@@ -143,16 +173,27 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 		if err != nil {
 			return side{}, err
 		}
+		// Let the controller compare capacitor energy against precomputed
+		// per-threshold energy cutoffs instead of taking a square root per
+		// observation; the cutoffs are exact (bit-identical decisions).
+		ctl.UseEnergyCutoffs(cp.EnergyCutoffNJ)
 		sd := side{
-			name:   name,
-			cache:  c,
-			buf:    cache.NewPrefetchBuffer(cfg.PrefetchBufEntries),
-			pf:     pf,
-			ctl:    ctl,
-			params: params,
+			name:     name,
+			cache:    c,
+			buf:      cache.NewPrefetchBuffer(cfg.PrefetchBufEntries),
+			pf:       pf,
+			ctl:      ctl,
+			params:   params,
+			minReady: noReady,
 		}
 		if coster, ok := pf.(prefetch.AddressGenCoster); ok {
 			sd.agNJ = coster.AddressGenNJ()
+		}
+		// Hits may skip the observation only when the prefetcher ignores
+		// them AND charges no per-access address-generation energy —
+		// otherwise the skip would change the energy ledger.
+		if hi, ok := pf.(prefetch.HitIndifferent); ok && hi.HitIndifferent() && sd.agNJ == 0 {
+			sd.pfSkipHits = true
 		}
 		return sd, nil
 	}
@@ -226,16 +267,24 @@ func (s *System) run() (Result, error) {
 
 		s.advanceOn(cycles)
 
-		// Voltage monitor: IPEX observation and outage detection.
-		v := s.cap.Voltage()
-		for _, sd := range [2]*side{&s.inst, &s.data} {
-			before := sd.ctl.Degree()
-			sd.ctl.Observe(v)
-			if s.cfg.ReissueOnExit && sd.ctl.Degree() > before {
-				// Back toward high-performance mode: replay what was
-				// throttled earlier in this power cycle.
-				s.reissueThrottled(sd)
+		// Voltage monitor: IPEX observation and outage detection. The
+		// monitor compares stored energy against precomputed cutoffs —
+		// exactly equivalent to comparing Voltage() against thresholds,
+		// without the per-instruction square roots.
+		e := s.cap.EnergyNJ()
+		if s.cfg.ReissueOnExit {
+			for _, sd := range [2]*side{&s.inst, &s.data} {
+				before := sd.ctl.Degree()
+				sd.ctl.ObserveEnergy(e)
+				if sd.ctl.Degree() > before {
+					// Back toward high-performance mode: replay what was
+					// throttled earlier in this power cycle.
+					s.reissueThrottled(sd)
+				}
 			}
+		} else {
+			s.inst.ctl.ObserveEnergy(e)
+			s.data.ctl.ObserveEnergy(e)
 		}
 		if s.cap.BelowBackup() {
 			s.outage()
@@ -289,9 +338,17 @@ func (s *System) flushCycle(dirtyAtBackup int) {
 // (prefetch-to-cache mode). A block whose demand copy arrived first counts
 // as a useless (redundant) prefetch.
 func (s *System) drainPrefetches(sd *side) {
+	if s.now < sd.minReady {
+		// Watermark fast path: nothing in flight can be ready yet.
+		return
+	}
+	min := uint64(noReady)
 	for i := 0; i < len(sd.inflight); {
 		e := sd.inflight[i]
 		if e.readyAt > s.now {
+			if e.readyAt < min {
+				min = e.readyAt
+			}
 			i++
 			continue
 		}
@@ -308,13 +365,16 @@ func (s *System) drainPrefetches(sd *side) {
 			s.pend.Memory += wnj
 		}
 	}
+	sd.minReady = min
 }
 
 // access performs one demand access on a side and returns the stall cycles
 // it caused beyond the base pipeline cycle.
 func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 	block := sd.cache.BlockAddr(addr)
-	if s.cfg.PrefetchToCache {
+	if s.cfg.PrefetchToCache && s.now >= sd.minReady {
+		// Watermark checked here so the common nothing-ready case costs a
+		// compare instead of a function call.
 		s.drainPrefetches(sd)
 	}
 	hit := sd.cache.Access(addr, write)
@@ -382,13 +442,21 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 	// includes the stall accrued so far — late prefetches (§5.1) arise
 	// naturally from this serialization.
 	if sd.pf != nil {
+		if hit && sd.pfSkipHits {
+			// The prefetcher neither trains nor emits on a plain hit and
+			// costs nothing to consult: skip the call (bufHit implies a
+			// miss, so this branch never hides a buffer-hit trigger).
+			return stall
+		}
 		// §5.2: with IPEX holding the degree at zero, the prefetcher's
 		// table-lookup address generation is powered down entirely.
 		if s.cfg.GateAddressGen && sd.agNJ > 0 && sd.ctl.Enabled() && sd.ctl.Degree() == 0 {
 			sd.stats.AddressGenGated++
 			return stall
 		}
-		s.pend.Cache += sd.agNJ
+		if sd.agNJ != 0 {
+			s.pend.Cache += sd.agNJ
+		}
 		sd.cands = sd.pf.OnAccess(sd.cands[:0], prefetch.Event{
 			PC:        pc,
 			Addr:      addr,
@@ -397,7 +465,9 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 			BufHit:    bufHit,
 			BlockSize: uint64(sd.params.BlockSize),
 		})
-		s.issuePrefetches(sd, stall)
+		if len(sd.cands) != 0 {
+			s.issuePrefetches(sd, stall)
+		}
 	}
 	return stall
 }
@@ -465,7 +535,11 @@ candidates:
 		s.pend.Memory += rnj
 		start := s.now + busyCycles
 		if s.cfg.PrefetchToCache {
-			sd.inflight = append(sd.inflight, pfReq{block: kept[i], readyAt: start + rc})
+			rdy := start + rc
+			sd.inflight = append(sd.inflight, pfReq{block: kept[i], readyAt: rdy})
+			if rdy < sd.minReady {
+				sd.minReady = rdy
+			}
 		} else {
 			sd.buf.Insert(kept[i], start+rc)
 		}
@@ -507,7 +581,11 @@ func (s *System) reissueThrottled(sd *side) {
 			}
 			rc, rnj := s.nvm.Read(mem.PrefetchRead)
 			s.pend.Memory += rnj
-			sd.inflight = append(sd.inflight, pfReq{block: b, readyAt: s.now + rc})
+			rdy := s.now + rc
+			sd.inflight = append(sd.inflight, pfReq{block: b, readyAt: rdy})
+			if rdy < sd.minReady {
+				sd.minReady = rdy
+			}
 		} else {
 			if sd.buf.Lookup(b) != nil {
 				continue
@@ -526,12 +604,13 @@ func (s *System) reissueThrottled(sd *side) {
 func (s *System) advanceOn(cycles uint64) {
 	s.harvest(cycles)
 
-	leak := energy.Breakdown{
-		Cache:   s.leakCacheNJ * float64(cycles),
-		Memory:  s.leakMemNJ * float64(cycles),
-		Compute: s.leakComputeNJ * float64(cycles),
-	}
-	s.pend.Add(leak)
+	// Leakage added field-by-field in Breakdown.Add's order; skipping the
+	// BkRst term (identically zero for leakage) is bitwise-neutral since
+	// x + 0.0 == x for the non-negative energies accumulated here.
+	fc := float64(cycles)
+	s.pend.Cache += s.leakCacheNJ * fc
+	s.pend.Memory += s.leakMemNJ * fc
+	s.pend.Compute += s.leakComputeNJ * fc
 
 	s.cap.Consume(s.pend.Total())
 	s.consumed.Add(s.pend)
@@ -542,17 +621,23 @@ func (s *System) advanceOn(cycles uint64) {
 }
 
 // harvest integrates the power trace over [now, now+cycles), honouring the
-// 10 µs sample boundaries.
+// 10 µs sample boundaries. The trace is constant within a sample window, so
+// the power value is cached until simulated time crosses sampleEnd — time
+// only moves forward, so a single monotonic check replaces the div+mod trace
+// lookup on every call.
 func (s *System) harvest(cycles uint64) {
 	t := s.now
 	remaining := cycles
 	for remaining > 0 {
-		boundary := (t/power.SampleIntervalCycles + 1) * power.SampleIntervalCycles
-		chunk := boundary - t
+		if t >= s.sampleEnd {
+			s.samplePow = s.trace.PowerAt(t)
+			s.sampleEnd = (t/power.SampleIntervalCycles + 1) * power.SampleIntervalCycles
+		}
+		chunk := s.sampleEnd - t
 		if chunk > remaining {
 			chunk = remaining
 		}
-		s.cap.Harvest(power.EnergyNJ(s.trace.PowerAt(t), chunk))
+		s.cap.Harvest(power.EnergyNJ(s.samplePow, chunk))
 		t += chunk
 		remaining -= chunk
 	}
@@ -564,11 +649,21 @@ func (s *System) outage() {
 	s.outages++
 
 	// 1. JIT checkpoint: dirty DCache blocks + all volatile registers.
-	dirtyAddrs := s.data.cache.DirtyAddrs()
-	if !s.cfg.Ideal {
+	// The address list is only needed for the non-ideal backup/restore
+	// walk; it goes into a reused scratch buffer so an outage allocates
+	// nothing. Ideal mode needs just the count, and only for telemetry.
+	dirty := 0
+	if s.cfg.Ideal {
+		if s.cfg.RecordCycles {
+			dirty = s.data.cache.DirtyCount()
+		}
+	} else {
+		s.dirtyScratch = s.data.cache.DirtyAddrsAppend(s.dirtyScratch[:0])
+		dirty = len(s.dirtyScratch)
+
 		var bkCycles uint64
 		var bkNJ float64
-		for range dirtyAddrs {
+		for range s.dirtyScratch {
 			wc, wnj := s.nvm.Write(mem.CheckpointWrite)
 			bkCycles += wc
 			bkNJ += wnj
@@ -601,6 +696,7 @@ func (s *System) outage() {
 	for _, sd := range [2]*side{&s.inst, &s.data} {
 		sd.stats.InflightWiped += uint64(len(sd.inflight))
 		sd.inflight = sd.inflight[:0]
+		sd.minReady = noReady
 		sd.throttledQ = sd.throttledQ[:0]
 	}
 	if s.inst.pf != nil {
@@ -623,7 +719,7 @@ func (s *System) outage() {
 	if !s.cfg.Ideal {
 		var rsCycles uint64
 		var rsNJ float64
-		for _, addr := range dirtyAddrs {
+		for _, addr := range s.dirtyScratch {
 			rc, rnj := s.nvm.Read(mem.RestoreRead)
 			rsCycles += rc
 			rsNJ += rnj
@@ -644,7 +740,7 @@ func (s *System) outage() {
 	s.inst.ctl.OnReboot()
 	s.data.ctl.OnReboot()
 
-	s.flushCycle(len(dirtyAddrs))
+	s.flushCycle(dirty)
 	s.snapshotCycle()
 }
 

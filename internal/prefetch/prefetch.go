@@ -67,3 +67,13 @@ const MaxDegree = 4
 type AddressGenCoster interface {
 	AddressGenNJ() float64
 }
+
+// HitIndifferent is implemented by prefetchers whose OnAccess is a no-op —
+// no training, no candidates — when the event is neither a miss nor a
+// prefetch-buffer hit. The simulator may then skip the call entirely on
+// plain demand hits, which dominate the instruction stream. Prefetchers
+// that train on every access (stride's RPT, AMPM's map) must NOT implement
+// this.
+type HitIndifferent interface {
+	HitIndifferent() bool
+}

@@ -35,6 +35,10 @@ func (s *Sequential) OnAccess(dst []uint64, ev Event) []uint64 {
 	return dst
 }
 
+// HitIndifferent implements the engine's hit-skip contract: OnAccess
+// returns immediately for events that are neither misses nor buffer hits.
+func (s *Sequential) HitIndifferent() bool { return true }
+
 // Reset implements Prefetcher.
 func (s *Sequential) Reset() {
 	s.lastBlock = 0

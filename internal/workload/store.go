@@ -1,0 +1,110 @@
+package workload
+
+import "sync"
+
+// Store memoizes fully generated access streams keyed by (app, scale).
+//
+// The synthetic generators are deterministic, so every simulation of the
+// same (app, scale) pair consumes the identical sequence; regenerating it
+// per configuration (as every experiment sweep used to) pays the full
+// per-instruction generation cost — hash lookups, RNG draws, PC-walk
+// bookkeeping — four to six times per app. The store generates each stream
+// once per process and hands out lightweight replay cursors over a shared
+// read-only slice, which is both cheaper per instruction than generation
+// and free after the first request.
+//
+// Store is safe for concurrent use: the first Get for a key generates under
+// a per-entry sync.Once while other keys proceed independently, and replay
+// generators never mutate the shared slice.
+type Store struct {
+	mu      sync.Mutex
+	entries map[storeKey]*storeEntry
+}
+
+type storeKey struct {
+	name  string
+	scale float64
+}
+
+type storeEntry struct {
+	once     sync.Once
+	accesses []Access
+	err      error
+}
+
+// NewStore returns an empty trace store.
+func NewStore() *Store {
+	return &Store{entries: make(map[storeKey]*storeEntry)}
+}
+
+// shared is the process-wide store used by the public Run API and the
+// experiment harness; all configurations of one sweep replay its streams.
+var shared = NewStore()
+
+// Shared returns the process-wide trace store.
+func Shared() *Store { return shared }
+
+// Get returns a fresh replay cursor over the memoized access stream of the
+// named app at the given scale, generating (and caching) the stream on
+// first use. The replayed sequence is exactly what New(name, scale) would
+// produce; each returned Generator has its own position and may be consumed
+// concurrently with others.
+func (s *Store) Get(name string, scale float64) (Generator, error) {
+	if scale <= 0 {
+		scale = 1 // mirror New's normalization so keys do not fragment
+	}
+	key := storeKey{name: name, scale: scale}
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &storeEntry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		g, err := New(name, scale)
+		if err != nil {
+			e.err = err
+			return
+		}
+		acc := make([]Access, 0, g.Len())
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			acc = append(acc, a)
+		}
+		e.accesses = acc
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &sliceGen{name: name, accesses: e.accesses}, nil
+}
+
+// MustGet is Get for app names known to be valid.
+func (s *Store) MustGet(name string, scale float64) Generator {
+	g, err := s.Get(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Len reports how many distinct (app, scale) streams are memoized.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Evict drops every memoized stream, releasing their memory. Long-lived
+// processes sweeping many distinct scales can call it between sweeps; a
+// full-length 20-app suite holds on the order of a hundred megabytes.
+func (s *Store) Evict() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[storeKey]*storeEntry)
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStoreReplayMatchesGeneration checks that a replay cursor yields the
+// exact sequence the underlying generator produces, for every app.
+func TestStoreReplayMatchesGeneration(t *testing.T) {
+	st := NewStore()
+	for _, name := range Names() {
+		gen := MustNew(name, 0.02)
+		rep, err := st.Get(name, 0.02)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Name() != gen.Name() || rep.Len() != gen.Len() {
+			t.Fatalf("%s: replay identity mismatch: %s/%d vs %s/%d",
+				name, rep.Name(), rep.Len(), gen.Name(), gen.Len())
+		}
+		for i := 0; ; i++ {
+			want, okW := gen.Next()
+			got, okG := rep.Next()
+			if okW != okG {
+				t.Fatalf("%s: stream length diverged at %d", name, i)
+			}
+			if !okW {
+				break
+			}
+			if want != got {
+				t.Fatalf("%s: access %d diverged: %+v vs %+v", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestStoreScaleNormalization mirrors New: non-positive scales mean 1.0 and
+// must share the memoized entry instead of fragmenting the key space.
+func TestStoreScaleNormalization(t *testing.T) {
+	st := NewStore()
+	if _, err := st.Get("fft", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("fft", -3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get("fft", 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store holds %d entries, want 1 (scale<=0 should alias 1.0)", st.Len())
+	}
+}
+
+func TestStoreUnknownApp(t *testing.T) {
+	st := NewStore()
+	if _, err := st.Get("no-such-app", 1); err == nil {
+		t.Error("Get accepted an unknown app")
+	}
+	// A failed generation must not poison the store for valid keys.
+	if _, err := st.Get("fft", 1); err != nil {
+		t.Errorf("valid Get after failure: %v", err)
+	}
+}
+
+// TestStoreConcurrentGet hammers one store from many goroutines (run under
+// -race in CI): generation must happen once per key, every cursor must see
+// the identical stream, and concurrent replay must be data-race-free.
+func TestStoreConcurrentGet(t *testing.T) {
+	st := NewStore()
+	apps := []string{"fft", "gsme", "pegwitd", "jpegd"}
+	ref := make(map[string][]Access)
+	for _, app := range apps {
+		g := MustNew(app, 0.01)
+		var acc []Access
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			acc = append(acc, a)
+		}
+		ref[app] = acc
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			app := apps[w%len(apps)]
+			g, err := st.Get(app, 0.01)
+			if err != nil {
+				errc <- err
+				return
+			}
+			want := ref[app]
+			for i := 0; ; i++ {
+				a, ok := g.Next()
+				if !ok {
+					if i != len(want) {
+						t.Errorf("%s: replay ended at %d, want %d", app, i, len(want))
+					}
+					return
+				}
+				if a != want[i] {
+					t.Errorf("%s: concurrent replay diverged at %d", app, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if st.Len() != len(apps) {
+		t.Errorf("store holds %d entries, want %d", st.Len(), len(apps))
+	}
+
+	st.Evict()
+	if st.Len() != 0 {
+		t.Errorf("Evict left %d entries", st.Len())
+	}
+}

@@ -169,14 +169,23 @@ func AccessTraceFromSlice(name string, accesses []Access) Workload {
 	return workload.FromAccesses(name, accesses)
 }
 
-// Run simulates one workload under one power trace and configuration.
+// Run simulates one workload under one power trace and configuration. The
+// app's access stream is generated once per (app, scale) pair and memoized
+// process-wide, so comparing configurations over the same workload replays
+// an identical, cheap-to-read stream (see EvictWorkloadCache to release the
+// memory).
 func Run(app string, scale float64, trace *Trace, cfg Config) (Result, error) {
-	wl, err := workload.New(app, scale)
+	wl, err := workload.Shared().Get(app, scale)
 	if err != nil {
 		return Result{}, err
 	}
 	return nvp.Run(wl, trace, cfg)
 }
+
+// EvictWorkloadCache drops every memoized workload access stream. A
+// full-length 20-app sweep holds on the order of a hundred megabytes; call
+// this between sweeps of distinct scales in long-lived processes.
+func EvictWorkloadCache() { workload.Shared().Evict() }
 
 // RunWorkload simulates a caller-provided workload generator (e.g. a custom
 // application model) under one power trace and configuration.
