@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race bench golden ci clean
+.PHONY: all build vet test race bench golden lint ci clean
 
 all: ci
 
@@ -32,7 +32,24 @@ bench:
 golden:
 	$(GO) test -run TestGoldenDeterminism .
 
-ci: build vet race golden
+# Determinism lint: simulator internals must not read the wall clock or the
+# global math/rand stream — both would break replayable, seed-stable results.
+# internal/benchio is the one documented exception (it stamps benchmark
+# records with their generation time; nothing simulated depends on it).
+lint: vet
+	@bad=$$(grep -rn 'time\.Now' internal/ --include='*.go' \
+		| grep -v '^internal/benchio/' | grep -v '_test\.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: wall-clock read in simulator internals (only internal/benchio may):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn '"math/rand"' internal/ --include='*.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: math/rand import in internal/ (use the seeded PRNGs in internal/power):"; \
+		echo "$$bad"; exit 1; \
+	fi
+
+ci: build lint race golden
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

@@ -8,6 +8,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
+	"os"
 
 	"ipex/internal/nvp"
 	"ipex/internal/power"
@@ -18,6 +20,9 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload length multiplier")
 	flag.Parse()
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fatalf("-scale must be a positive finite number, got %g", *scale)
+	}
 
 	trace := power.Generate(power.RFHome, power.DefaultTraceSamples, 1)
 
@@ -28,11 +33,11 @@ func main() {
 	for _, app := range workload.Names() {
 		base := nvp.DefaultConfig()
 
-		noPf, err := nvp.Run(workload.MustNew(app, *scale), trace, base.WithoutPrefetch())
+		noPf, err := runOne(app, *scale, trace, base.WithoutPrefetch())
 		check(err)
-		pf, err := nvp.Run(workload.MustNew(app, *scale), trace, base)
+		pf, err := runOne(app, *scale, trace, base)
 		check(err)
-		ipex, err := nvp.Run(workload.MustNew(app, *scale), trace, base.WithIPEX())
+		ipex, err := runOne(app, *scale, trace, base.WithIPEX())
 		check(err)
 
 		spd1 := stats.Speedup(float64(noPf.Cycles), float64(pf.Cycles))
@@ -62,8 +67,23 @@ func main() {
 		stats.Geomean(spdPf), stats.Geomean(spdIpex))
 }
 
+// runOne builds the workload and runs it, surfacing errors instead of
+// panicking on a bad app name or scale.
+func runOne(app string, scale float64, trace *power.Trace, cfg nvp.Config) (nvp.Result, error) {
+	wl, err := workload.New(app, scale)
+	if err != nil {
+		return nvp.Result{}, err
+	}
+	return nvp.Run(wl, trace, cfg)
+}
+
 func check(err error) {
 	if err != nil {
-		panic(err)
+		fatalf("%v", err)
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "calibrate: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -26,6 +27,7 @@ import (
 	"ipex/internal/experiments"
 	"ipex/internal/nvp"
 	"ipex/internal/power"
+	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
 
@@ -86,19 +88,48 @@ var order = []string{
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		exp    = flag.String("exp", "", "run one experiment (see -list)")
-		list   = flag.Bool("list", false, "list experiment ids")
-		scale  = flag.Float64("scale", 1.0, "workload length multiplier")
-		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
-		apps   = flag.String("apps", "", "comma-separated app subset (default all 20)")
-		seed   = flag.Uint64("seed", 1, "power-trace seed")
+		all      = flag.Bool("all", false, "run every experiment")
+		exp      = flag.String("exp", "", "run one experiment (see -list)")
+		list     = flag.Bool("list", false, "list experiment ids")
+		scale    = flag.Float64("scale", 1.0, "workload length multiplier")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
+		apps     = flag.String("apps", "", "comma-separated app subset (default all 20)")
+		seed     = flag.Uint64("seed", 1, "power-trace seed")
+		parallel = flag.Int("parallelism", 0, "max concurrent simulations (0 = NumCPU; tracing forces 1)")
+
+		tracePath  = flag.String("trace", "", "stream a JSONL event trace of every run to this file (serializes the sweep)")
+		metricsOut = flag.String("metrics", "", "write an aggregate JSON metrics dump of the sweep to this file")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON  = flag.String("benchjson", "", "write hot-loop + per-experiment timings to this JSON file (e.g. BENCH_hotloop.json)")
 	)
 	flag.Parse()
+
+	// Validate flags up front: a bad value should die with one clear line
+	// here, not as a panic or library error deep inside a sweep.
+	// "!(x > 0)" also catches NaN.
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fmt.Fprintf(os.Stderr, "experiments: -scale must be a positive finite number, got %g\n", *scale)
+		os.Exit(1)
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -parallelism must be >= 0, got %d\n", *parallel)
+		os.Exit(1)
+	}
+	if *apps != "" {
+		known := make(map[string]bool, len(workload.Names()))
+		for _, n := range workload.Names() {
+			known[n] = true
+		}
+		for _, a := range strings.Split(*apps, ",") {
+			if !known[a] {
+				fmt.Fprintf(os.Stderr, "experiments: unknown app %q in -apps (want a subset of %s)\n",
+					a, strings.Join(workload.Names(), ", "))
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -140,9 +171,23 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Scale: *scale, TraceSeed: *seed}
+	o := experiments.Options{Scale: *scale, TraceSeed: *seed, Parallelism: *parallel}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
+	}
+
+	var tracerFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		tracerFile = f
+		o.Tracer = trace.NewJSONL(f)
+	}
+	if *metricsOut != "" {
+		o.Metrics = trace.NewRegistry()
 	}
 
 	var ids []string
@@ -168,6 +213,10 @@ func main() {
 
 	var timings []benchio.Experiment
 	for _, id := range ids {
+		if o.Tracer != nil {
+			// A mark event separates the experiments in the shared stream.
+			o.Tracer.Emit(trace.Event{Kind: trace.KindMark, Detail: id})
+		}
 		start := time.Now()
 		r, err := registry[id](o)
 		if err != nil {
@@ -189,10 +238,43 @@ func main() {
 		fmt.Printf("(%s took %.1fs)\n\n", id, elapsed)
 	}
 
+	if o.Tracer != nil {
+		if err := o.Tracer.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracerFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: closing %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", o.Tracer.Events(), *tracePath)
+	}
+	if o.Metrics != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := o.Metrics.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: closing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsOut)
+	}
+
 	if *benchJSON != "" {
 		rec := benchio.NewRecord()
 		rec.Scale = *scale
-		rec.Hotloop = probeHotloop(*scale)
+		hl, err := probeHotloop(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		rec.Hotloop = hl
 		rec.Experiments = timings
 		if err := benchio.Write(*benchJSON, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -206,17 +288,24 @@ func main() {
 // probeHotloop measures the simulator core the way bench_test.go's
 // BenchmarkSimulatorThroughput does: repeated nvp.Run of one memoized
 // workload on the default configuration, normalized per instruction.
-func probeHotloop(scale float64) *benchio.Hotloop {
+func probeHotloop(scale float64) (*benchio.Hotloop, error) {
 	const app = "gsme"
 	tr := power.Generate(power.RFHome, power.DefaultTraceSamples, 1)
 	cfg := nvp.DefaultConfig()
-	wl := workload.Shared().MustGet(app, scale)
+	wl, err := workload.Shared().Get(app, scale)
+	if err != nil {
+		return nil, err
+	}
 	insts := uint64(wl.Len())
 
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := nvp.Run(workload.Shared().MustGet(app, scale), tr, cfg); err != nil {
+			wl, err := workload.Shared().Get(app, scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := nvp.Run(wl, tr, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -230,5 +319,5 @@ func probeHotloop(scale float64) *benchio.Hotloop {
 		InstsPerSec:  float64(insts) / (nsPerRun / 1e9),
 		AllocsPerRun: res.AllocsPerOp(),
 		BytesPerRun:  res.AllocedBytesPerOp(),
-	}
+	}, nil
 }

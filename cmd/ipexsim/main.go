@@ -5,13 +5,15 @@
 //	ipexsim -app fft                         # baseline prefetchers, RFHome
 //	ipexsim -app fft -ipex both              # with IPEX on both caches
 //	ipexsim -app pegwitd -iprefetch none -dprefetch none
-//	ipexsim -app gsme -trace solar -capacitor 4.7e-6
+//	ipexsim -app gsme -source solar -capacitor 4.7e-6
 //	ipexsim -app qsort -tracefile mylog.txt  # replay a recorded power log
+//	ipexsim -app fft -scale 0.1 -trace events.jsonl -metrics metrics.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -23,6 +25,7 @@ import (
 	"ipex/internal/power"
 	"ipex/internal/prefetch"
 	"ipex/internal/stats"
+	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
 
@@ -30,8 +33,10 @@ func main() {
 	var (
 		app        = flag.String("app", "fft", "workload: one of "+strings.Join(workload.Names(), ", "))
 		scale      = flag.Float64("scale", 1.0, "workload length multiplier")
-		traceName  = flag.String("trace", "RFHome", "power trace: RFHome, RFOffice, solar, thermal")
+		sourceName = flag.String("source", "RFHome", "synthetic power source: RFHome, RFOffice, solar, thermal")
 		traceFile  = flag.String("tracefile", "", "replay a recorded power-trace text file instead of a synthetic source")
+		tracePath  = flag.String("trace", "", "stream a JSONL event trace of the run to this file")
+		metricsOut = flag.String("metrics", "", "write an end-of-run JSON metrics dump to this file")
 		ipexMode   = flag.String("ipex", "off", "IPEX attachment: off, data, both")
 		iPf        = flag.String("iprefetch", "sequential", "instruction prefetcher: sequential, markov, tifs, ampm, none")
 		dPf        = flag.String("dprefetch", "stride", "data prefetcher: stride, ghb, bo, ampm, none")
@@ -55,6 +60,43 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Validate every numeric flag up front: a nonsense value should die with
+	// one clear line here, not as a library error (or NaN-poisoned run)
+	// after the workload has been generated. "!(x > 0)" also catches NaN.
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fatalf("-scale must be a positive finite number, got %g", *scale)
+	}
+	if !validApp(*app) {
+		fatalf("unknown -app %q (want one of %s)", *app, strings.Join(workload.Names(), ", "))
+	}
+	if *degree < 1 || *degree > prefetch.MaxDegree {
+		fatalf("-degree %d out of range [1,%d]", *degree, prefetch.MaxDegree)
+	}
+	if *icache <= 0 || *dcache <= 0 {
+		fatalf("-icache/-dcache must be positive, got %d/%d", *icache, *dcache)
+	}
+	if *ways <= 0 {
+		fatalf("-ways must be positive, got %d", *ways)
+	}
+	if *bufEntries <= 0 {
+		fatalf("-pbuf must be positive, got %d", *bufEntries)
+	}
+	if *nvmSize <= 0 {
+		fatalf("-nvmsize must be positive, got %d", *nvmSize)
+	}
+	if !(*capF > 0) || math.IsInf(*capF, 0) {
+		fatalf("-capacitor must be a positive finite capacitance, got %g", *capF)
+	}
+	if *thresholds < 1 {
+		fatalf("-thresholds must be at least 1, got %d", *thresholds)
+	}
+	if !(*stepV > 0) || math.IsInf(*stepV, 0) {
+		fatalf("-step must be a positive finite voltage, got %g", *stepV)
+	}
+	if !(*trigger > 0) || math.IsInf(*trigger, 0) {
+		fatalf("-trigger must be a positive finite rate, got %g", *trigger)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -126,23 +168,23 @@ func main() {
 		cfg.IPEX.Thresholds = nvpThresholds(*thresholds, cfg)
 	}
 
-	var trace *power.Trace
+	var ptrace *power.Trace
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		trace, err = power.Load(*traceFile, f)
+		ptrace, err = power.Load(*traceFile, f)
 		f.Close()
 		if err != nil {
 			fatalf("%v", err)
 		}
 	} else {
-		src, err := power.ParseSource(*traceName)
+		src, err := power.ParseSource(*sourceName)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		trace = power.Generate(src, power.DefaultTraceSamples, 1)
+		ptrace = power.Generate(src, power.DefaultTraceSamples, 1)
 	}
 
 	wl, err := workload.New(*app, *scale)
@@ -165,15 +207,60 @@ func main() {
 		return
 	}
 
+	var tracerFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tracerFile = f
+		cfg.Tracer = trace.NewJSONL(f)
+	}
+	if *metricsOut != "" {
+		cfg.Metrics = trace.NewRegistry()
+	}
+
 	cfg.RecordCycles = *cycles > 0
-	res, err := nvp.Run(wl, trace, cfg)
+	res, err := nvp.Run(wl, ptrace, cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if cfg.Tracer != nil {
+		if err := cfg.Tracer.Flush(); err != nil {
+			fatalf("%v", err)
+		}
+		if err := tracerFile.Close(); err != nil {
+			fatalf("closing %s: %v", *tracePath, err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", cfg.Tracer.Events(), *tracePath)
+	}
+	if cfg.Metrics != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := cfg.Metrics.WriteJSON(f); err != nil {
+			fatalf("writing metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *metricsOut, err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
 	}
 	printResult(res)
 	if *cycles > 0 {
 		printCycles(res, *cycles)
 	}
+}
+
+// validApp reports whether name is a known workload.
+func validApp(name string) bool {
+	for _, n := range workload.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // printCycles renders the first n power cycles of the telemetry log.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ipex/internal/energy"
+	"ipex/internal/trace"
 )
 
 // Stats counts cache activity.
@@ -64,6 +65,11 @@ type Cache struct {
 	hint  []uint32
 	tick  uint64
 	stats Stats
+	// tr, when non-nil, receives prefetched-line lifecycle events
+	// (first use, wiped by outage); side labels them. Both emission
+	// sites live on already-rare branches, so tracing off costs nothing.
+	tr   *trace.Tracer
+	side string
 }
 
 // New builds a cache from the given geometry. Size must be a multiple of
@@ -118,6 +124,19 @@ func MustNew(params energy.CacheParams) *Cache {
 // Params returns the cache geometry and energy parameters.
 func (c *Cache) Params() energy.CacheParams { return c.params }
 
+// SetTracer attaches an event tracer; side ("icache"/"dcache") labels the
+// emitted events. A nil tracer disables emission.
+func (c *Cache) SetTracer(t *trace.Tracer, side string) {
+	c.tr = t
+	c.side = side
+}
+
+// blockOf reconstructs the block address of the line at (set, way) — the
+// inverse of index(), used only on trace-emission paths.
+func (c *Cache) blockOf(set int, l *line) uint64 {
+	return (l.tag<<c.setLg | uint64(set)) << c.blockLg
+}
+
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
@@ -150,7 +169,9 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	lines := c.sets[set]
 	h := int(c.hint[set])
 	if l := &lines[h]; l.valid && l.tag == tag {
-		c.touch(l, write)
+		if c.touch(l, write) && c.tr != nil {
+			c.traceFirstUse(set, l)
+		}
 		return true
 	}
 	for i := range lines {
@@ -160,7 +181,9 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 		l := &lines[i]
 		if l.valid && l.tag == tag {
 			c.hint[set] = uint32(i)
-			c.touch(l, write)
+			if c.touch(l, write) && c.tr != nil {
+				c.traceFirstUse(set, l)
+			}
 			return true
 		}
 	}
@@ -168,8 +191,10 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	return false
 }
 
-// touch applies a demand hit to a resident line.
-func (c *Cache) touch(l *line, write bool) {
+// touch applies a demand hit to a resident line and reports whether this
+// was the first use of a prefetched line. Emission lives in the caller so
+// touch stays within the inlining budget — it runs on every cache hit.
+func (c *Cache) touch(l *line, write bool) bool {
 	l.used = c.tick
 	if write {
 		l.dirty = true
@@ -177,7 +202,16 @@ func (c *Cache) touch(l *line, write bool) {
 	if l.pfUnused {
 		l.pfUnused = false
 		c.stats.PrefetchedUseful++
+		return true
 	}
+	return false
+}
+
+// traceFirstUse emits the first-use event for a prefetched line; only
+// reached with a tracer attached.
+func (c *Cache) traceFirstUse(set int, l *line) {
+	c.tr.Emit(trace.Event{Kind: trace.KindPrefetchFirstUse,
+		Side: c.side, Block: c.blockOf(set, l), Detail: "cache"})
 }
 
 // NoteBufHit records that the miss just reported by Access was served from
@@ -338,11 +372,15 @@ func (c *Cache) CleanDirty() {
 // SRAM. Prefetched-but-unused lines lost here are the energy waste IPEX
 // exists to prevent; they are counted as both useless and wiped.
 func (c *Cache) Wipe() {
-	for _, set := range c.sets {
+	for si, set := range c.sets {
 		for i := range set {
 			if set[i].valid && set[i].pfUnused {
 				c.stats.PrefetchedUseless++
 				c.stats.PrefetchedWiped++
+				if c.tr != nil {
+					c.tr.Emit(trace.Event{Kind: trace.KindPrefetchWipe,
+						Side: c.side, Block: c.blockOf(si, &set[i]), Detail: "cache"})
+				}
 			}
 			set[i] = line{}
 		}

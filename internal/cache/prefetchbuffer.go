@@ -1,5 +1,7 @@
 package cache
 
+import "ipex/internal/trace"
+
 // PrefetchBuffer holds prefetched blocks outside the cache proper so that
 // speculative fills do not pollute it (the organization the paper's baseline
 // uses: "prefetched blocks are placed in prefetcher buffers"). Entries are
@@ -11,6 +13,11 @@ type PrefetchBuffer struct {
 	entries []PBEntry
 	next    int // FIFO insertion cursor
 	stats   PBStats
+	// tr, when non-nil, receives outage-wipe events for buffered
+	// prefetches; side labels them. First-use events are emitted by the
+	// caller on the buffer-hit path, keeping Take inlinable.
+	tr   *trace.Tracer
+	side string
 }
 
 // PBEntry is one prefetch-buffer slot.
@@ -43,6 +50,13 @@ func NewPrefetchBuffer(n int) *PrefetchBuffer {
 
 // Size returns the entry count.
 func (b *PrefetchBuffer) Size() int { return len(b.entries) }
+
+// SetTracer attaches an event tracer; side ("icache"/"dcache") labels the
+// emitted events. A nil tracer disables emission.
+func (b *PrefetchBuffer) SetTracer(t *trace.Tracer, side string) {
+	b.tr = t
+	b.side = side
+}
 
 // Stats returns a copy of the outcome counters. Note that blocks still
 // resident are not yet classified; call Drain first for end-of-run totals.
@@ -111,6 +125,10 @@ func (b *PrefetchBuffer) Wipe() {
 		if b.entries[i].Valid {
 			if !b.entries[i].Used {
 				b.stats.WipedUnused++
+				if b.tr != nil {
+					b.tr.Emit(trace.Event{Kind: trace.KindPrefetchWipe,
+						Side: b.side, Block: b.entries[i].Block, Detail: "buffer"})
+				}
 			}
 			b.classify(b.entries[i])
 			b.entries[i] = PBEntry{}

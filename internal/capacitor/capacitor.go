@@ -42,8 +42,16 @@ func DefaultConfig() Config {
 
 // Validate reports whether the configuration is physically meaningful.
 func (c Config) Validate() error {
-	if c.CapacitanceFarads <= 0 {
-		return fmt.Errorf("capacitor: capacitance must be positive, got %g", c.CapacitanceFarads)
+	// NaN fails every comparison, so "<= 0" alone would let NaN through and
+	// poison the energy-cutoff bisection downstream; reject it explicitly.
+	if math.IsNaN(c.CapacitanceFarads) || math.IsInf(c.CapacitanceFarads, 0) || c.CapacitanceFarads <= 0 {
+		return fmt.Errorf("capacitor: capacitance must be positive and finite, got %g", c.CapacitanceFarads)
+	}
+	for _, v := range []float64{c.Vmax, c.Von, c.Vbackup, c.Voff} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("capacitor: voltages must be finite, got %.2f/%.2f/%.2f/%.2f",
+				c.Vmax, c.Von, c.Vbackup, c.Voff)
+		}
 	}
 	if !(c.Vmax > c.Von && c.Von > c.Vbackup && c.Vbackup > c.Voff && c.Voff > 0) {
 		return fmt.Errorf("capacitor: need Vmax > Von > Vbackup > Voff > 0, got %.2f/%.2f/%.2f/%.2f",

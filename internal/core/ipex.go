@@ -24,8 +24,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"ipex/internal/prefetch"
+	"ipex/internal/trace"
 )
 
 // Config parameterises one IPEX controller.
@@ -98,7 +100,10 @@ func ThresholdsFor(k int, vbackup, von float64) []float64 {
 	return ths
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. The NaN checks matter: every
+// comparison against NaN is false, so without them a NaN step, trigger, or
+// threshold would sail through the range checks below and poison the
+// controller's crossing decisions at run time.
 func (c Config) Validate() error {
 	if !c.Enabled {
 		return nil
@@ -109,15 +114,20 @@ func (c Config) Validate() error {
 	if len(c.Thresholds) == 0 {
 		return fmt.Errorf("core: IPEX enabled with no voltage thresholds")
 	}
+	for i, t := range c.Thresholds {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t <= 0 {
+			return fmt.Errorf("core: threshold %d must be a positive finite voltage, got %g", i, t)
+		}
+	}
 	for i := 1; i < len(c.Thresholds); i++ {
 		if c.Thresholds[i] >= c.Thresholds[i-1] {
 			return fmt.Errorf("core: thresholds must be strictly descending, got %v", c.Thresholds)
 		}
 	}
-	if c.StepV <= 0 {
-		return fmt.Errorf("core: step must be positive, got %g", c.StepV)
+	if math.IsNaN(c.StepV) || math.IsInf(c.StepV, 0) || c.StepV <= 0 {
+		return fmt.Errorf("core: step must be positive and finite, got %g", c.StepV)
 	}
-	if c.ThrottleRateTrigger < 0 || c.ThrottleRateTrigger > 1 {
+	if math.IsNaN(c.ThrottleRateTrigger) || c.ThrottleRateTrigger < 0 || c.ThrottleRateTrigger > 1 {
 		return fmt.Errorf("core: throttle-rate trigger %g out of [0,1]", c.ThrottleRateTrigger)
 	}
 	return nil
@@ -172,6 +182,12 @@ type Controller struct {
 	savedThrottled uint64
 	savedTotal     uint64
 
+	// tr, when non-nil, receives threshold-crossing, degree-change, and
+	// adaptation events; side labels them. Crossings are rare, so the
+	// per-observation fast path is untouched when tracing is off.
+	tr   *trace.Tracer
+	side string
+
 	stats Stats
 }
 
@@ -203,6 +219,13 @@ func MustNewController(cfg Config) *Controller {
 		panic(err)
 	}
 	return c
+}
+
+// SetTracer attaches an event tracer; side ("icache"/"dcache") labels the
+// emitted events. A nil tracer disables emission.
+func (c *Controller) SetTracer(t *trace.Tracer, side string) {
+	c.tr = t
+	c.side = side
 }
 
 // Enabled reports whether the extension is active.
@@ -257,12 +280,26 @@ func (c *Controller) Observe(v float64) {
 			continue
 		}
 		c.above[i] = nowAbove
+		c.traceCrossing(t, nowAbove)
 		if nowAbove {
 			c.double()
 		} else {
 			c.halve()
 		}
 	}
+}
+
+// traceCrossing emits a threshold-crossing event (no-op without a tracer).
+func (c *Controller) traceCrossing(threshold float64, up bool) {
+	if c.tr == nil {
+		return
+	}
+	dir := int64(-1)
+	if up {
+		dir = 1
+	}
+	c.tr.Emit(trace.Event{Kind: trace.KindThresholdCross,
+		Side: c.side, Value: threshold, N: dir})
 }
 
 // UseEnergyCutoffs installs a voltage→energy-cutoff converter (typically
@@ -310,6 +347,7 @@ func (c *Controller) ObserveEnergy(e float64) {
 			continue
 		}
 		c.above[i] = nowAbove
+		c.traceCrossing(c.thresholds[i], nowAbove)
 		if nowAbove {
 			c.double()
 		} else {
@@ -327,6 +365,10 @@ func (c *Controller) halve() {
 		c.cpd /= 2
 	}
 	c.stats.Halvings++
+	if c.tr != nil {
+		c.tr.Emit(trace.Event{Kind: trace.KindDegreeChange,
+			Side: c.side, N: int64(c.cpd), Detail: "halve"})
+	}
 }
 
 func (c *Controller) double() {
@@ -341,6 +383,10 @@ func (c *Controller) double() {
 		c.cpd = c.cfg.MaxDegree
 	}
 	c.stats.Doublings++
+	if c.tr != nil {
+		c.tr.Emit(trace.Event{Kind: trace.KindDegreeChange,
+			Side: c.side, N: int64(c.cpd), Detail: "double"})
+	}
 }
 
 // Record accounts one prefetch trigger: the prefetcher wanted `requested`
@@ -379,16 +425,26 @@ func (c *Controller) OnReboot() {
 	}
 
 	if c.cfg.Adaptive && c.savedTotal > 0 {
+		dir := int64(+1)
 		if c.rTR >= c.cfg.ThrottleRateTrigger {
 			c.shiftThresholds(-c.cfg.StepV)
 			c.stats.MovesDown++
+			dir = -1
 		} else {
 			c.shiftThresholds(+c.cfg.StepV)
 			c.stats.MovesUp++
 		}
 		c.refreshCuts()
+		if c.tr != nil {
+			c.tr.Emit(trace.Event{Kind: trace.KindThresholdAdapt,
+				Side: c.side, N: dir, Value: c.rTR})
+		}
 	}
 
+	if c.tr != nil && c.cpd != c.cfg.InitialDegree {
+		c.tr.Emit(trace.Event{Kind: trace.KindDegreeChange,
+			Side: c.side, N: int64(c.cfg.InitialDegree), Detail: "reboot_reset"})
+	}
 	c.cpd = c.cfg.InitialDegree
 	c.rThrottled = 0
 	c.rTotal = 0

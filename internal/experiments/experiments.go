@@ -14,6 +14,7 @@ import (
 
 	"ipex/internal/nvp"
 	"ipex/internal/power"
+	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
 
@@ -34,6 +35,13 @@ type Options struct {
 	// process-wide store. Every configuration of a sweep replays the same
 	// generated-once stream instead of regenerating it per job.
 	Workloads *workload.Store
+	// Tracer, when non-nil, streams every run's event log. One tracer
+	// carries one run's cycle clock, so tracing forces Parallelism to 1:
+	// runs are serialized rather than interleaving their clocks.
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, accumulates named counters across every run
+	// of the sweep (the dump then decomposes the whole sweep).
+	Metrics *trace.Registry
 }
 
 func (o Options) norm() Options {
@@ -48,6 +56,9 @@ func (o Options) norm() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
+	}
+	if o.Tracer != nil {
+		o.Parallelism = 1
 	}
 	if o.Workloads == nil {
 		o.Workloads = workload.Shared()
@@ -114,7 +125,10 @@ func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = nvp.Run(wl, j.tr, j.cfg)
+				cfg := j.cfg
+				cfg.Tracer = o.Tracer
+				cfg.Metrics = o.Metrics
+				results[i], errs[i] = nvp.Run(wl, j.tr, cfg)
 			}
 		}()
 	}

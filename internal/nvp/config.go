@@ -21,6 +21,7 @@ import (
 	"ipex/internal/core"
 	"ipex/internal/energy"
 	"ipex/internal/prefetch"
+	"ipex/internal/trace"
 )
 
 // Config assembles one system. The zero value is not runnable; start from
@@ -110,6 +111,18 @@ type Config struct {
 	// MaxCycles aborts a run that exceeds this wall-clock budget (e.g. a
 	// power trace too weak to ever finish). 0 means the default cap.
 	MaxCycles uint64
+
+	// Tracer, when non-nil, receives the run's event stream (power-cycle
+	// boundaries, checkpoints, prefetch lifecycle, IPEX decisions) as JSON
+	// Lines. One tracer serves one run at a time: it carries the run's
+	// cycle clock. Nil (the default) costs nothing — every emission site
+	// is a single nil compare.
+	Tracer *trace.Tracer
+
+	// Metrics, when non-nil, accumulates named end-of-run counters
+	// (prefetch outcomes, energy split, outage counts). A registry may be
+	// shared across runs to aggregate a sweep. Nil costs nothing.
+	Metrics *trace.Registry
 }
 
 // DefaultMaxCycles is the default wall-clock abort budget (2.5 s of
@@ -178,6 +191,9 @@ func (c Config) Validate() error {
 	}
 	if c.InitialDegree < 1 || c.InitialDegree > prefetch.MaxDegree {
 		return fmt.Errorf("nvp: initial degree %d out of [1,%d]", c.InitialDegree, prefetch.MaxDegree)
+	}
+	if c.NVM.SizeBytes <= 0 {
+		return fmt.Errorf("nvp: NVM size must be positive, got %d", c.NVM.SizeBytes)
 	}
 	if err := c.Capacitor.Validate(); err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"ipex/internal/mem"
 	"ipex/internal/power"
 	"ipex/internal/prefetch"
+	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
 
@@ -125,6 +126,11 @@ type System struct {
 	guardViolations uint64
 	cycleLog        []PowerCycleStats
 	mark            cycleMark
+
+	// tr, when non-nil, receives the event stream (Config.Tracer); pcIdx is
+	// the 0-based power-cycle index the tracer clock stamps on every event.
+	tr    *trace.Tracer
+	pcIdx uint64
 }
 
 // cycleMark snapshots the counters at the start of a power cycle so the
@@ -195,6 +201,12 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 		if hi, ok := pf.(prefetch.HitIndifferent); ok && hi.HitIndifferent() && sd.agNJ == 0 {
 			sd.pfSkipHits = true
 		}
+		// Metrics wrapping happens after the interface probes above: the
+		// wrapper intentionally hides AddressGenCoster/HitIndifferent, and
+		// agNJ/pfSkipHits must describe the real prefetcher.
+		if pf != nil && cfg.Metrics != nil {
+			sd.pf = prefetch.NewInstrument(pf, cfg.Metrics, name)
+		}
 		return sd, nil
 	}
 
@@ -226,6 +238,14 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 		leakMemNJ:     energy.LeakNJPerCycle(cfg.NVM.LeakMW),
 		leakComputeNJ: energy.LeakNJPerCycle(energy.CoreLeakMW),
 	}
+	if cfg.Tracer != nil {
+		s.tr = cfg.Tracer
+		for _, sd := range [2]*side{&s.inst, &s.data} {
+			sd.cache.SetTracer(cfg.Tracer, sd.name)
+			sd.buf.SetTracer(cfg.Tracer, sd.name)
+			sd.ctl.SetTracer(cfg.Tracer, sd.name)
+		}
+	}
 	// The system boots with the capacitor at Von: the reboot threshold is
 	// the defined start-of-power-cycle state.
 	s.cap.SetVoltage(cfg.Capacitor.Von)
@@ -245,6 +265,10 @@ func Run(wl workload.Generator, trace *power.Trace, cfg Config) (Result, error) 
 func (s *System) run() (Result, error) {
 	wl := s.wl
 	completed := true
+	if s.tr != nil {
+		s.tr.Begin(wl.Name(), func() (uint64, uint64) { return s.now, s.pcIdx })
+		s.tr.Emit(trace.Event{Kind: trace.KindCycleStart})
+	}
 	for {
 		a, ok := wl.Next()
 		if !ok {
@@ -294,6 +318,13 @@ func (s *System) run() (Result, error) {
 			completed = false
 			break
 		}
+	}
+	if s.tr != nil {
+		detail := "completed"
+		if !completed {
+			detail = "budget"
+		}
+		s.tr.Emit(trace.Event{Kind: trace.KindRunEnd, N: int64(s.insts), Detail: detail})
 	}
 	return s.result(completed), nil
 }
@@ -418,6 +449,10 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 				stall += e.ReadyAt - s.now
 			}
 			sd.buf.Take(block)
+			if s.tr != nil {
+				s.tr.Emit(trace.Event{Kind: trace.KindPrefetchFirstUse,
+					Side: sd.name, Block: block, Detail: "buffer"})
+			}
 			sd.cache.NoteBufHit()
 			stall++ // promotion into the cache
 			s.pend.Cache += sd.params.AccessNJ
@@ -546,10 +581,33 @@ candidates:
 	}
 	sd.ctl.Record(requested, granted)
 	sd.stats.PrefetchIssued += uint64(issue)
+	if s.tr != nil {
+		for i := 0; i < issue; i++ {
+			s.tr.Emit(trace.Event{Kind: trace.KindPrefetchIssue,
+				Side: sd.name, Block: kept[i]})
+		}
+	}
 	if requested > granted {
 		sd.stats.PrefetchThrottled += uint64(requested - granted)
-		if s.cfg.ReissueOnExit {
+		if s.tr != nil {
 			for _, b := range kept[granted:requested] {
+				s.tr.Emit(trace.Event{Kind: trace.KindPrefetchThrottle,
+					Side: sd.name, Block: b})
+			}
+		}
+		if s.cfg.ReissueOnExit {
+		enqueue:
+			for _, b := range kept[granted:requested] {
+				// A block throttled twice in one power cycle (the stream
+				// head barely moves while the degree is held down) must not
+				// occupy two of the 16 FIFO slots: the duplicate reissue
+				// would be filtered later anyway, but it evicts an older
+				// block that would have been replayed.
+				for _, q := range sd.throttledQ {
+					if q == b {
+						continue enqueue
+					}
+				}
 				if len(sd.throttledQ) == throttledQCap {
 					sd.throttledQ = sd.throttledQ[1:]
 				}
@@ -596,6 +654,10 @@ func (s *System) reissueThrottled(sd *side) {
 		}
 		sd.stats.PrefetchIssued++
 		sd.stats.PrefetchReissued++
+		if s.tr != nil {
+			s.tr.Emit(trace.Event{Kind: trace.KindPrefetchIssue,
+				Side: sd.name, Block: b, Detail: "reissue"})
+		}
 	}
 }
 
@@ -653,8 +715,9 @@ func (s *System) outage() {
 	// walk; it goes into a reused scratch buffer so an outage allocates
 	// nothing. Ideal mode needs just the count, and only for telemetry.
 	dirty := 0
+	var bkNJ float64
 	if s.cfg.Ideal {
-		if s.cfg.RecordCycles {
+		if s.cfg.RecordCycles || s.tr != nil {
 			dirty = s.data.cache.DirtyCount()
 		}
 	} else {
@@ -662,7 +725,6 @@ func (s *System) outage() {
 		dirty = len(s.dirtyScratch)
 
 		var bkCycles uint64
-		var bkNJ float64
 		for range s.dirtyScratch {
 			wc, wnj := s.nvm.Write(mem.CheckpointWrite)
 			bkCycles += wc
@@ -686,6 +748,10 @@ func (s *System) outage() {
 	}
 	s.inst.ctl.Backup()
 	s.data.ctl.Backup()
+	if s.tr != nil {
+		s.tr.Emit(trace.Event{Kind: trace.KindCheckpoint,
+			N: int64(dirty), Value: bkNJ})
+	}
 
 	// 2. Power failure wipes all volatile state, including in-flight
 	// prefetch reads (their energy is already spent — pure waste).
@@ -694,6 +760,12 @@ func (s *System) outage() {
 	s.inst.buf.Wipe()
 	s.data.buf.Wipe()
 	for _, sd := range [2]*side{&s.inst, &s.data} {
+		if s.tr != nil {
+			for _, r := range sd.inflight {
+				s.tr.Emit(trace.Event{Kind: trace.KindPrefetchWipe,
+					Side: sd.name, Block: r.block, Detail: "inflight"})
+			}
+		}
 		sd.stats.InflightWiped += uint64(len(sd.inflight))
 		sd.inflight = sd.inflight[:0]
 		sd.minReady = noReady
@@ -705,6 +777,10 @@ func (s *System) outage() {
 	if s.data.pf != nil {
 		s.data.pf.Reset()
 	}
+	if s.tr != nil {
+		s.tr.Emit(trace.Event{Kind: trace.KindCycleEnd,
+			N: int64(s.insts - s.mark.insts)})
+	}
 
 	// 3. Dead until the capacitor recharges to Von. No consumption while
 	// off; time passes in trace-sample steps.
@@ -714,6 +790,8 @@ func (s *System) outage() {
 		s.now += chunk
 		s.offCycles += chunk
 	}
+	// Everything from the restore walk on belongs to the next power cycle.
+	s.pcIdx++
 
 	// 4. Reboot: restore registers and the checkpointed dirty blocks.
 	if !s.cfg.Ideal {
@@ -739,6 +817,9 @@ func (s *System) outage() {
 	}
 	s.inst.ctl.OnReboot()
 	s.data.ctl.OnReboot()
+	if s.tr != nil {
+		s.tr.Emit(trace.Event{Kind: trace.KindCycleStart})
+	}
 
 	s.flushCycle(dirty)
 	s.snapshotCycle()
@@ -761,6 +842,32 @@ func (s *System) result(completed bool) Result {
 		return st
 	}
 	s.flushCycle(s.data.cache.DirtyBlocks())
+	if m := s.cfg.Metrics; m != nil {
+		m.Counter("run.insts").Add(s.insts)
+		m.Counter("run.cycles").Add(s.now)
+		m.Counter("run.on_cycles").Add(s.onCycles)
+		m.Counter("run.off_cycles").Add(s.offCycles)
+		m.Counter("run.outages").Add(s.outages)
+		m.Counter("run.guard_violations").Add(s.guardViolations)
+		for _, sd := range [2]*side{&s.inst, &s.data} {
+			p := sd.name + "."
+			cs, bs := sd.cache.Stats(), sd.buf.Stats()
+			m.Counter(p + "accesses").Add(cs.Accesses)
+			m.Counter(p + "misses").Add(cs.Misses)
+			m.Counter(p + "pf_issued").Add(sd.stats.PrefetchIssued)
+			m.Counter(p + "pf_throttled").Add(sd.stats.PrefetchThrottled)
+			m.Counter(p + "pf_reissued").Add(sd.stats.PrefetchReissued)
+			m.Counter(p + "pf_useful").Add(cs.PrefetchedUseful + bs.UsefulEvicted)
+			m.Counter(p + "pf_wiped_cache").Add(cs.PrefetchedWiped)
+			m.Counter(p + "pf_wiped_buffer").Add(bs.WipedUnused)
+			m.Counter(p + "pf_wiped_inflight").Add(sd.stats.InflightWiped)
+		}
+		m.Gauge("energy.total_nj").Add(s.consumed.Total())
+		m.Gauge("energy.cache_nj").Add(s.consumed.Cache)
+		m.Gauge("energy.memory_nj").Add(s.consumed.Memory)
+		m.Gauge("energy.compute_nj").Add(s.consumed.Compute)
+		m.Gauge("energy.bkrst_nj").Add(s.consumed.BkRst)
+	}
 	return Result{
 		App:             s.wl.Name(),
 		Trace:           s.trace.Name,

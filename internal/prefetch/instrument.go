@@ -1,0 +1,55 @@
+package prefetch
+
+import "ipex/internal/trace"
+
+// Instrument wraps a Prefetcher with metrics-registry counters: how often it
+// was consulted, how many candidates it proposed, and how many power-failure
+// resets it absorbed. The engine installs the wrapper only when a registry is
+// configured, so an uninstrumented run pays nothing; with one installed, each
+// observation costs two atomic adds.
+//
+// The wrapper deliberately does NOT forward the optional AddressGenCoster /
+// HitIndifferent interfaces — the engine inspects the inner prefetcher for
+// those before wrapping, so the energy model and hit-skip fast path are
+// unchanged by instrumentation.
+type Instrument struct {
+	inner    Prefetcher
+	observes *trace.Counter
+	proposed *trace.Counter
+	resets   *trace.Counter
+}
+
+// NewInstrument wraps p, registering its counters under
+// "<prefix>.<name>.{observes,proposed,resets}" (prefix is typically the
+// cache side, e.g. "icache"). A nil registry yields discarding handles.
+func NewInstrument(p Prefetcher, reg *trace.Registry, prefix string) *Instrument {
+	base := prefix + "." + p.Name() + "."
+	return &Instrument{
+		inner:    p,
+		observes: reg.Counter(base + "observes"),
+		proposed: reg.Counter(base + "proposed"),
+		resets:   reg.Counter(base + "resets"),
+	}
+}
+
+// Unwrap returns the wrapped prefetcher.
+func (in *Instrument) Unwrap() Prefetcher { return in.inner }
+
+// Name identifies the wrapped prefetcher.
+func (in *Instrument) Name() string { return in.inner.Name() }
+
+// OnAccess forwards to the wrapped prefetcher, counting the observation and
+// the candidates it produced.
+func (in *Instrument) OnAccess(dst []uint64, ev Event) []uint64 {
+	base := len(dst)
+	out := in.inner.OnAccess(dst, ev)
+	in.observes.Inc()
+	in.proposed.Add(uint64(len(out) - base))
+	return out
+}
+
+// Reset forwards the power-failure reset, counting it.
+func (in *Instrument) Reset() {
+	in.resets.Inc()
+	in.inner.Reset()
+}

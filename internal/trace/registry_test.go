@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Error("nil counter retained a value")
+	}
+	g := r.Gauge("y")
+	g.Add(1.5)
+	if g.Load() != 0 {
+		t.Error("nil gauge retained a value")
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("icache.pf_issued")
+	c.Inc()
+	c.Add(9)
+	if got := r.Counter("icache.pf_issued").Load(); got != 10 {
+		t.Errorf("counter = %d, want 10 (same handle by name)", got)
+	}
+	g := r.Gauge("energy.cache_nj")
+	g.Add(1.25)
+	g.Add(2.5)
+	if got := g.Load(); got != 3.75 {
+		t.Errorf("gauge = %g, want 3.75", got)
+	}
+
+	snap := r.Snapshot()
+	if snap["icache.pf_issued"] != uint64(10) {
+		t.Errorf("snapshot counter = %v", snap["icache.pf_issued"])
+	}
+	if snap["energy.cache_nj"] != 3.75 {
+		t.Errorf("snapshot gauge = %v", snap["energy.cache_nj"])
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("n").Inc()
+				r.Gauge("f").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Load(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("f").Load(); got != 8000 {
+		t.Errorf("gauge = %g, want 8000", got)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("c").Add(0.5)
+	var s1, s2 strings.Builder
+	if err := r.WriteJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Error("two dumps of the same registry differ")
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s1.String()), &m); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(m) != 3 {
+		t.Errorf("dump has %d keys, want 3", len(m))
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Begin("x", nil)
+	tr.Emit(Event{Kind: KindPrefetchIssue})
+	if tr.Events() != 0 {
+		t.Error("nil tracer counted events")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil tracer flush: %v", err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil tracer err: %v", err)
+	}
+}
+
+func TestJSONLStream(t *testing.T) {
+	var sb strings.Builder
+	tr := NewJSONL(&sb)
+	cycle, pcycle := uint64(0), uint64(0)
+	tr.Begin("fft", func() (uint64, uint64) { return cycle, pcycle })
+
+	cycle, pcycle = 100, 1
+	tr.Emit(Event{Kind: KindPrefetchWipe, Side: "dcache", Block: 0x1000, Detail: "cache"})
+	cycle = 250
+	tr.Emit(Event{Kind: KindRunEnd, N: 42, Detail: "completed"})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Events(); got != 3 {
+		t.Fatalf("events = %d, want 3 (run_start + 2)", got)
+	}
+
+	var evs []Event
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, e)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d lines, want 3", len(evs))
+	}
+	if evs[0].Kind != KindRunStart || evs[0].Run != "fft" || evs[0].Cycle != 0 {
+		t.Errorf("run_start wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != KindPrefetchWipe || evs[1].Cycle != 100 || evs[1].PowerCycle != 1 ||
+		evs[1].Block != 0x1000 || evs[1].Detail != "cache" {
+		t.Errorf("wipe event wrong: %+v", evs[1])
+	}
+	if evs[2].Cycle != 250 || evs[2].N != 42 {
+		t.Errorf("run_end wrong: %+v", evs[2])
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestStickyWriteError(t *testing.T) {
+	tr := NewJSONL(&failWriter{n: 0})
+	for i := 0; i < 100_000; i++ { // overflow the 64k buffer to force a write
+		tr.Emit(Event{Kind: KindPrefetchIssue, Block: uint64(i)})
+	}
+	if tr.Err() == nil {
+		t.Fatal("write failure not surfaced")
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("flush after failure returned nil")
+	}
+}

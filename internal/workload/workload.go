@@ -41,6 +41,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ipex/internal/rng"
@@ -190,6 +191,12 @@ func New(name string, scale float64) (Generator, error) {
 	s, ok := specs[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown app %q", name)
+	}
+	// NaN/Inf sail through both the "<= 0 means 1.0" default and the int
+	// conversion below (int(NaN) is platform-defined), so a poisoned scale
+	// would silently produce a nonsense instruction count.
+	if math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("workload: scale must be finite, got %g", scale)
 	}
 	if scale <= 0 {
 		scale = 1

@@ -26,6 +26,7 @@ import (
 	"ipex/internal/nvp"
 	"ipex/internal/power"
 	"ipex/internal/prefetch"
+	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
 
@@ -151,6 +152,30 @@ func AnalyzeTrace(tr *Trace, drawWatts float64) (OutageEstimate, error) {
 
 // PowerCycleStats is one entry of Result.PowerCycleLog (Config.RecordCycles).
 type PowerCycleStats = nvp.PowerCycleStats
+
+// EventTracer streams per-power-cycle simulator events (outage checkpoints,
+// prefetch issue/throttle/wipe/first-use, IPEX decisions) as JSON Lines.
+// Install one via Config.Tracer; a nil tracer costs nothing. One tracer
+// serves one run at a time — it carries the run's cycle clock.
+type EventTracer = trace.Tracer
+
+// TraceEvent is one record of an EventTracer stream.
+type TraceEvent = trace.Event
+
+// TraceEventKind names a TraceEvent type (the "ev" JSON field).
+type TraceEventKind = trace.Kind
+
+// NewEventTracer returns a tracer writing one JSON object per line to w.
+// Call Flush when the run(s) finish to drain its buffer.
+func NewEventTracer(w io.Writer) *EventTracer { return trace.NewJSONL(w) }
+
+// MetricsRegistry accumulates named end-of-run counters and energy gauges.
+// Install one via Config.Metrics; sharing a registry across runs aggregates
+// a sweep. Dump it with its WriteJSON method.
+type MetricsRegistry = trace.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return trace.NewRegistry() }
 
 // WriteAccessTrace records a workload's complete access stream in the
 // repository's text trace format (see internal/workload); ReadAccessTrace

@@ -1,6 +1,7 @@
 package ipex
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -74,6 +75,83 @@ func TestNVMForExported(t *testing.T) {
 func TestSpeedupZeroGuard(t *testing.T) {
 	if Speedup(Result{Cycles: 10}, Result{}) != 0 {
 		t.Error("zero-cycle divisor not guarded")
+	}
+}
+
+// TestRunRejectsBadInputs pins the API-boundary contract: invalid workloads
+// and configurations come back as descriptive errors, never panics.
+func TestRunRejectsBadInputs(t *testing.T) {
+	trace := GenerateTrace(RFHome, 20000, 1)
+	cases := []struct {
+		name string
+		app  string
+		sc   float64
+		mut  func(*Config)
+		want string // substring of the error
+	}{
+		{"unknown app", "nosuch", 1, nil, "nosuch"},
+		{"NaN scale", "fft", math.NaN(), nil, "scale"},
+		{"Inf scale", "fft", math.Inf(1), nil, "scale"},
+		{"NaN capacitance", "fft", 0.05,
+			func(c *Config) { c.Capacitor.CapacitanceFarads = math.NaN() }, "capacitance"},
+		{"negative capacitance", "fft", 0.05,
+			func(c *Config) { c.Capacitor.CapacitanceFarads = -1 }, "capacitance"},
+		{"NaN threshold voltage", "fft", 0.05,
+			func(c *Config) { c.Capacitor.Von = math.NaN() }, "finite"},
+		{"zero NVM", "fft", 0.05,
+			func(c *Config) { c.NVM.SizeBytes = 0 }, "NVM size"},
+		{"degree too small", "fft", 0.05,
+			func(c *Config) { c.InitialDegree = 0 }, "degree"},
+		{"degree too large", "fft", 0.05,
+			func(c *Config) { c.InitialDegree = MaxPrefetchDegree + 1 }, "degree"},
+		{"NaN IPEX step", "fft", 0.05,
+			func(c *Config) { *c = c.WithIPEX(); c.IPEX.StepV = math.NaN() }, "step"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			_, err := Run(tc.app, tc.sc, trace, cfg)
+			if err == nil {
+				t.Fatal("invalid input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEventTracerAndMetricsExported exercises the public tracing surface
+// end to end: events stream as JSONL and the registry matches the Result.
+func TestEventTracerAndMetricsExported(t *testing.T) {
+	var sb strings.Builder
+	cfg := DefaultConfig()
+	cfg.Tracer = NewEventTracer(&sb)
+	cfg.Metrics = NewMetricsRegistry()
+	r, err := Run("fft", 0.05, GenerateTrace(RFHome, 20000, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace stream has %d lines", len(lines))
+	}
+	if uint64(len(lines)) != cfg.Tracer.Events() {
+		t.Errorf("Events() = %d, stream has %d lines", cfg.Tracer.Events(), len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "{") || !strings.HasSuffix(l, "}") {
+			t.Fatalf("line is not a JSON object: %q", l)
+		}
+	}
+	if got := cfg.Metrics.Counter("run.insts").Load(); got != r.Insts {
+		t.Errorf("run.insts metric = %d, Result.Insts = %d", got, r.Insts)
 	}
 }
 
