@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race bench golden lint ci clean
+.PHONY: all build vet test race bench golden lint fuzz ci clean
 
 all: ci
 
@@ -32,6 +32,14 @@ bench:
 golden:
 	$(GO) test -run TestGoldenDeterminism .
 
+# Short fuzzing passes over the two untrusted-input surfaces: the simulator
+# configuration validator and the harvest-trace parser. `go test -fuzz`
+# accepts one target per invocation, hence two lines.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) ./internal/nvp/
+	$(GO) test -run=NONE -fuzz=FuzzHarvestTraceParse -fuzztime=$(FUZZTIME) ./internal/power/
+
 # Determinism lint: simulator internals must not read the wall clock or the
 # global math/rand stream — both would break replayable, seed-stable results.
 # internal/benchio is the one documented exception (it stamps benchmark
@@ -49,7 +57,7 @@ lint: vet
 		echo "$$bad"; exit 1; \
 	fi
 
-ci: build lint race golden
+ci: build lint race golden fuzz
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

@@ -67,6 +67,9 @@ var registry = map[string]runner{
 	"fig24":  wrap(experiments.Fig24),
 	"fig25":  wrap(experiments.Fig25),
 
+	"robust-sensor": wrap(experiments.RobustSensor),
+	"robust-ckpt":   wrap(experiments.RobustCkpt),
+
 	"ablation-degree":   wrap(experiments.AblationDegreePolicy),
 	"ablation-adaptive": wrap(experiments.AblationAdaptive),
 	"ablation-dup":      wrap(experiments.AblationDupSuppress),
@@ -82,6 +85,7 @@ var order = []string{
 	"table2", "table3", "table4",
 	"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
 	"fig24", "fig25",
+	"robust-sensor", "robust-ckpt",
 	"ablation-degree", "ablation-adaptive", "ablation-dup", "ablation-dest",
 	"ext-reissue", "ext-addrgen",
 }
@@ -96,6 +100,7 @@ func main() {
 		apps     = flag.String("apps", "", "comma-separated app subset (default all 20)")
 		seed     = flag.Uint64("seed", 1, "power-trace seed")
 		parallel = flag.Int("parallelism", 0, "max concurrent simulations (0 = NumCPU; tracing forces 1)")
+		paranoid = flag.Bool("paranoid", false, "run every simulation with the runtime invariant checker; a dirty report fails the run")
 
 		tracePath  = flag.String("trace", "", "stream a JSONL event trace of every run to this file (serializes the sweep)")
 		metricsOut = flag.String("metrics", "", "write an aggregate JSON metrics dump of the sweep to this file")
@@ -171,7 +176,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Scale: *scale, TraceSeed: *seed, Parallelism: *parallel}
+	o := experiments.Options{Scale: *scale, TraceSeed: *seed, Parallelism: *parallel, Paranoid: *paranoid}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
 	}
@@ -212,6 +217,7 @@ func main() {
 	}
 
 	var timings []benchio.Experiment
+	var failures []string
 	for _, id := range ids {
 		if o.Tracer != nil {
 			// A mark event separates the experiments in the shared stream.
@@ -220,8 +226,14 @@ func main() {
 		start := time.Now()
 		r, err := registry[id](o)
 		if err != nil {
+			// One failing experiment must not abort the rest of -all; record
+			// it and keep sweeping. A single -exp run still exits on the spot.
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			if !*all {
+				os.Exit(1)
+			}
+			failures = append(failures, fmt.Sprintf("%s: %v", id, err))
+			continue
 		}
 		elapsed := time.Since(start).Seconds()
 		timings = append(timings, benchio.Experiment{ID: id, WallSeconds: elapsed})
@@ -282,6 +294,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%.1f ns/inst, %d experiments)\n",
 			*benchJSON, rec.Hotloop.NsPerInst, len(timings))
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiment(s) failed:\n", len(failures), len(ids))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
 	}
 }
 

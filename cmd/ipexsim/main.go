@@ -21,6 +21,7 @@ import (
 
 	"ipex/internal/core"
 	"ipex/internal/energy"
+	"ipex/internal/fault"
 	"ipex/internal/nvp"
 	"ipex/internal/power"
 	"ipex/internal/prefetch"
@@ -55,6 +56,16 @@ func main() {
 		reissue    = flag.Bool("reissue", false, "reissue throttled prefetches on mode exit (§5.1 extension)")
 		bufferMode = flag.Bool("buffermode", false, "keep prefetches in the buffer until use instead of filling the cache")
 		cycles     = flag.Int("cycles", 0, "print per-power-cycle telemetry for the first N cycles")
+		paranoid   = flag.Bool("paranoid", false, "run the runtime invariant checker and print its report")
+
+		faultSeed     = flag.Uint64("fault-seed", fault.DefaultSeed, "fault-injection seed (same seed + config = identical schedule)")
+		adcBits       = flag.Int("adc-bits", 0, "quantize IPEX voltage sensing to an N-bit ADC (0 = ideal analog)")
+		sensorNoise   = flag.Float64("sensor-noise", 0, "Gaussian sensor noise stddev in volts")
+		sensorDropout = flag.Float64("sensor-dropout", 0, "per-sample probability a sensor reading is lost")
+		ckptFail      = flag.Float64("ckpt-fail", 0, "per-block probability a checkpoint write tears and must retry")
+		harvestDrop   = flag.Float64("harvest-dropout", 0, "per-sample probability a harvest sample is zeroed")
+		harvestSpike  = flag.Float64("harvest-spike", 0, "per-sample probability a harvest sample spikes 4x")
+		harvestStorm  = flag.Float64("harvest-storm", 0, "per-sample probability a multi-sample brownout storm begins")
 		saveTrace  = flag.String("savetrace", "", "record the workload's access trace to this file and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -221,6 +232,29 @@ func main() {
 	}
 
 	cfg.RecordCycles = *cycles > 0
+	cfg.Paranoid = *paranoid
+	fc := &fault.Config{
+		Seed: *faultSeed,
+		Sensor: fault.SensorConfig{
+			ADCBits:     *adcBits,
+			NoiseV:      *sensorNoise,
+			DropoutProb: *sensorDropout,
+		},
+		Checkpoint: fault.CheckpointConfig{WriteFailProb: *ckptFail},
+		Harvest: fault.HarvestConfig{
+			DropoutProb: *harvestDrop,
+			SpikeProb:   *harvestSpike,
+			StormProb:   *harvestStorm,
+		},
+	}
+	if fc.Active() {
+		// Validate up front so a bad fault flag dies with one clear line
+		// instead of a library error mid-setup.
+		if err := fc.Validate(); err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Faults = fc
+	}
 	res, err := nvp.Run(wl, ptrace, cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -318,6 +352,19 @@ func printResult(r nvp.Result) {
 	fmt.Printf("nvm traffic: demand=%d prefetch=%d wb=%d ckpt=%d restore=%d\n",
 		r.NVM.DemandReads, r.NVM.PrefetchReads, r.NVM.WritebackWrites,
 		r.NVM.CheckpointWrites, r.NVM.RestoreReads)
+	if fs := r.Faults; fs != nil {
+		fmt.Printf("faults: sensor samples=%d dropouts=%d stuck=%d  ckpt fails=%d retries=%d rollbacks=%d forced=%d\n",
+			fs.SensorSamples, fs.SensorDropouts, fs.SensorStuck,
+			fs.CheckpointWriteFailures, fs.CheckpointRetries, fs.CheckpointRollbacks, fs.CheckpointForced)
+		fmt.Printf("        harvest dropouts=%d spikes=%d storms=%d  retry cost: %d cycles %.1f nJ\n",
+			fs.HarvestDropouts, fs.HarvestSpikes, fs.HarvestStorms, fs.RetryCycles, fs.RetryNJ)
+	}
+	if rep := r.Invariants; rep != nil {
+		fmt.Printf("%s\n", rep.Summary())
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v.String())
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

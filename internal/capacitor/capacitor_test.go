@@ -20,6 +20,12 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: 3.0, Vbackup: 3.1, Voff: 2.9}, // Von < Vbackup
 		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: 3.4, Vbackup: 3.1, Voff: 3.2}, // Voff > Vbackup
 		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: 3.4, Vbackup: 3.1, Voff: 0},   // Voff == 0
+		// A degenerate monitor with Von == Voff would reboot straight into a
+		// brown-out: the operating band must be strictly ordered.
+		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: 3.0, Vbackup: 3.0, Voff: 3.0},
+		{CapacitanceFarads: 1e-6, Vmax: 3.5, Von: math.NaN(), Vbackup: 3.1, Voff: 3.0},
+		{CapacitanceFarads: 1e-6, Vmax: math.Inf(1), Von: 3.4, Vbackup: 3.1, Voff: 3.0},
+		{CapacitanceFarads: math.NaN(), Vmax: 3.5, Von: 3.4, Vbackup: 3.1, Voff: 3.0},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {

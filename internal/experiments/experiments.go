@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"ipex/internal/nvp"
@@ -42,6 +43,10 @@ type Options struct {
 	// Metrics, when non-nil, accumulates named counters across every run
 	// of the sweep (the dump then decomposes the whole sweep).
 	Metrics *trace.Registry
+	// Paranoid runs every simulation with the runtime invariant checker
+	// (nvp.Config.Paranoid) and fails a run whose report is not clean —
+	// structured diagnostics instead of a silently corrupted sweep.
+	Paranoid bool
 }
 
 func (o Options) norm() Options {
@@ -128,7 +133,13 @@ func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 				cfg := j.cfg
 				cfg.Tracer = o.Tracer
 				cfg.Metrics = o.Metrics
+				if o.Paranoid {
+					cfg.Paranoid = true
+				}
 				results[i], errs[i] = nvp.Run(wl, j.tr, cfg)
+				if errs[i] == nil && o.Paranoid && !results[i].Invariants.Clean() {
+					errs[i] = fmt.Errorf("experiments: %s: %s", j.app, results[i].Invariants.Summary())
+				}
 			}
 		}()
 	}
@@ -164,13 +175,64 @@ func speedups(base, variant []nvp.Result) []float64 {
 	return out
 }
 
-// checkComplete returns an error if any run hit its cycle budget, since
-// timing comparisons of truncated runs are meaningless.
-func checkComplete(rs []nvp.Result) error {
-	for _, r := range rs {
-		if !r.Completed {
-			return fmt.Errorf("experiments: %s did not complete within the cycle budget (weak trace or tiny MaxCycles)", r.App)
+// filterComplete drops every app whose run hit the cycle budget in ANY of
+// the aligned result sets: timing comparisons of truncated runs are
+// meaningless, but one starved workload must not abort a whole sweep. It
+// returns the surviving apps, the correspondingly filtered sets, and the
+// names that were dropped (for the experiment's failure summary). Only a
+// sweep with NO surviving app is an error.
+func filterComplete(apps []string, sets ...[]nvp.Result) (kept []string, filtered [][]nvp.Result, skipped []string, err error) {
+	bad := make([]bool, len(apps))
+	for _, rs := range sets {
+		for i := range rs {
+			if !rs[i].Completed {
+				bad[i] = true
+			}
 		}
 	}
-	return nil
+	kept = make([]string, 0, len(apps))
+	filtered = make([][]nvp.Result, len(sets))
+	for i, app := range apps {
+		if bad[i] {
+			skipped = append(skipped, app)
+			continue
+		}
+		kept = append(kept, app)
+		for s := range sets {
+			filtered[s] = append(filtered[s], sets[s][i])
+		}
+	}
+	if len(kept) == 0 {
+		return nil, nil, skipped, fmt.Errorf("experiments: no workload completed within the cycle budget (weak trace or tiny MaxCycles); skipped: %s",
+			strings.Join(skipped, ", "))
+	}
+	return kept, filtered, skipped, nil
+}
+
+// skippedNote renders the per-experiment failure summary appended to its
+// String() output; empty when every app completed.
+func skippedNote(skipped []string) string {
+	if len(skipped) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("\n(skipped %d app(s), cycle budget exhausted: %s)",
+		len(skipped), strings.Join(skipped, ", "))
+}
+
+// mergeSkipped accumulates unique skipped-app names across sweep points,
+// preserving first-seen order.
+func mergeSkipped(acc, more []string) []string {
+	for _, app := range more {
+		seen := false
+		for _, a := range acc {
+			if a == app {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			acc = append(acc, app)
+		}
+	}
+	return acc
 }

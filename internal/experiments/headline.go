@@ -17,6 +17,9 @@ type headlineRuns struct {
 	base     []nvp.Result // NVSRAMCache + default prefetchers, degree 2
 	ipexData []nvp.Result
 	ipexBoth []nvp.Result
+	// skipped lists apps dropped because some configuration exhausted its
+	// cycle budget; the derived figures carry it into their output.
+	skipped []string
 }
 
 func runHeadline(o Options, src power.Source) (*headlineRuns, error) {
@@ -37,11 +40,12 @@ func runHeadline(o Options, src power.Source) (*headlineRuns, error) {
 	if h.ipexBoth, err = runPerApp(o, cfg.WithIPEX(), tr); err != nil {
 		return nil, err
 	}
-	for _, rs := range [][]nvp.Result{h.noPf, h.base, h.ipexData, h.ipexBoth} {
-		if err := checkComplete(rs); err != nil {
-			return nil, err
-		}
+	apps, sets, skipped, err := filterComplete(h.apps, h.noPf, h.base, h.ipexData, h.ipexBoth)
+	if err != nil {
+		return nil, err
 	}
+	h.apps, h.skipped = apps, skipped
+	h.noPf, h.base, h.ipexData, h.ipexBoth = sets[0], sets[1], sets[2], sets[3]
 	return h, nil
 }
 
@@ -62,6 +66,9 @@ type Fig10Result struct {
 	// PrefetchGain is the baseline's gain over no-prefetching (the 4.96%
 	// the paper quotes in §6.2).
 	PrefetchGain float64
+	// Skipped lists apps excluded because a configuration exhausted its
+	// cycle budget.
+	Skipped []string
 }
 
 // Fig10 reproduces Figure 10 with the RFHome trace.
@@ -74,7 +81,7 @@ func Fig10(o Options) (*Fig10Result, error) {
 }
 
 func fig10From(h *headlineRuns) *Fig10Result {
-	res := &Fig10Result{}
+	res := &Fig10Result{Skipped: h.skipped}
 	sNo := speedups(h.base, h.noPf)
 	sD := speedups(h.base, h.ipexData)
 	sB := speedups(h.base, h.ipexBoth)
@@ -97,7 +104,7 @@ func (r *Fig10Result) String() string {
 	}
 	t.Row("gmean", fmt.Sprintf("%.3f", r.GmeanNoPf), fmt.Sprintf("%.3f", r.GmeanIPEXData), fmt.Sprintf("%.3f", r.GmeanIPEXBoth))
 	return fmt.Sprintf("Figure 10: speedup vs. NVSRAMCache baseline, RFHome (prefetching itself gains %s over no-prefetch)\n%s",
-		stats.Pct(r.PrefetchGain), t.String())
+		stats.Pct(r.PrefetchGain), t.String()) + skippedNote(r.Skipped)
 }
 
 // Fig11Result is Figure 11: the same comparison against the ideal
@@ -105,6 +112,9 @@ func (r *Fig10Result) String() string {
 type Fig11Result struct {
 	Rows                                    []Fig10Row
 	GmeanNoPf, GmeanIPEXData, GmeanIPEXBoth float64
+	// Skipped lists apps excluded because a configuration exhausted its
+	// cycle budget.
+	Skipped []string
 }
 
 // Fig11 reproduces Figure 11 with the RFHome trace: every configuration
@@ -132,14 +142,14 @@ func Fig11(o Options) (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, rs := range [][]nvp.Result{noPf, base, ipexD, ipexB} {
-		if err := checkComplete(rs); err != nil {
-			return nil, err
-		}
+	apps, sets, skipped, err := filterComplete(o.Apps, noPf, base, ipexD, ipexB)
+	if err != nil {
+		return nil, err
 	}
-	res := &Fig11Result{}
+	noPf, base, ipexD, ipexB = sets[0], sets[1], sets[2], sets[3]
+	res := &Fig11Result{Skipped: skipped}
 	sNo, sD, sB := speedups(base, noPf), speedups(base, ipexD), speedups(base, ipexB)
-	for i, app := range o.Apps {
+	for i, app := range apps {
 		res.Rows = append(res.Rows, Fig10Row{App: app, NoPf: sNo[i], IPEXData: sD[i], IPEXBoth: sB[i]})
 	}
 	res.GmeanNoPf = stats.Geomean(sNo)
@@ -156,7 +166,7 @@ func (r *Fig11Result) String() string {
 		t.Row(row.App, fmt.Sprintf("%.3f", row.NoPf), fmt.Sprintf("%.3f", row.IPEXData), fmt.Sprintf("%.3f", row.IPEXBoth))
 	}
 	t.Row("gmean", fmt.Sprintf("%.3f", r.GmeanNoPf), fmt.Sprintf("%.3f", r.GmeanIPEXData), fmt.Sprintf("%.3f", r.GmeanIPEXBoth))
-	return "Figure 11: speedup vs. NVSRAMCache (ideal) baseline, RFHome\n" + t.String()
+	return "Figure 11: speedup vs. NVSRAMCache (ideal) baseline, RFHome\n" + t.String() + skippedNote(r.Skipped)
 }
 
 // Fig12Row is one app of Figure 12: the prefetch-operation reduction from
@@ -168,8 +178,9 @@ type Fig12Row struct {
 
 // Fig12Result is Figure 12.
 type Fig12Result struct {
-	Rows []Fig12Row
-	Mean float64
+	Rows    []Fig12Row
+	Mean    float64
+	Skipped []string
 }
 
 // Fig12 reproduces Figure 12.
@@ -182,7 +193,7 @@ func Fig12(o Options) (*Fig12Result, error) {
 }
 
 func fig12From(h *headlineRuns) *Fig12Result {
-	res := &Fig12Result{}
+	res := &Fig12Result{Skipped: h.skipped}
 	var all []float64
 	for i, app := range h.apps {
 		b := float64(h.base[i].PrefetchesIssued())
@@ -203,7 +214,7 @@ func (r *Fig12Result) String() string {
 		t.Row(row.App, stats.Pct(row.ReductionPct))
 	}
 	t.Row("mean", stats.Pct(r.Mean))
-	return "Figure 12: prefetch-operation reduction with IPEX on both prefetchers\n" + t.String()
+	return "Figure 12: prefetch-operation reduction with IPEX on both prefetchers\n" + t.String() + skippedNote(r.Skipped)
 }
 
 // Fig13Row is one app of Figure 13.
@@ -218,6 +229,7 @@ type Fig13Result struct {
 	Rows        []Fig13Row
 	MeanTraffic float64
 	MeanEnergy  float64
+	Skipped     []string
 }
 
 // Fig13 reproduces Figure 13.
@@ -230,7 +242,7 @@ func Fig13(o Options) (*Fig13Result, error) {
 }
 
 func fig13From(h *headlineRuns) *Fig13Result {
-	res := &Fig13Result{}
+	res := &Fig13Result{Skipped: h.skipped}
 	var traffics, energies []float64
 	for i, app := range h.apps {
 		b := float64(h.base[i].NVM.TrafficAccesses())
@@ -254,7 +266,7 @@ func (r *Fig13Result) String() string {
 		t.Row(row.App, stats.Pct(row.TrafficReductionPct), fmt.Sprintf("%.3f", row.NormalizedEnergy))
 	}
 	t.Row("mean", stats.Pct(r.MeanTraffic), fmt.Sprintf("%.3f", r.MeanEnergy))
-	return "Figure 13: memory-traffic reduction and normalized energy (IPEX both)\n" + t.String()
+	return "Figure 13: memory-traffic reduction and normalized energy (IPEX both)\n" + t.String() + skippedNote(r.Skipped)
 }
 
 // Fig14Row is one app of Figure 14: normalized energy breakdowns for the
@@ -274,6 +286,7 @@ type Fig14Result struct {
 	// IPEX-both bars (paper: 13.24% and 7.86%).
 	MemoryReduction float64
 	TotalReduction  float64
+	Skipped         []string
 }
 
 // Fig14 reproduces Figure 14.
@@ -286,7 +299,7 @@ func Fig14(o Options) (*Fig14Result, error) {
 }
 
 func fig14From(h *headlineRuns) *Fig14Result {
-	res := &Fig14Result{}
+	res := &Fig14Result{Skipped: h.skipped}
 	var memRed, totRed []float64
 	for i, app := range h.apps {
 		bt := h.base[i].Energy.Total()
@@ -321,7 +334,7 @@ func (r *Fig14Result) String() string {
 		add("", "+IPEX(I+D)", row.IPEXBoth)
 	}
 	return fmt.Sprintf("Figure 14: normalized energy breakdown (mean memory reduction %s, total %s)\n%s",
-		stats.Pct(r.MemoryReduction), stats.Pct(r.TotalReduction), t.String())
+		stats.Pct(r.MemoryReduction), stats.Pct(r.TotalReduction), t.String()) + skippedNote(r.Skipped)
 }
 
 // Fig15Row is one app of Figure 15: miss rates with and without IPEX.
@@ -337,6 +350,7 @@ type Fig15Result struct {
 	// Deltas are the mean absolute miss-rate increases (paper: +0.08%
 	// ICache, +0.02% DCache).
 	IDelta, DDelta float64
+	Skipped        []string
 }
 
 // Fig15 reproduces Figure 15.
@@ -349,7 +363,7 @@ func Fig15(o Options) (*Fig15Result, error) {
 }
 
 func fig15From(h *headlineRuns) *Fig15Result {
-	res := &Fig15Result{}
+	res := &Fig15Result{Skipped: h.skipped}
 	var di, dd []float64
 	for i, app := range h.apps {
 		row := Fig15Row{
@@ -376,7 +390,7 @@ func (r *Fig15Result) String() string {
 		t.Row(row.App, stats.Pct(row.IMiss), stats.Pct(row.IMissIPEX), stats.Pct(row.DMiss), stats.Pct(row.DMissIPEX))
 	}
 	return fmt.Sprintf("Figure 15: cache miss rates (mean delta: ICache %+.3f%%, DCache %+.3f%%)\n%s",
-		100*r.IDelta, 100*r.DDelta, t.String())
+		100*r.IDelta, 100*r.DDelta, t.String()) + skippedNote(r.Skipped)
 }
 
 // Table2Result reproduces Table 2: suite-mean prefetch accuracy and
@@ -384,6 +398,7 @@ func (r *Fig15Result) String() string {
 type Table2Result struct {
 	BaseAccI, BaseAccD, BaseCovI, BaseCovD float64
 	IPEXAccI, IPEXAccD, IPEXCovI, IPEXCovD float64
+	Skipped                                []string
 }
 
 // Table2 reproduces Table 2.
@@ -404,6 +419,7 @@ func table2From(h *headlineRuns) *Table2Result {
 		return stats.Mean(xs)
 	}
 	return &Table2Result{
+		Skipped:  h.skipped,
 		BaseAccI: mean(h.base, func(r nvp.Result) float64 { return r.Inst.Accuracy() }),
 		BaseAccD: mean(h.base, func(r nvp.Result) float64 { return r.Data.Accuracy() }),
 		BaseCovI: mean(h.base, func(r nvp.Result) float64 { return r.Inst.Coverage() }),
@@ -421,7 +437,7 @@ func (r *Table2Result) String() string {
 	t.Header("Config", "Acc.(Inst.)", "Acc.(Data)", "Cov.(Inst.)", "Cov.(Data)")
 	t.Row("NVSRAMCache", stats.Pct(r.BaseAccI), stats.Pct(r.BaseAccD), stats.Pct(r.BaseCovI), stats.Pct(r.BaseCovD))
 	t.Row("IPEX", stats.Pct(r.IPEXAccI), stats.Pct(r.IPEXAccD), stats.Pct(r.IPEXCovI), stats.Pct(r.IPEXCovD))
-	return "Table 2: prefetch accuracy and coverage\n" + t.String()
+	return "Table 2: prefetch accuracy and coverage\n" + t.String() + skippedNote(r.Skipped)
 }
 
 // HeadlineResult bundles Figures 10 and 12–15 plus Table 2 from a single

@@ -19,7 +19,12 @@ type Fig01Row struct {
 }
 
 // Fig01Result is Figure 1.
-type Fig01Result struct{ Rows []Fig01Row }
+type Fig01Result struct {
+	Rows []Fig01Row
+	// Skipped lists apps excluded because some cache size exhausted the
+	// cycle budget.
+	Skipped []string
+}
 
 // Fig01CacheSizes are the swept sizes.
 var Fig01CacheSizes = []int{256, 512, 1024, 2048, 4096, 8192}
@@ -30,7 +35,7 @@ func Fig01(o Options) (*Fig01Result, error) {
 	o = o.norm()
 	tr := o.trace(power.RFHome)
 
-	perSize := make(map[int][]nvp.Result)
+	sets := make([][]nvp.Result, 0, len(Fig01CacheSizes))
 	for _, size := range Fig01CacheSizes {
 		cfg := nvp.DefaultConfig().WithoutPrefetch()
 		cfg.ICacheSize = size
@@ -39,14 +44,21 @@ func Fig01(o Options) (*Fig01Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkComplete(rs); err != nil {
-			return nil, err
-		}
-		perSize[size] = rs
+		sets = append(sets, rs)
+	}
+	// Filter jointly across every size so the speedup series compares the
+	// same app set at each point.
+	_, filtered, skipped, err := filterComplete(o.Apps, sets...)
+	if err != nil {
+		return nil, err
+	}
+	perSize := make(map[int][]nvp.Result)
+	for i, size := range Fig01CacheSizes {
+		perSize[size] = filtered[i]
 	}
 
 	base := perSize[energy.DefaultCacheSize]
-	res := &Fig01Result{}
+	res := &Fig01Result{Skipped: skipped}
 	for _, size := range Fig01CacheSizes {
 		rs := perSize[size]
 		leakPct := 0.0
@@ -73,7 +85,7 @@ func (r *Fig01Result) String() string {
 	for _, row := range r.Rows {
 		t.Row(sizeLabel(row.CacheSize), fmt.Sprintf("%.3f", row.Speedup), stats.Pct(row.LeakPct))
 	}
-	return "Figure 1: speedup and cache leakage vs. cache size (prefetchers off)\n" + t.String()
+	return "Figure 1: speedup and cache leakage vs. cache size (prefetchers off)\n" + t.String() + skippedNote(r.Skipped)
 }
 
 func sizeLabel(bytes int) string {
@@ -92,9 +104,10 @@ type Fig02Row struct {
 
 // Fig02Result is Figure 2.
 type Fig02Result struct {
-	Rows   []Fig02Row
-	IGmean float64
-	DGmean float64
+	Rows    []Fig02Row
+	IGmean  float64
+	DGmean  float64
+	Skipped []string
 }
 
 // Fig02 reproduces Figure 2: the stall-time motivation (default 2 kB
@@ -105,14 +118,16 @@ func Fig02(o Options) (*Fig02Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := checkComplete(rs); err != nil {
+	apps, sets, skipped, err := filterComplete(o.Apps, rs)
+	if err != nil {
 		return nil, err
 	}
-	res := &Fig02Result{}
+	rs = sets[0]
+	res := &Fig02Result{Skipped: skipped}
 	var is, ds []float64
 	for i, r := range rs {
 		row := Fig02Row{
-			App:    o.Apps[i],
+			App:    apps[i],
 			IStall: stats.Ratio(float64(r.Inst.StallCycles), float64(r.OnCycles)),
 			DStall: stats.Ratio(float64(r.Data.StallCycles), float64(r.OnCycles)),
 		}
@@ -142,7 +157,7 @@ func (r *Fig02Result) String() string {
 		t.Row(row.App, stats.Pct(row.IStall), stats.Pct(row.DStall))
 	}
 	t.Row("gmean", stats.Pct(r.IGmean), stats.Pct(r.DGmean))
-	return "Figure 2: pipeline stall share from cache misses (no prefetchers)\n" + t.String()
+	return "Figure 2: pipeline stall share from cache misses (no prefetchers)\n" + t.String() + skippedNote(r.Skipped)
 }
 
 // Fig04Point is one point of Figure 4's analytic curves.

@@ -84,18 +84,75 @@ func TestSizeLabel(t *testing.T) {
 	}
 }
 
-func TestCheckCompleteRejectsTruncatedRuns(t *testing.T) {
+// filterComplete must drop an app whose run is truncated in ANY aligned
+// set, keep the rest, and only error when nothing survives.
+func TestFilterComplete(t *testing.T) {
+	apps := []string{"a", "b", "c"}
+	ok := nvp.Result{Completed: true}
+	bad := nvp.Result{Completed: false}
+
+	kept, sets, skipped, err := filterComplete(apps,
+		[]nvp.Result{ok, bad, ok},
+		[]nvp.Result{ok, ok, ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || kept[0] != "a" || kept[1] != "c" {
+		t.Errorf("kept = %v", kept)
+	}
+	if len(skipped) != 1 || skipped[0] != "b" {
+		t.Errorf("skipped = %v", skipped)
+	}
+	for s, rs := range sets {
+		if len(rs) != 2 {
+			t.Errorf("set %d not filtered: %d results", s, len(rs))
+		}
+	}
+
+	// All apps truncated somewhere → an error naming the casualties.
+	_, _, skipped, err = filterComplete(apps,
+		[]nvp.Result{bad, ok, ok},
+		[]nvp.Result{ok, bad, bad})
+	if err == nil {
+		t.Fatal("zero survivors accepted")
+	}
+	if len(skipped) != 3 {
+		t.Errorf("skipped = %v, want all three", skipped)
+	}
+	if !strings.Contains(err.Error(), "a, b, c") {
+		t.Errorf("error does not name the skipped apps: %v", err)
+	}
+}
+
+// A truncated run no longer aborts the sweep: the app is dropped and the
+// figure reports it.
+func TestTruncatedRunIsSkippedNotFatal(t *testing.T) {
 	o := Options{Scale: 0.05, Apps: []string{"fft"}}.norm()
-	// An absurdly small cycle budget forces an incomplete run; the figure
-	// generators must refuse to aggregate it rather than produce bogus
-	// speedups.
+	// An absurdly small cycle budget forces an incomplete run.
 	cfg := nvp.DefaultConfig()
 	cfg.MaxCycles = 1000
 	rs, err := runPerApp(o, cfg, o.trace(power.RFHome))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := checkComplete(rs); err == nil {
-		t.Error("truncated run accepted")
+	if rs[0].Completed {
+		t.Fatal("1000-cycle budget completed a run; test premise broken")
+	}
+	if _, _, _, err := filterComplete(o.Apps, rs); err == nil {
+		t.Error("sole truncated app must error (nothing left to aggregate)")
+	}
+}
+
+func TestSkippedNote(t *testing.T) {
+	if skippedNote(nil) != "" {
+		t.Error("empty skip list rendered a note")
+	}
+	note := skippedNote([]string{"fft", "qsort"})
+	if !strings.Contains(note, "2 app(s)") || !strings.Contains(note, "fft, qsort") {
+		t.Errorf("note = %q", note)
+	}
+	merged := mergeSkipped([]string{"fft"}, []string{"qsort", "fft"})
+	if len(merged) != 2 || merged[0] != "fft" || merged[1] != "qsort" {
+		t.Errorf("mergeSkipped = %v", merged)
 	}
 }

@@ -22,6 +22,9 @@ type SweepPoint struct {
 type SweepResult struct {
 	Title  string
 	Points []SweepPoint
+	// Skipped lists apps dropped from at least one point's gmean because a
+	// run exhausted the cycle budget.
+	Skipped []string
 }
 
 // String renders the sweep.
@@ -31,12 +34,13 @@ func (r *SweepResult) String() string {
 	for _, p := range r.Points {
 		t.Row(p.Label, fmt.Sprintf("%.4f", p.Speedup))
 	}
-	return r.Title + "\n" + t.String()
+	return r.Title + "\n" + t.String() + skippedNote(r.Skipped)
 }
 
 // ipexGain runs the baseline and IPEX-both variants of one configuration
-// over all apps and returns the gmean speedup of IPEX over the baseline.
-func ipexGain(o Options, tr *power.Trace, mut func(*nvp.Config)) (float64, error) {
+// over all apps and returns the gmean speedup of IPEX over the baseline,
+// plus the apps dropped for exhausting the cycle budget.
+func ipexGain(o Options, tr *power.Trace, mut func(*nvp.Config)) (float64, []string, error) {
 	base := nvp.DefaultConfig()
 	if mut != nil {
 		mut(&base)
@@ -44,19 +48,17 @@ func ipexGain(o Options, tr *power.Trace, mut func(*nvp.Config)) (float64, error
 	ipex := base.WithIPEX()
 	baseRs, err := runPerApp(o, base, tr)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	ipexRs, err := runPerApp(o, ipex, tr)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	if err := checkComplete(baseRs); err != nil {
-		return 0, err
+	_, sets, skipped, err := filterComplete(o.Apps, baseRs, ipexRs)
+	if err != nil {
+		return 0, skipped, err
 	}
-	if err := checkComplete(ipexRs); err != nil {
-		return 0, err
-	}
-	return stats.Geomean(speedups(baseRs, ipexRs)), nil
+	return stats.Geomean(speedups(sets[0], sets[1])), skipped, nil
 }
 
 // sweep evaluates ipexGain for a list of labelled mutations.
@@ -65,10 +67,11 @@ func sweep(o Options, title string, src power.Source, labels []string, muts []fu
 	tr := o.trace(src)
 	res := &SweepResult{Title: title}
 	for i, label := range labels {
-		g, err := ipexGain(o, tr, muts[i])
+		g, skipped, err := ipexGain(o, tr, muts[i])
 		if err != nil {
 			return nil, fmt.Errorf("%s [%s]: %w", title, label, err)
 		}
+		res.Skipped = mergeSkipped(res.Skipped, skipped)
 		res.Points = append(res.Points, SweepPoint{Label: label, Speedup: g})
 	}
 	return res, nil
@@ -193,10 +196,11 @@ func Fig23(o Options) (*SweepResult, error) {
 	o = o.norm()
 	res := &SweepResult{Title: "Figure 23: IPEX speedup vs. power trace"}
 	for _, src := range power.Sources {
-		g, err := ipexGain(o, o.trace(src), nil)
+		g, skipped, err := ipexGain(o, o.trace(src), nil)
 		if err != nil {
 			return nil, err
 		}
+		res.Skipped = mergeSkipped(res.Skipped, skipped)
 		res.Points = append(res.Points, SweepPoint{Label: src.String(), Speedup: g})
 	}
 	return res, nil
@@ -306,10 +310,17 @@ func AblationDupSuppress(o Options) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{Title: "Ablation: §5.1 duplicate-request suppression (speedup of on vs. off)"}
+	_, sets, skipped, err := filterComplete(o.Apps, withRs, withoutRs)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Title:   "Ablation: §5.1 duplicate-request suppression (speedup of on vs. off)",
+		Skipped: skipped,
+	}
 	res.Points = append(res.Points, SweepPoint{
 		Label:   "suppression-gain",
-		Speedup: stats.Geomean(speedups(withoutRs, withRs)),
+		Speedup: stats.Geomean(speedups(sets[1], sets[0])),
 	})
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"ipex/internal/rng"
+	"ipex/internal/trace"
+)
+
+// Checkpointer decides the fate of each backup-write attempt during an
+// outage checkpoint. The NVP detects a torn write via the NVM write-verify
+// pulse and retries the block; a block that fails MaxRetries consecutive
+// attempts forces a rollback — the writer restarts the whole dirty-set walk
+// so that the snapshot it finally commits is consistent. Every attempt,
+// successful or not, costs full NVM write energy and cycles (the simulator
+// charges them; this type only draws outcomes and counts).
+type Checkpointer struct {
+	cfg   CheckpointConfig
+	rng   *rng.RNG
+	tr    *trace.Tracer
+	stats *Stats
+
+	maxRetries   int
+	maxRollbacks int
+}
+
+// NewCheckpointer builds the checkpoint-fault injector. The tracer may be
+// nil.
+func NewCheckpointer(cfg CheckpointConfig, seed uint64, tr *trace.Tracer, stats *Stats) *Checkpointer {
+	c := &Checkpointer{
+		cfg:          cfg,
+		rng:          rng.New(seed ^ seedCheckpoint),
+		tr:           tr,
+		stats:        stats,
+		maxRetries:   cfg.MaxRetries,
+		maxRollbacks: cfg.MaxRollbacks,
+	}
+	if c.maxRetries <= 0 {
+		c.maxRetries = DefaultMaxRetries
+	}
+	if c.maxRollbacks <= 0 {
+		c.maxRollbacks = DefaultMaxRollbacks
+	}
+	return c
+}
+
+// MaxRetries returns the effective per-block consecutive-retry bound.
+func (c *Checkpointer) MaxRetries() int { return c.maxRetries }
+
+// MaxRollbacks returns the effective per-outage rollback bound.
+func (c *Checkpointer) MaxRollbacks() int { return c.maxRollbacks }
+
+// WriteFails draws one backup-write attempt; true means the write tore and
+// must be retried. forced marks attempts past the MaxRollbacks bound, which
+// always succeed (the bound keeps WriteFailProb=1 terminating).
+func (c *Checkpointer) WriteFails(forced bool) bool {
+	if forced {
+		c.stats.CheckpointForced++
+		return false
+	}
+	if c.rng.Float64() >= c.cfg.WriteFailProb {
+		return false
+	}
+	c.stats.CheckpointWriteFailures++
+	return true
+}
+
+// NoteRetry records one re-issued block write; nj is the attempt's energy
+// (event payload only — the walk accounts wasted cost via Stats directly,
+// since only it knows which attempts end up discarded).
+func (c *Checkpointer) NoteRetry(nj float64) {
+	c.stats.CheckpointRetries++
+	c.tr.Emit(trace.Event{Kind: trace.KindFaultCkpt, Detail: "retry", Value: nj})
+}
+
+// NoteRollback records one full re-walk of the dirty set; n is the number
+// of blocks whose successful writes are being discarded.
+func (c *Checkpointer) NoteRollback(n int) {
+	c.stats.CheckpointRollbacks++
+	c.stats.CheckpointDiscarded += uint64(n)
+	c.tr.Emit(trace.Event{Kind: trace.KindFaultCkpt, Detail: "rollback", N: int64(n)})
+}

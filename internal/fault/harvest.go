@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"ipex/internal/rng"
+	"ipex/internal/trace"
+)
+
+// Harvester perturbs the replayed power trace with ambient-source anomalies:
+// single-sample dropouts, spikes, and multi-sample brownout storms.
+//
+// Unlike the other injectors, its schedule is a pure function of the
+// absolute sample index: the simulator queries the same 10 µs window more
+// than once (the outage-recharge loop and the post-reboot harvest both read
+// the window an outage straddles), so a sequential stream would skew on
+// every re-query. Each sample derives a private generator from (seed,
+// index), and storm coverage is resolved by scanning back over the
+// preceding maxStormLen indices — bounded work, and the same answer no
+// matter how often or in what order windows are evaluated.
+type Harvester struct {
+	cfg   HarvestConfig
+	seed  uint64
+	tr    *trace.Tracer
+	stats *Stats
+
+	scale    float64 // effective spike multiplier
+	stormMax int     // effective maximum storm length
+
+	// One-entry memo: the simulator's queries are monotone in time except
+	// for the immediate re-query of the current window, so a single entry
+	// gives exact re-query behaviour AND exact once-per-sample stats.
+	memoIdx uint64
+	memoOK  bool
+	memoPow float64
+}
+
+// NewHarvester builds the harvest-anomaly injector. The tracer may be nil.
+func NewHarvester(cfg HarvestConfig, seed uint64, tr *trace.Tracer, stats *Stats) *Harvester {
+	h := &Harvester{
+		cfg:      cfg,
+		seed:     seed ^ seedHarvest,
+		tr:       tr,
+		stats:    stats,
+		scale:    cfg.SpikeScale,
+		stormMax: cfg.StormLen,
+	}
+	if h.scale <= 0 {
+		h.scale = DefaultSpikeScale
+	}
+	if h.stormMax <= 0 {
+		h.stormMax = DefaultStormLen
+	}
+	if h.stormMax > MaxStormLen {
+		h.stormMax = MaxStormLen
+	}
+	return h
+}
+
+// sampleRNG derives the private generator of one absolute sample index.
+func (h *Harvester) sampleRNG(idx uint64) *rng.RNG {
+	return rng.New(h.seed + idx*0x9e3779b97f4a7c15)
+}
+
+// stormAt reports whether index idx falls inside a storm, including storms
+// that started at an earlier index and are still running. The per-sample
+// draw order is fixed: stormStart, stormLen, dropout, spike.
+func (h *Harvester) stormAt(idx uint64) bool {
+	if h.cfg.StormProb <= 0 {
+		return false
+	}
+	back := uint64(h.stormMax)
+	if back > idx {
+		back = idx
+	}
+	for d := uint64(0); d <= back; d++ {
+		r := h.sampleRNG(idx - d)
+		if r.Float64() >= h.cfg.StormProb {
+			continue
+		}
+		length := uint64(r.Intn(h.stormMax) + 1) // 1..stormMax samples
+		if d < length {
+			return true
+		}
+	}
+	return false
+}
+
+// Power maps the clean trace power of absolute sample idx to the perturbed
+// value the capacitor actually receives. Stats and trace events are emitted
+// once per distinct index (re-queries of the current window are memoized).
+func (h *Harvester) Power(idx uint64, clean float64) float64 {
+	if h.memoOK && h.memoIdx == idx {
+		return h.memoPow
+	}
+
+	p := clean
+	switch {
+	case h.stormAt(idx):
+		p = 0
+		h.stats.HarvestStorms++
+		h.tr.Emit(trace.Event{Kind: trace.KindFaultHarvest, Detail: "storm", Block: idx})
+	default:
+		r := h.sampleRNG(idx)
+		// Skip this index's storm draws so dropout/spike draws stay at
+		// fixed stream positions whether or not storms are configured on
+		// top of them.
+		if h.cfg.StormProb > 0 {
+			if r.Float64() < h.cfg.StormProb {
+				r.Intn(h.stormMax)
+			}
+		}
+		if h.cfg.DropoutProb > 0 && r.Float64() < h.cfg.DropoutProb {
+			p = 0
+			h.stats.HarvestDropouts++
+			h.tr.Emit(trace.Event{Kind: trace.KindFaultHarvest, Detail: "dropout", Block: idx})
+		} else if h.cfg.SpikeProb > 0 && r.Float64() < h.cfg.SpikeProb {
+			p = clean * h.scale
+			h.stats.HarvestSpikes++
+			h.tr.Emit(trace.Event{Kind: trace.KindFaultHarvest, Detail: "spike",
+				Block: idx, Value: p})
+		}
+	}
+
+	h.memoIdx, h.memoOK, h.memoPow = idx, true, p
+	return p
+}

@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"math"
+
+	"ipex/internal/rng"
+	"ipex/internal/trace"
+)
+
+// Sensor is the voltage-monitor model between the capacitor and the IPEX
+// controllers. Every IPEX observation passes through Read, which applies —
+// in acquisition order — additive input noise, dropout/stuck-at sample
+// failures, and ADC quantization. The outage comparator (BelowBackup) does
+// NOT go through the sensor: the backup trigger is a dedicated analog
+// brown-out detector in a real EHS, and keeping it exact also keeps the
+// fault model orthogonal to checkpoint correctness.
+//
+// The draw order per sample is fixed (dropout, stuck, noise) so a schedule
+// depends only on (seed, config, sample count) — never on the voltages
+// observed, which keeps sensor schedules stable across unrelated simulator
+// changes that shift analogue values but not sample counts.
+type Sensor struct {
+	cfg   SensorConfig
+	rng   *rng.RNG
+	tr    *trace.Tracer
+	stats *Stats
+
+	// last is the previously reported reading, repeated on a dropout.
+	last float64
+	// stuckLeft counts remaining samples of an active stuck-at window; the
+	// frozen value is held in last.
+	stuckLeft int
+	// lsb is the quantization step (VRef / 2^bits), 0 when ideal.
+	lsb  float64
+	vref float64
+}
+
+// NewSensor builds the sensor for one run. vmax supplies the ADC reference
+// when the config leaves VRef zero. The tracer may be nil.
+func NewSensor(cfg SensorConfig, seed uint64, vmax float64, tr *trace.Tracer, stats *Stats) *Sensor {
+	s := &Sensor{
+		cfg:   cfg,
+		rng:   rng.New(seed ^ seedSensor),
+		tr:    tr,
+		stats: stats,
+		vref:  cfg.VRef,
+	}
+	if s.vref <= 0 {
+		s.vref = vmax
+	}
+	if cfg.ADCBits > 0 {
+		s.lsb = s.vref / float64(uint64(1)<<uint(cfg.ADCBits))
+	}
+	if s.cfg.StuckLen <= 0 {
+		s.cfg.StuckLen = DefaultStuckLen
+	}
+	return s
+}
+
+// Read converts the true capacitor voltage into what the monitor reports.
+func (s *Sensor) Read(v float64) float64 {
+	s.stats.SensorSamples++
+
+	// Sample-failure modes first: they replace the conversion entirely.
+	if s.stuckLeft > 0 {
+		s.stuckLeft--
+		s.stats.SensorStuck++
+		return s.last
+	}
+	if s.cfg.DropoutProb > 0 && s.rng.Float64() < s.cfg.DropoutProb {
+		s.stats.SensorDropouts++
+		s.tr.Emit(trace.Event{Kind: trace.KindFaultSensor, Detail: "dropout", Value: s.last})
+		return s.last
+	}
+	if s.cfg.StuckProb > 0 && s.rng.Float64() < s.cfg.StuckProb {
+		// The register freezes at the value it holds now; the window counts
+		// this sample too.
+		s.stuckLeft = s.cfg.StuckLen - 1
+		s.stats.SensorStuck++
+		s.tr.Emit(trace.Event{Kind: trace.KindFaultSensor, Detail: "stuck",
+			N: int64(s.cfg.StuckLen), Value: s.last})
+		return s.last
+	}
+
+	if s.cfg.NoiseV > 0 {
+		v += s.cfg.NoiseV * s.rng.Norm()
+	}
+	if s.lsb > 0 {
+		// Mid-rise quantization clamped to the converter's input range.
+		v = math.Min(math.Max(v, 0), s.vref)
+		v = math.Floor(v/s.lsb) * s.lsb
+	} else if v < 0 {
+		v = 0
+	}
+	s.last = v
+	return v
+}

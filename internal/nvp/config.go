@@ -20,6 +20,7 @@ import (
 	"ipex/internal/capacitor"
 	"ipex/internal/core"
 	"ipex/internal/energy"
+	"ipex/internal/fault"
 	"ipex/internal/prefetch"
 	"ipex/internal/trace"
 )
@@ -123,6 +124,20 @@ type Config struct {
 	// (prefetch outcomes, energy split, outage counts). A registry may be
 	// shared across runs to aggregate a sweep. Nil costs nothing.
 	Metrics *trace.Registry
+
+	// Faults, when non-nil with at least one active injector family,
+	// applies the deterministic fault schedule it describes: a non-ideal
+	// voltage monitor feeding IPEX, failing checkpoint writes, and harvest
+	// anomalies (see internal/fault). Nil — or a config with every family
+	// disabled — leaves the simulation bit-identical to a fault-free run.
+	// Result.Faults reports the injected-fault counts.
+	Faults *fault.Config
+
+	// Paranoid enables the runtime invariant checker: per-power-cycle
+	// energy-conservation and forward-progress checks plus end-of-run stats
+	// consistency, reported in Result.Invariants. It never alters simulated
+	// behaviour — a violation is diagnosed, not repaired.
+	Paranoid bool
 }
 
 // DefaultMaxCycles is the default wall-clock abort budget (2.5 s of
@@ -202,6 +217,9 @@ func (c Config) Validate() error {
 		if err := c.IPEX.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

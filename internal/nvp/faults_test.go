@@ -1,0 +1,239 @@
+package nvp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ipex/internal/fault"
+	"ipex/internal/power"
+	"ipex/internal/trace"
+	"ipex/internal/workload"
+)
+
+// faultedConfig is a schedule that exercises all three injector families.
+func faultedConfig() *fault.Config {
+	return &fault.Config{
+		Seed: 11,
+		Sensor: fault.SensorConfig{
+			ADCBits: 8, NoiseV: 0.01, DropoutProb: 0.02, StuckProb: 0.002,
+		},
+		Checkpoint: fault.CheckpointConfig{WriteFailProb: 0.2},
+		Harvest: fault.HarvestConfig{
+			DropoutProb: 0.05, SpikeProb: 0.02, StormProb: 0.002, StormLen: 8,
+		},
+	}
+}
+
+// A Faults config with no active family must be bit-identical to no Faults
+// config at all (the golden-output guarantee).
+func TestInactiveFaultsAreIdentity(t *testing.T) {
+	tr := power.Generate(power.RFHome, 20000, 1)
+	wl := workload.MustNew("fft", 0.05)
+
+	base, err := Run(wl, tr, DefaultConfig().WithIPEX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig().WithIPEX()
+	cfg.Faults = &fault.Config{Seed: 12345} // seed alone activates nothing
+	inert, err := Run(workload.MustNew("fft", 0.05), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inert.Faults != nil {
+		t.Error("inactive fault config produced fault stats")
+	}
+	if !reflect.DeepEqual(base, inert) {
+		t.Error("inactive fault config changed the result")
+	}
+}
+
+// Same seed + same config → identical Result and byte-identical trace
+// stream; a different seed must change the schedule.
+func TestFaultDeterminism(t *testing.T) {
+	tr := power.Generate(power.RFHome, 20000, 1)
+	run := func(seed uint64) (Result, []byte) {
+		cfg := DefaultConfig().WithIPEX()
+		fc := faultedConfig()
+		fc.Seed = seed
+		cfg.Faults = fc
+		cfg.Paranoid = true
+		var buf bytes.Buffer
+		cfg.Tracer = trace.NewJSONL(&buf)
+		r, err := Run(workload.MustNew("susanc", 0.05), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Tracer.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return r, buf.Bytes()
+	}
+	r1, ev1 := run(11)
+	r2, ev2 := run(11)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same-seed results differ:\n%+v\nvs\n%+v", r1.Faults, r2.Faults)
+	}
+	if !bytes.Equal(ev1, ev2) {
+		t.Error("same-seed trace streams differ")
+	}
+	if r1.Faults == nil {
+		t.Fatal("faulted run carries no fault stats")
+	}
+	if r1.Faults.SensorSamples == 0 {
+		t.Error("sensor never sampled")
+	}
+	if !r1.Invariants.Clean() {
+		t.Errorf("paranoid mode flagged a faulted run: %s", r1.Invariants.Summary())
+	}
+
+	r3, _ := run(99)
+	if reflect.DeepEqual(r1.Faults, r3.Faults) {
+		t.Error("different seeds produced the identical fault schedule")
+	}
+}
+
+// WriteFailProb=1 is the bounded worst case: every unforced write tears,
+// the rollback bound forces completion, and the retry cost shows up in both
+// the fault stats and the NVM checkpoint-write count.
+func TestCheckpointWorstCaseBounded(t *testing.T) {
+	tr := power.Generate(power.RFHome, 20000, 1)
+	cfg := DefaultConfig()
+	cfg.Faults = &fault.Config{Checkpoint: fault.CheckpointConfig{WriteFailProb: 1}}
+	cfg.Paranoid = true
+	r, err := Run(workload.MustNew("qsort", 0.05), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outages == 0 {
+		t.Skip("trace strong enough to avoid outages; nothing to checkpoint")
+	}
+	fs := r.Faults
+	if fs == nil {
+		t.Fatal("no fault stats")
+	}
+	if fs.CheckpointWriteFailures == 0 || fs.CheckpointForced == 0 {
+		t.Errorf("worst case did not exercise failure+forcing: %+v", fs)
+	}
+	// Every outage rolls back exactly MaxRollbacks times before forcing.
+	if want := r.Outages * fault.DefaultMaxRollbacks; fs.CheckpointRollbacks != want {
+		t.Errorf("rollbacks = %d, want %d (%d outages x %d)",
+			fs.CheckpointRollbacks, want, r.Outages, fault.DefaultMaxRollbacks)
+	}
+	// The write-count ledger must close: attempts = failures + discarded +
+	// net commits, and the paranoid checker verifies net commits fit the
+	// dirty capacity.
+	net := r.NVM.CheckpointWrites - fs.CheckpointWriteFailures - fs.CheckpointDiscarded
+	if net > r.Outages*uint64(cfg.DCacheSize/16) {
+		t.Errorf("net checkpoint writes %d exceed dirty capacity", net)
+	}
+	if fs.RetryNJ <= 0 {
+		t.Error("worst case charged no retry energy")
+	}
+	// Per outage: MaxRollbacks full walks were discarded, so the write
+	// count must strictly exceed the final committed snapshot — the retry
+	// energy is genuinely charged, not just counted.
+	if r.NVM.CheckpointWrites <= net {
+		t.Errorf("no extra checkpoint writes recorded (total %d, net %d)",
+			r.NVM.CheckpointWrites, net)
+	}
+	if !r.Invariants.Clean() {
+		t.Errorf("invariants: %s", r.Invariants.Summary())
+	}
+}
+
+// Paranoid mode on an ordinary fault-free run: clean report, many checks,
+// and no behavioural change to the simulated numbers.
+func TestParanoidCleanOnNormalRuns(t *testing.T) {
+	tr := power.Generate(power.RFOffice, 20000, 3)
+	for _, build := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", DefaultConfig()},
+		{"ipex", DefaultConfig().WithIPEX()},
+		{"ideal", func() Config { c := DefaultConfig(); c.Ideal = true; return c }()},
+		{"buffer-mode", func() Config { c := DefaultConfig(); c.PrefetchToCache = false; return c }()},
+	} {
+		cfg := build.cfg
+		plain, err := Run(workload.MustNew("patricia", 0.05), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Paranoid = true
+		r, err := Run(workload.MustNew("patricia", 0.05), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Invariants == nil {
+			t.Fatalf("%s: paranoid run carries no report", build.name)
+		}
+		if !r.Invariants.Clean() {
+			t.Errorf("%s: %s", build.name, r.Invariants.Summary())
+		}
+		if r.Invariants.Checks == 0 {
+			t.Errorf("%s: no checks ran", build.name)
+		}
+		// Identical numbers apart from the report itself.
+		r.Invariants = nil
+		if !reflect.DeepEqual(plain, r) {
+			t.Errorf("%s: paranoid mode changed the simulation", build.name)
+		}
+	}
+}
+
+// A noisy sensor must actually perturb IPEX behaviour (otherwise the whole
+// robustness sweep measures nothing).
+func TestSensorFaultsPerturbIPEX(t *testing.T) {
+	tr := power.Generate(power.RFHome, 20000, 1)
+	run := func(noise float64) Result {
+		cfg := DefaultConfig().WithIPEX()
+		if noise > 0 {
+			cfg.Faults = &fault.Config{Sensor: fault.SensorConfig{NoiseV: noise, ADCBits: 8}}
+		}
+		r, err := Run(workload.MustNew("qsort", 0.05), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	clean := run(0)
+	noisy := run(0.05)
+	if clean.Outages == 0 {
+		t.Skip("no outages; IPEX never engages on this trace")
+	}
+	ct, _ := clean.Inst.IPEX, clean.Data.IPEX
+	nt := noisy.Inst.IPEX
+	if clean.Cycles == noisy.Cycles && reflect.DeepEqual(ct, nt) &&
+		clean.Inst.PrefetchThrottled == noisy.Inst.PrefetchThrottled &&
+		clean.Data.PrefetchThrottled == noisy.Data.PrefetchThrottled {
+		t.Error("50 mV of sensor noise left IPEX behaviour untouched")
+	}
+}
+
+// Harvest anomalies only remove or add input energy; with dropouts and
+// storms only, the run can never finish faster than the clean trace.
+func TestHarvestAnomaliesCostTime(t *testing.T) {
+	tr := power.Generate(power.RFHome, 20000, 1)
+	clean, err := Run(workload.MustNew("fft", 0.05), tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Faults = &fault.Config{Harvest: fault.HarvestConfig{DropoutProb: 0.2, StormProb: 0.01}}
+	cfg.Paranoid = true
+	r, err := Run(workload.MustNew("fft", 0.05), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults.HarvestDropouts == 0 {
+		t.Error("no dropouts injected")
+	}
+	if r.Cycles < clean.Cycles {
+		t.Errorf("losing input energy sped the run up: %d < %d", r.Cycles, clean.Cycles)
+	}
+	if !r.Invariants.Clean() {
+		t.Errorf("invariants: %s", r.Invariants.Summary())
+	}
+}

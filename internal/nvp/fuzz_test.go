@@ -1,0 +1,58 @@
+package nvp
+
+import (
+	"testing"
+
+	"ipex/internal/fault"
+	"ipex/internal/prefetch"
+)
+
+// FuzzConfigValidate drives Config.Validate (including the capacitor and
+// fault sub-configs) with arbitrary field values: it must never panic, must
+// be deterministic, and must reject every configuration containing a
+// non-finite probability or an unordered voltage monitor.
+func FuzzConfigValidate(f *testing.F) {
+	d := DefaultConfig()
+	f.Add(d.ICacheSize, d.DCacheSize, d.Ways, d.InitialDegree,
+		d.Capacitor.Vmax, d.Capacitor.Von, d.Capacitor.Vbackup, d.Capacitor.Voff,
+		0.01, 0.2, 8, uint8(0))
+	f.Add(0, -1, 99, 0, 3.5, 3.4, 3.18, 2.9, -0.5, 2.0, -3, uint8(1))
+	f.Add(2048, 2048, 4, 2, 3.4, 3.4, 3.4, 3.4, 0.0, 0.0, 0, uint8(2))
+	f.Fuzz(func(t *testing.T, icache, dcache, ways, degree int,
+		vmax, von, vbackup, voff, noiseV, failProb float64, adcBits int, pf uint8) {
+		cfg := DefaultConfig()
+		cfg.ICacheSize = icache
+		cfg.DCacheSize = dcache
+		cfg.Ways = ways
+		cfg.InitialDegree = degree
+		cfg.Capacitor.Vmax = vmax
+		cfg.Capacitor.Von = von
+		cfg.Capacitor.Vbackup = vbackup
+		cfg.Capacitor.Voff = voff
+		kinds := []prefetch.Kind{prefetch.KindNone, prefetch.KindSequential,
+			prefetch.KindStride, prefetch.Kind("warpdrive")}
+		cfg.IPrefetcher = kinds[int(pf)%len(kinds)]
+		cfg.Faults = &fault.Config{
+			Sensor:     fault.SensorConfig{NoiseV: noiseV, ADCBits: adcBits},
+			Checkpoint: fault.CheckpointConfig{WriteFailProb: failProb},
+		}
+
+		err1 := cfg.Validate()
+		err2 := cfg.Validate()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Validate is nondeterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		// A configuration Validate blesses must satisfy the documented
+		// envelope it claims to enforce.
+		if failProb < 0 || failProb > 1 {
+			t.Fatalf("accepted out-of-range WriteFailProb %g", failProb)
+		}
+		if !(vmax > von && von > vbackup && vbackup > voff && voff > 0) {
+			t.Fatalf("accepted unordered voltage monitor %g/%g/%g/%g",
+				vmax, von, vbackup, voff)
+		}
+	})
+}

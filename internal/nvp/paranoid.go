@@ -1,0 +1,153 @@
+package nvp
+
+import (
+	"math"
+
+	"ipex/internal/fault"
+)
+
+// paranoid is the runtime invariant checker (Config.Paranoid): it shadows
+// the capacitor's energy ledger through the capHarvest/capConsume wrappers,
+// closes the energy-conservation balance at every power-cycle boundary,
+// watches for stalled forward progress, and replays the offline accounting
+// invariants (internal/nvp/invariants_test.go) at end of run. It observes
+// only — a violation lands in Result.Invariants, never changes behaviour.
+type paranoid struct {
+	rep fault.Report
+
+	// Shadow ledger for the current power cycle: cycleStartE is the stored
+	// energy when the cycle began; storedNJ/drainedNJ accumulate what
+	// Harvest actually banked and Consume actually drained (post clamp and
+	// floor), so the balance below is an identity, not an approximation.
+	cycleStartE float64
+	storedNJ    float64
+	drainedNJ   float64
+
+	// zeroStreak counts consecutive power cycles that committed zero
+	// instructions — the signature of a system looping boot → checkpoint
+	// without ever making progress.
+	zeroStreak int
+}
+
+// zeroProgressLimit is how many consecutive zero-instruction power cycles
+// the checker tolerates before flagging stalled forward progress. Weak
+// traces legitimately produce short zero-progress bursts (a reboot into an
+// immediate re-outage); a run of this many in a row means the configuration
+// can never finish and only the MaxCycles budget will stop it.
+const zeroProgressLimit = 50
+
+// balanceTol returns the energy-balance tolerance for the magnitudes
+// involved: pure float64 summation reassociation, so a relative epsilon on
+// the flows plus an absolute floor.
+func balanceTol(a, b, c, d float64) float64 {
+	m := math.Abs(a) + math.Abs(b) + math.Abs(c) + math.Abs(d)
+	return 1e-9*m + 1e-9
+}
+
+// capHarvest is the capacitor Harvest wrapper: identical charging, plus the
+// shadow ledger when paranoid mode is on.
+func (s *System) capHarvest(nj float64) {
+	stored := s.cap.Harvest(nj)
+	if s.par != nil {
+		s.par.storedNJ += stored
+	}
+}
+
+// capConsume is the capacitor Consume wrapper: identical draining, plus the
+// shadow ledger (the applied amount — Consume floors at zero charge).
+func (s *System) capConsume(nj float64) {
+	if s.par != nil && nj > 0 {
+		applied := nj
+		if e := s.cap.EnergyNJ(); applied > e {
+			applied = e
+		}
+		s.par.drainedNJ += applied
+	}
+	s.cap.Consume(nj)
+}
+
+// endCycle closes the shadow ledger at a power-cycle boundary (the end of
+// outage(), with the next cycle's restore already charged) and runs the
+// per-cycle checks. insts is the instruction count the finished cycle
+// committed.
+func (p *paranoid) endCycle(s *System, insts uint64) {
+	p.rep.Checks++
+	now := s.cap.EnergyNJ()
+	want := p.cycleStartE + p.storedNJ - p.drainedNJ
+	if diff := math.Abs(now - want); diff > balanceTol(p.cycleStartE, p.storedNJ, p.drainedNJ, now) {
+		p.rep.Add("energy_balance", s.now, s.pcIdx,
+			"stored energy %.6f nJ, ledger expects %.6f (start %.6f + harvested %.6f - drained %.6f); off by %.3g",
+			now, want, p.cycleStartE, p.storedNJ, p.drainedNJ, diff)
+	}
+	p.cycleStartE = now
+	p.storedNJ, p.drainedNJ = 0, 0
+
+	p.rep.Checks++
+	if insts == 0 {
+		p.zeroStreak++
+		if p.zeroStreak == zeroProgressLimit {
+			p.rep.Add("forward_progress", s.now, s.pcIdx,
+				"%d consecutive power cycles committed zero instructions; the run cannot finish",
+				p.zeroStreak)
+		}
+	} else {
+		p.zeroStreak = 0
+	}
+}
+
+// finalChecks replays the offline accounting invariants on the finished
+// run's counters.
+func (p *paranoid) finalChecks(s *System, r *Result) {
+	check := func(ok bool, name, format string, args ...any) {
+		p.rep.Checks++
+		if !ok {
+			p.rep.Add(name, s.now, s.pcIdx, format, args...)
+		}
+	}
+
+	check(r.Cycles == r.OnCycles+r.OffCycles, "cycle_split",
+		"cycles %d != on %d + off %d", r.Cycles, r.OnCycles, r.OffCycles)
+
+	issued := r.Inst.PrefetchIssued + r.Data.PrefetchIssued
+	check(r.NVM.PrefetchReads == issued, "prefetch_ledger",
+		"NVM prefetch reads %d != issued %d", r.NVM.PrefetchReads, issued)
+
+	for _, sd := range [2]*SideStats{&r.Inst, &r.Data} {
+		check(sd.Buffer.UsefulEvicted+sd.Buffer.UselessEvicted == sd.Buffer.Inserted,
+			"buffer_classification",
+			"useful %d + useless %d != inserted %d",
+			sd.Buffer.UsefulEvicted, sd.Buffer.UselessEvicted, sd.Buffer.Inserted)
+		check(sd.Cache.Misses <= sd.Cache.Accesses, "cache_counts",
+			"misses %d > accesses %d", sd.Cache.Misses, sd.Cache.Accesses)
+	}
+
+	e := r.Energy
+	check(e.Cache >= 0 && e.Memory >= 0 && e.Compute >= 0 && e.BkRst >= 0 && e.Total() > 0,
+		"energy_sign", "negative bucket or zero total in %+v", e)
+	if s.cfg.Ideal {
+		check(e.BkRst == 0, "ideal_bkrst", "ideal run spent %.3f nJ on backup/restore", e.BkRst)
+	}
+
+	// Checkpoint traffic is bounded by what the data cache can hold per
+	// outage — after subtracting injected torn attempts and rollback
+	// re-writes, which legitimately inflate the write count.
+	if !s.cfg.Ideal && r.Outages > 0 {
+		maxDirty := r.Outages * uint64(s.cfg.DCacheSize/16)
+		writes := r.NVM.CheckpointWrites
+		if s.flt != nil {
+			writes -= s.flt.stats.CheckpointWriteFailures + s.flt.stats.CheckpointDiscarded
+		}
+		check(writes <= maxDirty, "checkpoint_traffic",
+			"net checkpoint writes %d exceed %d outages x dirty capacity (%d)",
+			writes, r.Outages, maxDirty)
+	}
+
+	if !(s.cfg.IPEXInst || s.cfg.IPEXData) {
+		check(r.Inst.PrefetchThrottled == 0 && r.Data.PrefetchThrottled == 0,
+			"throttle_without_ipex", "throttled %d/%d prefetches with IPEX detached",
+			r.Inst.PrefetchThrottled, r.Data.PrefetchThrottled)
+	}
+
+	check(!r.Completed || r.Insts == uint64(s.wl.Len()), "lost_instructions",
+		"completed run committed %d of %d instructions", r.Insts, s.wl.Len())
+}

@@ -4,6 +4,7 @@ import (
 	"ipex/internal/cache"
 	"ipex/internal/core"
 	"ipex/internal/energy"
+	"ipex/internal/fault"
 	"ipex/internal/mem"
 )
 
@@ -151,6 +152,17 @@ type Result struct {
 	// was set (the final, interrupted cycle is included without a
 	// terminating outage).
 	PowerCycleLog []PowerCycleStats
+
+	// Faults counts the injected faults when Config.Faults was active;
+	// nil on fault-free runs (so fault-free Results marshal exactly as
+	// before the fault layer existed).
+	Faults *fault.Stats `json:",omitempty"`
+
+	// Invariants is the paranoid checker's report when Config.Paranoid was
+	// set; nil otherwise. A non-nil report with violations means the
+	// simulator caught itself breaking an accounting invariant — treat the
+	// run's numbers as suspect.
+	Invariants *fault.Report `json:",omitempty"`
 }
 
 // Seconds returns the wall-clock run time in seconds.

@@ -131,6 +131,12 @@ type System struct {
 	// the 0-based power-cycle index the tracer clock stamps on every event.
 	tr    *trace.Tracer
 	pcIdx uint64
+
+	// flt holds the fault injectors (Config.Faults) and par the runtime
+	// invariant checker (Config.Paranoid); both are nil when disabled and
+	// every integration site costs one nil compare then.
+	flt *faultRuntime
+	par *paranoid
 }
 
 // cycleMark snapshots the counters at the start of a power cycle so the
@@ -246,9 +252,13 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 			sd.ctl.SetTracer(cfg.Tracer, sd.name)
 		}
 	}
+	s.flt = newFaultRuntime(cfg.Faults, cfg.Capacitor.Vmax, s.tr)
 	// The system boots with the capacitor at Von: the reboot threshold is
 	// the defined start-of-power-cycle state.
 	s.cap.SetVoltage(cfg.Capacitor.Von)
+	if cfg.Paranoid {
+		s.par = &paranoid{cycleStartE: s.cap.EnergyNJ()}
+	}
 	return s, nil
 }
 
@@ -294,9 +304,16 @@ func (s *System) run() (Result, error) {
 		// Voltage monitor: IPEX observation and outage detection. The
 		// monitor compares stored energy against precomputed cutoffs —
 		// exactly equivalent to comparing Voltage() against thresholds,
-		// without the per-instruction square roots.
-		e := s.cap.EnergyNJ()
-		if s.cfg.ReissueOnExit {
+		// without the per-instruction square roots. Under an injected
+		// sensor fault the equivalence no longer holds (readings stop
+		// mapping one-to-one onto stored energy), so that path feeds the
+		// controllers the faulted voltage directly; the outage comparator
+		// below stays exact either way — it models the dedicated analog
+		// brown-out detector, not the ADC.
+		if s.flt != nil && s.flt.sensor != nil {
+			s.observeSensor()
+		} else if s.cfg.ReissueOnExit {
+			e := s.cap.EnergyNJ()
 			for _, sd := range [2]*side{&s.inst, &s.data} {
 				before := sd.ctl.Degree()
 				sd.ctl.ObserveEnergy(e)
@@ -307,6 +324,7 @@ func (s *System) run() (Result, error) {
 				}
 			}
 		} else {
+			e := s.cap.EnergyNJ()
 			s.inst.ctl.ObserveEnergy(e)
 			s.data.ctl.ObserveEnergy(e)
 		}
@@ -674,7 +692,7 @@ func (s *System) advanceOn(cycles uint64) {
 	s.pend.Memory += s.leakMemNJ * fc
 	s.pend.Compute += s.leakComputeNJ * fc
 
-	s.cap.Consume(s.pend.Total())
+	s.capConsume(s.pend.Total())
 	s.consumed.Add(s.pend)
 	s.pend = energy.Breakdown{}
 
@@ -692,14 +710,14 @@ func (s *System) harvest(cycles uint64) {
 	remaining := cycles
 	for remaining > 0 {
 		if t >= s.sampleEnd {
-			s.samplePow = s.trace.PowerAt(t)
+			s.samplePow = s.powerAt(t)
 			s.sampleEnd = (t/power.SampleIntervalCycles + 1) * power.SampleIntervalCycles
 		}
 		chunk := s.sampleEnd - t
 		if chunk > remaining {
 			chunk = remaining
 		}
-		s.cap.Harvest(power.EnergyNJ(s.samplePow, chunk))
+		s.capHarvest(power.EnergyNJ(s.samplePow, chunk))
 		t += chunk
 		remaining -= chunk
 	}
@@ -725,10 +743,14 @@ func (s *System) outage() {
 		dirty = len(s.dirtyScratch)
 
 		var bkCycles uint64
-		for range s.dirtyScratch {
-			wc, wnj := s.nvm.Write(mem.CheckpointWrite)
-			bkCycles += wc
-			bkNJ += wnj
+		if s.flt != nil && s.flt.ckpt != nil {
+			bkCycles, bkNJ = s.checkpointWalk()
+		} else {
+			for range s.dirtyScratch {
+				wc, wnj := s.nvm.Write(mem.CheckpointWrite)
+				bkCycles += wc
+				bkNJ += wnj
+			}
 		}
 		bkCycles += 16 // register file into NVFFs
 		bkNJ += energy.RegisterBackupNJ
@@ -740,7 +762,7 @@ func (s *System) outage() {
 		}
 		s.pend.BkRst += bkNJ
 		s.harvest(bkCycles)
-		s.cap.Consume(s.pend.Total())
+		s.capConsume(s.pend.Total())
 		s.consumed.Add(s.pend)
 		s.pend = energy.Breakdown{}
 		s.now += bkCycles
@@ -786,7 +808,7 @@ func (s *System) outage() {
 	// off; time passes in trace-sample steps.
 	for !s.cap.AtOrAboveOn() && s.now < s.maxCycles {
 		chunk := power.SampleIntervalCycles - s.now%power.SampleIntervalCycles
-		s.cap.Harvest(power.EnergyNJ(s.trace.PowerAt(s.now), chunk))
+		s.capHarvest(power.EnergyNJ(s.powerAt(s.now), chunk))
 		s.now += chunk
 		s.offCycles += chunk
 	}
@@ -809,7 +831,7 @@ func (s *System) outage() {
 		rsNJ += energy.RegisterRestoreNJ
 		s.pend.BkRst += rsNJ
 		s.harvest(rsCycles)
-		s.cap.Consume(s.pend.Total())
+		s.capConsume(s.pend.Total())
 		s.consumed.Add(s.pend)
 		s.pend = energy.Breakdown{}
 		s.now += rsCycles
@@ -819,6 +841,11 @@ func (s *System) outage() {
 	s.data.ctl.OnReboot()
 	if s.tr != nil {
 		s.tr.Emit(trace.Event{Kind: trace.KindCycleStart})
+	}
+	if s.par != nil {
+		// s.mark still describes the finished cycle: snapshotCycle below is
+		// what rolls it forward.
+		s.par.endCycle(s, s.insts-s.mark.insts)
 	}
 
 	s.flushCycle(dirty)
@@ -868,7 +895,7 @@ func (s *System) result(completed bool) Result {
 		m.Gauge("energy.compute_nj").Add(s.consumed.Compute)
 		m.Gauge("energy.bkrst_nj").Add(s.consumed.BkRst)
 	}
-	return Result{
+	r := Result{
 		App:             s.wl.Name(),
 		Trace:           s.trace.Name,
 		Completed:       completed,
@@ -884,4 +911,14 @@ func (s *System) result(completed bool) Result {
 		GuardViolations: s.guardViolations,
 		PowerCycleLog:   s.cycleLog,
 	}
+	if s.flt != nil {
+		fs := s.flt.stats
+		r.Faults = &fs
+	}
+	if s.par != nil {
+		s.par.finalChecks(s, &r)
+		rep := s.par.rep
+		r.Invariants = &rep
+	}
+	return r
 }

@@ -222,6 +222,54 @@ func TestWeakTraceHitsBudget(t *testing.T) {
 	}
 }
 
+func TestTrickleHarvestHitsBudgetDuringRecharge(t *testing.T) {
+	// 1 µW trickles in far less than the system draws: after the first
+	// outage the recharge back to Von takes ~150M cycles, so a 3M budget
+	// must expire inside the recharge loop (not hang, not complete).
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 3_000_000
+	trickle := &power.Trace{Name: "trickle", Samples: []float64{1e-6}}
+	r, err := Run(workload.MustNew("fft", 0.1), trickle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed {
+		t.Error("run completed on a 1 µW supply")
+	}
+	if r.Cycles < cfg.MaxCycles {
+		t.Errorf("stopped early: %d < %d", r.Cycles, cfg.MaxCycles)
+	}
+	if r.Outages == 0 {
+		t.Error("initial charge never ran out; trickle premise broken")
+	}
+	// The budget abort must still produce a self-consistent wall clock.
+	if r.OnCycles+r.OffCycles != r.Cycles {
+		t.Errorf("cycle split broken: %d + %d != %d", r.OnCycles, r.OffCycles, r.Cycles)
+	}
+}
+
+func TestBudgetAbortKeepsParanoidClean(t *testing.T) {
+	// A truncated run is incomplete, not corrupt: the runtime invariant
+	// checker must stay clean when the budget expires mid-workload.
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 3_000_000
+	cfg.Paranoid = true
+	trickle := &power.Trace{Name: "trickle", Samples: []float64{1e-6}}
+	r, err := Run(workload.MustNew("fft", 0.1), trickle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed {
+		t.Fatal("run completed; test premise broken")
+	}
+	if r.Invariants == nil {
+		t.Fatal("paranoid run carries no report")
+	}
+	if !r.Invariants.Clean() {
+		t.Errorf("budget abort flagged as corruption: %s", r.Invariants.Summary())
+	}
+}
+
 func TestValidation(t *testing.T) {
 	wl := workload.MustNew("fft", 0.01)
 	tr := testTrace()

@@ -1,0 +1,50 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzHarvestTraceParse throws arbitrary bytes at the harvest-log parser:
+// Load must never panic, every accepted trace must contain only finite
+// non-negative samples, and an accepted trace must survive a Save/Load
+// round trip with the same sample count.
+func FuzzHarvestTraceParse(f *testing.F) {
+	f.Add([]byte("0.001\n0.002\n"))
+	f.Add([]byte("# harvested power log\n\n1.5e-3\n"))
+	f.Add([]byte("NaN\n"))
+	f.Add([]byte("+Inf\n"))
+	f.Add([]byte("-0.5\n"))
+	f.Add([]byte("0.1 0.2\n"))
+	f.Add([]byte("0.001,0.002\n"))
+	f.Add([]byte("  0.003  \r\n"))
+	f.Add([]byte("1.5e\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Load("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatal("Load succeeded with zero samples")
+		}
+		for i, s := range tr.Samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+				t.Fatalf("sample %d = %g escaped validation", i, s)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("Save of an accepted trace failed: %v", err)
+		}
+		rt, err := Load("fuzz-roundtrip", &buf)
+		if err != nil {
+			t.Fatalf("Save output rejected by Load: %v", err)
+		}
+		if len(rt.Samples) != len(tr.Samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d",
+				len(tr.Samples), len(rt.Samples))
+		}
+	})
+}

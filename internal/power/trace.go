@@ -14,7 +14,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 
 	"ipex/internal/energy"
 )
@@ -80,20 +82,31 @@ func (t *Trace) Save(w io.Writer) error {
 
 // Load reads a trace in the text format produced by Save (and by the
 // paper's energy-harvester logger): one float per line, in watts. Blank
-// lines and lines starting with '#' are ignored.
+// lines and lines starting with '#' are ignored; surrounding whitespace
+// (including a CRLF logger's '\r') is tolerated. Every malformed line —
+// non-numeric text, several values on one line, NaN/Inf, negative power —
+// is rejected with its line number rather than silently skewing the
+// simulated energy input.
 func Load(name string, r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	var samples []float64
 	line := 0
 	for sc.Scan() {
 		line++
-		txt := sc.Text()
+		txt := strings.TrimSpace(sc.Text())
 		if len(txt) == 0 || txt[0] == '#' {
 			continue
+		}
+		if fields := strings.Fields(txt); len(fields) != 1 {
+			return nil, fmt.Errorf("power: %s line %d: expected one power value per line, got %d fields %q",
+				name, line, len(fields), txt)
 		}
 		v, err := strconv.ParseFloat(txt, 64)
 		if err != nil {
 			return nil, fmt.Errorf("power: %s line %d: %w", name, line, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("power: %s line %d: non-finite power %q", name, line, txt)
 		}
 		if v < 0 {
 			return nil, fmt.Errorf("power: %s line %d: negative power %g", name, line, v)
@@ -104,7 +117,7 @@ func Load(name string, r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("power: reading %s: %w", name, err)
 	}
 	if len(samples) == 0 {
-		return nil, fmt.Errorf("power: trace %s has no samples", name)
+		return nil, fmt.Errorf("power: trace %s has no samples (empty file or comments only)", name)
 	}
 	return &Trace{Name: name, Samples: samples}, nil
 }

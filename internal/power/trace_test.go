@@ -108,17 +108,52 @@ func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
 	}
 }
 
+// TestLoadRejectsGarbage pins the hardened parser: every malformed input is
+// refused with a message naming the offending line, so a corrupted harvest
+// log fails loudly instead of silently skewing the simulated energy input.
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load("bad", strings.NewReader("0.001\nnotanumber\n")); err == nil {
-		t.Error("Load accepted a non-numeric line")
+	cases := []struct {
+		name string
+		in   string
+		want string // substring the error must contain; "" means accept
+	}{
+		{"garbage-line", "0.001\nnotanumber\n", "line 2"},
+		{"negative", "-0.5\n", "negative power"},
+		{"empty", "", "no samples"},
+		{"only-comments", "# nothing\n", "no samples"},
+		{"only-blanks", "\n\n  \n", "no samples"},
+		{"nan", "0.001\nNaN\n", "non-finite"},
+		{"inf", "0.001\n+Inf\n0.002\n", "non-finite"},
+		{"neg-inf", "-Inf\n", "non-finite"},
+		{"two-fields", "0.001 0.002\n", "2 fields"},
+		{"csv-row", "0.001,0.002\n", "line 1"},
+		{"truncated-exponent", "1.5e\n", "line 1"},
+		{"hex-garbage", "0xZZ\n", "line 1"},
+		// Tolerated variants: whitespace padding, CRLF line endings, a
+		// truncated final line without '\n'.
+		{"padded", "  0.001  \n\t0.002\t\n", ""},
+		{"crlf", "0.001\r\n0.002\r\n", ""},
+		{"no-final-newline", "0.001\n0.002", ""},
 	}
-	if _, err := Load("neg", strings.NewReader("-0.5\n")); err == nil {
-		t.Error("Load accepted negative power")
-	}
-	if _, err := Load("empty", strings.NewReader("")); err == nil {
-		t.Error("Load accepted an empty trace")
-	}
-	if _, err := Load("onlycomments", strings.NewReader("# nothing\n")); err == nil {
-		t.Error("Load accepted a comment-only trace")
+	for _, tc := range cases {
+		tr, err := Load(tc.name, strings.NewReader(tc.in))
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			} else if len(tr.Samples) != 2 {
+				t.Errorf("%s: parsed %v, want 2 samples", tc.name, tr.Samples)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: malformed input accepted: %v", tc.name, tr.Samples)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("%s: error %q does not name the trace", tc.name, err)
+		}
 	}
 }

@@ -71,6 +71,19 @@ const (
 	// KindMark is a free-form stream marker (cmd/experiments separates
 	// experiments with it); Detail carries the label.
 	KindMark Kind = "mark"
+	// KindFaultSensor is an injected voltage-monitor sample failure; Detail
+	// is "dropout" (conversion lost, previous reading repeated) or "stuck"
+	// (output register frozen; N is the window length in samples), Value the
+	// reading reported in its place.
+	KindFaultSensor Kind = "fault_sensor"
+	// KindFaultCkpt is an injected checkpoint-write fault; Detail is "retry"
+	// (one re-issued block write, Value its energy in nJ) or "rollback"
+	// (full dirty-set re-walk, N the block writes discarded).
+	KindFaultCkpt Kind = "fault_ckpt"
+	// KindFaultHarvest is an injected power-trace anomaly; Detail is
+	// "dropout", "spike" (Value the boosted power in watts), or "storm";
+	// Block carries the absolute 10 µs sample index.
+	KindFaultHarvest Kind = "fault_harvest"
 )
 
 // Event is one JSONL record. Cycle and PowerCycle are stamped by the

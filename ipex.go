@@ -23,6 +23,7 @@ import (
 	"ipex/internal/core"
 	"ipex/internal/energy"
 	"ipex/internal/experiments"
+	"ipex/internal/fault"
 	"ipex/internal/nvp"
 	"ipex/internal/power"
 	"ipex/internal/prefetch"
@@ -231,6 +232,38 @@ func Speedup(a, b Result) float64 {
 // cache, 0.0018 % of the core area for the default two caches).
 func Overhead(caches int) core.OverheadReport { return core.Overhead(caches) }
 
+// FaultConfig describes a deterministic fault-injection schedule for
+// Config.Faults: a non-ideal voltage sensor feeding IPEX, tearing
+// checkpoint writes, and harvest-trace anomalies. The same seed and config
+// always replay the identical schedule; a nil or all-disabled config is
+// bit-identical to a fault-free run.
+type FaultConfig = fault.Config
+
+// SensorFaultConfig models the voltage sensor between the capacitor and
+// the IPEX controller (ADC quantization, Gaussian noise, dropouts,
+// stuck-at windows).
+type SensorFaultConfig = fault.SensorConfig
+
+// CheckpointFaultConfig models torn checkpoint block writes with bounded
+// detect-and-retry and rollback.
+type CheckpointFaultConfig = fault.CheckpointConfig
+
+// HarvestFaultConfig models input-energy anomalies: sample dropouts,
+// spikes, and multi-sample brownout storms.
+type HarvestFaultConfig = fault.HarvestConfig
+
+// FaultStats counts the faults a schedule actually injected
+// (Result.Faults; nil on fault-free runs).
+type FaultStats = fault.Stats
+
+// InvariantReport is the runtime invariant checker's verdict
+// (Result.Invariants when Config.Paranoid is set). Its Clean method is
+// nil-safe.
+type InvariantReport = fault.Report
+
+// InvariantViolation is one failed runtime check inside an InvariantReport.
+type InvariantViolation = fault.Violation
+
 // ExperimentOptions controls the paper-evaluation sweeps re-exported below.
 type ExperimentOptions = experiments.Options
 
@@ -261,4 +294,10 @@ var (
 	Fig23  = experiments.Fig23
 	Fig24  = experiments.Fig24
 	Fig25  = experiments.Fig25
+
+	// The robustness sweeps (EXPERIMENTS.md "Robustness sweep"): IPEX's
+	// gain under a degrading voltage sensor and under failing checkpoint
+	// writes, every run checked by the paranoid invariant checker.
+	RobustSensor = experiments.RobustSensor
+	RobustCkpt   = experiments.RobustCkpt
 )
