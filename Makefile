@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race bench golden lint fuzz ci clean
+.PHONY: all build vet test race bench golden tracestat-golden lint fuzz ci clean
 
 all: ci
 
@@ -32,6 +32,12 @@ bench:
 golden:
 	$(GO) test -run TestGoldenDeterminism .
 
+# The trace-analyzer golden gate: tracestat's rendered report for a pinned
+# traced run must stay byte-identical to its committed fixture (regenerate
+# with `go test ./internal/tracestat -run TestGoldenReport -update`).
+tracestat-golden:
+	$(GO) test -run TestGoldenReport ./internal/tracestat
+
 # Short fuzzing passes over the two untrusted-input surfaces: the simulator
 # configuration validator and the harvest-trace parser. `go test -fuzz`
 # accepts one target per invocation, hence two lines.
@@ -56,8 +62,13 @@ lint: vet
 		echo "lint: math/rand import in internal/ (use the seeded PRNGs in internal/power):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rn '"net/http"\|"expvar"' internal/ *.go --include='*.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: net/http or expvar outside cmd/ (servers and process vars belong to the command layer; libraries stay host-agnostic):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
-ci: build lint race golden fuzz
+ci: build lint race golden tracestat-golden fuzz
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -103,7 +105,9 @@ func main() {
 		paranoid = flag.Bool("paranoid", false, "run every simulation with the runtime invariant checker; a dirty report fails the run")
 
 		tracePath  = flag.String("trace", "", "stream a JSONL event trace of every run to this file (serializes the sweep)")
+		traceDir   = flag.String("tracedir", "", "write one JSONL trace file per sweep cell into this directory (keeps -parallelism; analyze with tracestat)")
 		metricsOut = flag.String("metrics", "", "write an aggregate JSON metrics dump of the sweep to this file")
+		listenAddr = flag.String("listen", "", "serve live sweep telemetry on this address (Prometheus text on /metrics, expvar on /debug/vars), e.g. :9090")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -183,6 +187,10 @@ func main() {
 
 	var tracerFile *os.File
 	if *tracePath != "" {
+		if *traceDir != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -trace and -tracedir are mutually exclusive (one shared stream vs one file per cell)")
+			os.Exit(1)
+		}
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -191,8 +199,30 @@ func main() {
 		tracerFile = f
 		o.Tracer = trace.NewJSONL(f)
 	}
-	if *metricsOut != "" {
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		o.Cells = experiments.NewCellTracing(*traceDir)
+	}
+	if *metricsOut != "" || *listenAddr != "" {
 		o.Metrics = trace.NewRegistry()
+	}
+	if *listenAddr != "" {
+		o.Progress = &experiments.Progress{}
+		ln, err := net.Listen("tcp", *listenAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", ln.Addr())
+		handler := newTelemetryHandler(time.Now(), o.Progress, o.Metrics)
+		go func() {
+			if err := http.Serve(ln, handler); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: telemetry server: %v\n", err)
+			}
+		}()
 	}
 
 	var ids []string
@@ -223,6 +253,8 @@ func main() {
 			// A mark event separates the experiments in the shared stream.
 			o.Tracer.Emit(trace.Event{Kind: trace.KindMark, Detail: id})
 		}
+		// Per-cell trace files embed the experiment id in their names.
+		o.Cells.SetLabel(id)
 		start := time.Now()
 		r, err := registry[id](o)
 		if err != nil {
@@ -261,7 +293,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", o.Tracer.Events(), *tracePath)
 	}
-	if o.Metrics != nil {
+	if o.Cells != nil {
+		fmt.Fprintf(os.Stderr, "wrote %d cell trace files to %s\n", o.Cells.Files(), *traceDir)
+	}
+	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)

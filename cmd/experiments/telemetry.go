@@ -1,0 +1,82 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipex/internal/experiments"
+	"ipex/internal/trace"
+)
+
+// telemetry serves a running sweep's live state: Prometheus text exposition
+// on /metrics (sweep progress gauges + the shared metrics registry) and Go
+// expvar on /debug/vars. The sweep itself never blocks on a scrape — the
+// handlers only read atomic counters — and results are unaffected by whether
+// anyone is listening.
+type telemetry struct {
+	start time.Time
+	prog  *experiments.Progress
+	reg   *trace.Registry
+}
+
+// curTelemetry backs the process-wide expvar publication (expvar allows one
+// Publish per name per process; tests build several handlers).
+var (
+	curTelemetry atomic.Pointer[telemetry]
+	expvarOnce   sync.Once
+)
+
+// newTelemetryHandler builds the HTTP handler for -listen.
+func newTelemetryHandler(start time.Time, prog *experiments.Progress, reg *trace.Registry) http.Handler {
+	t := &telemetry{start: start, prog: prog, reg: reg}
+	curTelemetry.Store(t)
+	expvarOnce.Do(func() {
+		expvar.Publish("ipex_sweep", expvar.Func(func() any {
+			cur := curTelemetry.Load()
+			done, total, insts := cur.prog.Snapshot()
+			return map[string]any{
+				"cells_done":      done,
+				"cells_total":     total,
+				"insts":           insts,
+				"elapsed_seconds": time.Since(cur.start).Seconds(),
+			}
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.metrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// metrics writes Prometheus text exposition format 0.0.4: the sweep-progress
+// gauges first, then the metrics registry (counters accumulated across every
+// simulation so far).
+func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	done, total, insts := t.prog.Snapshot()
+	elapsed := time.Since(t.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	eta := 0.0
+	if rate > 0 && total > done {
+		eta = float64(total-done) / rate
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("ipex_sweep_cells_total", "sweep cells enqueued so far", float64(total))
+	gauge("ipex_sweep_cells_done", "sweep cells completed", float64(done))
+	gauge("ipex_sweep_insts_total", "instructions simulated so far", float64(insts))
+	gauge("ipex_sweep_elapsed_seconds", "wall-clock time since the sweep started", elapsed)
+	gauge("ipex_sweep_cells_per_second", "completed cells per wall-clock second", rate)
+	gauge("ipex_sweep_eta_seconds", "estimated seconds until the enqueued cells finish", eta)
+	// A scrape racing a disconnect can fail mid-write; there is no one to
+	// report that to, so the error is dropped.
+	_ = t.reg.WriteProm(w)
+}

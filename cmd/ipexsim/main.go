@@ -37,7 +37,9 @@ func main() {
 		sourceName = flag.String("source", "RFHome", "synthetic power source: RFHome, RFOffice, solar, thermal")
 		traceFile  = flag.String("tracefile", "", "replay a recorded power-trace text file instead of a synthetic source")
 		tracePath  = flag.String("trace", "", "stream a JSONL event trace of the run to this file")
-		metricsOut = flag.String("metrics", "", "write an end-of-run JSON metrics dump to this file")
+		metricsOut = flag.String("metrics", "", "write an end-of-run metrics dump to this file")
+		metricsFmt = flag.String("metrics-format", "json", "metrics dump format: json or prom (Prometheus text exposition)")
+		profileRun = flag.Bool("profile", false, "attribute every cycle and nanojoule to a category and print the report")
 		ipexMode   = flag.String("ipex", "off", "IPEX attachment: off, data, both")
 		iPf        = flag.String("iprefetch", "sequential", "instruction prefetcher: sequential, markov, tifs, ampm, none")
 		dPf        = flag.String("dprefetch", "stride", "data prefetcher: stride, ghb, bo, ampm, none")
@@ -107,6 +109,9 @@ func main() {
 	}
 	if !(*trigger > 0) || math.IsInf(*trigger, 0) {
 		fatalf("-trigger must be a positive finite rate, got %g", *trigger)
+	}
+	if *metricsFmt != "json" && *metricsFmt != "prom" {
+		fatalf("unknown -metrics-format %q (want json or prom)", *metricsFmt)
 	}
 
 	if *cpuProfile != "" {
@@ -233,6 +238,7 @@ func main() {
 
 	cfg.RecordCycles = *cycles > 0
 	cfg.Paranoid = *paranoid
+	cfg.Profile = *profileRun
 	fc := &fault.Config{
 		Seed: *faultSeed,
 		Sensor: fault.SensorConfig{
@@ -273,17 +279,29 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := cfg.Metrics.WriteJSON(f); err != nil {
+		dump := cfg.Metrics.WriteJSON
+		if *metricsFmt == "prom" {
+			dump = cfg.Metrics.WriteProm
+		}
+		if err := dump(f); err != nil {
 			fatalf("writing metrics: %v", err)
 		}
 		if err := f.Close(); err != nil {
 			fatalf("closing %s: %v", *metricsOut, err)
 		}
-		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+		fmt.Printf("wrote %s metrics to %s\n", *metricsFmt, *metricsOut)
 	}
 	printResult(res)
 	if *cycles > 0 {
 		printCycles(res, *cycles)
+	}
+	if p := res.Profile; p != nil {
+		fmt.Printf("\n%s", p.String())
+		n := *cycles
+		if n <= 0 {
+			n = 10
+		}
+		fmt.Printf("\nper-power-cycle attribution:\n%s", p.CycleTable(n))
 	}
 }
 

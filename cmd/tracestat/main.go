@@ -1,0 +1,70 @@
+// Command tracestat analyzes the simulator's JSONL event traces offline:
+// per-power-cycle timelines, prefetch coverage/accuracy/timeliness, wiped-
+// prefetch waste, and IPEX degree trajectories, reconstructed from the event
+// stream alone.
+//
+//	ipexsim -app gsme -trace run.jsonl && tracestat run.jsonl
+//	experiments -exp fig10 -trace sweep.jsonl && tracestat -cycles 0 sweep.jsonl
+//	tracestat -json run.jsonl          # full reconstruction as JSON
+//	cat run.jsonl | tracestat          # reads stdin without an argument
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ipex/internal/tracestat"
+)
+
+func main() {
+	var (
+		asJSON = flag.Bool("json", false, "emit the reconstruction as JSON instead of tables")
+		cycles = flag.Int("cycles", 20, "per-power-cycle table rows per run (0 = all)")
+		readNJ = flag.Float64("readnj", 0, "per-block prefetch NVM read energy in nJ for the waste numbers (0 = default ReRAM)")
+	)
+	flag.Parse()
+
+	if *cycles < 0 {
+		fatalf("-cycles must be >= 0, got %d", *cycles)
+	}
+	if *readNJ < 0 {
+		fatalf("-readnj must be >= 0, got %g", *readNJ)
+	}
+
+	var in io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fatalf("at most one trace file argument (got %d)", flag.NArg())
+	}
+
+	rep, err := tracestat.Analyze(in, tracestat.Options{PrefetchReadNJ: *readNJ})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatalf("encoding report: %v", err)
+		}
+		return
+	}
+	fmt.Print(rep.Render(*cycles))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracestat: "+format+"\n", args...)
+	os.Exit(1)
+}

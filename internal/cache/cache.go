@@ -345,6 +345,21 @@ func (c *Cache) DirtyAddrsAppend(dst []uint64) []uint64 {
 	return dst
 }
 
+// AppendResidentBlocks appends the block addresses of every valid line to
+// dst (set-major order) and returns the extended slice. The attribution
+// profiler snapshots a cache with it right before an outage wipe to learn
+// which later demand misses are re-execution backfill.
+func (c *Cache) AppendResidentBlocks(dst []uint64) []uint64 {
+	for si, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				dst = append(dst, c.blockOf(si, &set[i]))
+			}
+		}
+	}
+	return dst
+}
+
 // DrainPrefetchStats classifies still-resident prefetched-unused lines as
 // useless (end-of-run accounting; they are not wiped). Lines stay valid.
 func (c *Cache) DrainPrefetchStats() {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// CellTracing streams every simulation of a sweep into its own JSONL trace
+// file — one file per sweep cell, with a deterministic name — instead of one
+// shared stream. A shared Tracer carries one run's cycle clock and therefore
+// forces Parallelism to 1; per-cell tracers have independent clocks, so cell
+// tracing composes with a parallel sweep.
+//
+// File names are "<seq>_<label>_<app>.jsonl": seq is a zero-padded global
+// sequence number assigned in job-enqueue order (which is deterministic for
+// a given command line, regardless of worker scheduling), label the current
+// experiment id (SetLabel), app the workload. Analyze the files individually
+// or concatenated — cmd/tracestat handles both.
+type CellTracing struct {
+	dir string
+
+	mu    sync.Mutex
+	label string
+	seq   uint64
+	files uint64
+}
+
+// NewCellTracing writes cell traces into dir (which must already exist).
+func NewCellTracing(dir string) *CellTracing {
+	return &CellTracing{dir: dir}
+}
+
+// SetLabel names the experiment whose cells follow; the label is embedded in
+// subsequent file names (sanitized to keep names portable).
+func (c *CellTracing) SetLabel(label string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.label = sanitizeLabel(label)
+}
+
+// reserve assigns the deterministic path for the next sweep cell. Called in
+// job-enqueue order, before workers race.
+func (c *CellTracing) reserve(app string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	label := c.label
+	if label == "" {
+		label = "run"
+	}
+	return filepath.Join(c.dir, fmt.Sprintf("%06d_%s_%s.jsonl", c.seq, label, sanitizeLabel(app)))
+}
+
+// wrote records one completed trace file.
+func (c *CellTracing) wrote() {
+	c.mu.Lock()
+	c.files++
+	c.mu.Unlock()
+}
+
+// Files returns how many cell trace files have been written.
+func (c *CellTracing) Files() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.files
+}
+
+// sanitizeLabel keeps file-name components to [a-zA-Z0-9._-].
+func sanitizeLabel(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch ch := s[i]; {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z',
+			ch >= '0' && ch <= '9', ch == '.', ch == '_', ch == '-':
+			b.WriteByte(ch)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -38,8 +39,17 @@ type Options struct {
 	Workloads *workload.Store
 	// Tracer, when non-nil, streams every run's event log. One tracer
 	// carries one run's cycle clock, so tracing forces Parallelism to 1:
-	// runs are serialized rather than interleaving their clocks.
+	// runs are serialized rather than interleaving their clocks. For a
+	// traced sweep that keeps its parallelism, use Cells instead.
 	Tracer *trace.Tracer
+	// Cells, when non-nil, gives every sweep cell its own JSONL trace file
+	// with a deterministic name (see CellTracing). Per-cell tracers have
+	// independent clocks, so this composes with Parallelism; it overrides
+	// Tracer for the simulations themselves.
+	Cells *CellTracing
+	// Progress, when non-nil, is bumped as cells enqueue and complete, for
+	// live sweep telemetry (cmd/experiments -listen).
+	Progress *Progress
 	// Metrics, when non-nil, accumulates named counters across every run
 	// of the sweep (the dump then decomposes the whole sweep).
 	Metrics *trace.Registry
@@ -110,6 +120,16 @@ func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 	}
 	results := make([]nvp.Result, len(jobs))
 	errs := make([]error, len(jobs))
+	o.Progress.addTotal(uint64(len(jobs)))
+	// Per-cell trace paths are reserved here, in enqueue order, so the file
+	// names are deterministic however the workers get scheduled.
+	var cellPaths []string
+	if o.Cells != nil {
+		cellPaths = make([]string, len(jobs))
+		for i, j := range jobs {
+			cellPaths[i] = o.Cells.reserve(j.app)
+		}
+	}
 	workers := o.Parallelism
 	if workers < 1 {
 		workers = 1
@@ -128,6 +148,7 @@ func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 				wl, err := store.Get(j.app, o.Scale)
 				if err != nil {
 					errs[i] = err
+					o.Progress.jobDone(0)
 					continue
 				}
 				cfg := j.cfg
@@ -136,10 +157,33 @@ func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 				if o.Paranoid {
 					cfg.Paranoid = true
 				}
+				var cellFile *os.File
+				if cellPaths != nil {
+					f, err := os.Create(cellPaths[i])
+					if err != nil {
+						errs[i] = err
+						o.Progress.jobDone(0)
+						continue
+					}
+					cellFile = f
+					cfg.Tracer = trace.NewJSONL(f)
+				}
 				results[i], errs[i] = nvp.Run(wl, j.tr, cfg)
+				if cellFile != nil {
+					if err := cfg.Tracer.Flush(); err != nil && errs[i] == nil {
+						errs[i] = err
+					}
+					if err := cellFile.Close(); err != nil && errs[i] == nil {
+						errs[i] = fmt.Errorf("experiments: closing %s: %w", cellPaths[i], err)
+					}
+					if errs[i] == nil {
+						o.Cells.wrote()
+					}
+				}
 				if errs[i] == nil && o.Paranoid && !results[i].Invariants.Clean() {
 					errs[i] = fmt.Errorf("experiments: %s: %s", j.app, results[i].Invariants.Summary())
 				}
+				o.Progress.jobDone(results[i].Insts)
 			}
 		}()
 	}

@@ -1,0 +1,41 @@
+package experiments
+
+import "sync/atomic"
+
+// Progress tracks sweep completion for live telemetry (cmd/experiments
+// -listen). It holds plain atomic counters only: rates and ETAs need the
+// wall clock, which the determinism lint forbids inside internal/, so those
+// are derived in the cmd layer from successive snapshots.
+//
+// Total grows as experiments enqueue their cells (a sweep's full size is
+// not known up front), so Done/Total is "of the work discovered so far".
+// All methods are nil-receiver safe; a sweep without telemetry pays only a
+// nil compare per job.
+type Progress struct {
+	total atomic.Uint64
+	done  atomic.Uint64
+	insts atomic.Uint64
+}
+
+// addTotal records n newly enqueued sweep cells.
+func (p *Progress) addTotal(n uint64) {
+	if p != nil {
+		p.total.Add(n)
+	}
+}
+
+// jobDone records one finished cell and the instructions it simulated.
+func (p *Progress) jobDone(insts uint64) {
+	if p != nil {
+		p.done.Add(1)
+		p.insts.Add(insts)
+	}
+}
+
+// Snapshot returns (cells done, cells enqueued, instructions simulated).
+func (p *Progress) Snapshot() (done, total, insts uint64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	return p.done.Load(), p.total.Load(), p.insts.Load()
+}

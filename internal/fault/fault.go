@@ -288,6 +288,11 @@ type Report struct {
 	Violations []Violation
 	// Truncated is set when violations beyond MaxViolations were dropped.
 	Truncated bool
+	// LedgerNJ is the shadow drain ledger's whole-run total, published only
+	// when the attribution profiler ran alongside the checker so tests can
+	// assert the two ledgers agree bit-for-bit; zero (and omitted from
+	// JSON) otherwise.
+	LedgerNJ float64 `json:",omitempty"`
 }
 
 // MaxViolations bounds Report.Violations.

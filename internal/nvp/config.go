@@ -138,6 +138,16 @@ type Config struct {
 	// consistency, reported in Result.Invariants. It never alters simulated
 	// behaviour — a violation is diagnosed, not repaired.
 	Paranoid bool
+
+	// Profile enables the cycle/energy attribution profiler: every simulated
+	// cycle and every nanojoule drained from the capacitor is charged to a
+	// category (compute, miss stalls, checkpoint, restore, prefetch traffic,
+	// outage backfill, leakage, dead time), accumulated per power cycle and
+	// in aggregate in Result.Profile. Observer-only: results are unchanged
+	// with it on, and off (the default) it costs one nil compare per hook.
+	// Combine with Paranoid to cross-check the profiler's drain ledger
+	// against the shadow energy ledger bit-for-bit.
+	Profile bool
 }
 
 // DefaultMaxCycles is the default wall-clock abort budget (2.5 s of

@@ -22,6 +22,10 @@ type paranoid struct {
 	cycleStartE float64
 	storedNJ    float64
 	drainedNJ   float64
+	// totalDrainedNJ is the whole-run drain ledger (never reset): the same
+	// chronological applied-drain sequence the attribution profiler sums,
+	// so the two totals are comparable bit-for-bit, not within a tolerance.
+	totalDrainedNJ float64
 
 	// zeroStreak counts consecutive power cycles that committed zero
 	// instructions — the signature of a system looping boot → checkpoint
@@ -54,14 +58,23 @@ func (s *System) capHarvest(nj float64) {
 }
 
 // capConsume is the capacitor Consume wrapper: identical draining, plus the
-// shadow ledger (the applied amount — Consume floors at zero charge).
+// shadow ledger (the applied amount — Consume floors at zero charge) and
+// the profiler's drain ledger. Both observers add the identical applied
+// value at the identical point, which is what makes their ledgers bitwise
+// comparable rather than merely close.
 func (s *System) capConsume(nj float64) {
-	if s.par != nil && nj > 0 {
+	if (s.par != nil || s.prof != nil) && nj > 0 {
 		applied := nj
 		if e := s.cap.EnergyNJ(); applied > e {
 			applied = e
 		}
-		s.par.drainedNJ += applied
+		if s.par != nil {
+			s.par.drainedNJ += applied
+			s.par.totalDrainedNJ += applied
+		}
+		if s.prof != nil {
+			s.prof.noteDrain(applied)
+		}
 	}
 	s.cap.Consume(nj)
 }
@@ -78,6 +91,18 @@ func (p *paranoid) endCycle(s *System, insts uint64) {
 		p.rep.Add("energy_balance", s.now, s.pcIdx,
 			"stored energy %.6f nJ, ledger expects %.6f (start %.6f + harvested %.6f - drained %.6f); off by %.3g",
 			now, want, p.cycleStartE, p.storedNJ, p.drainedNJ, diff)
+	}
+	if s.prof != nil {
+		// The profiler's open record spans exactly this shadow-ledger
+		// interval and both summed the identical drain sequence, so the
+		// comparison is bitwise — any difference means a charge was
+		// attributed outside the capConsume path.
+		p.rep.Checks++
+		if s.prof.cyc.LedgerNJ != p.drainedNJ {
+			p.rep.Add("profile_cycle_ledger", s.now, s.pcIdx,
+				"profiler cycle ledger %.9f nJ != shadow drain ledger %.9f nJ",
+				s.prof.cyc.LedgerNJ, p.drainedNJ)
+		}
 	}
 	p.cycleStartE = now
 	p.storedNJ, p.drainedNJ = 0, 0
@@ -150,4 +175,24 @@ func (p *paranoid) finalChecks(s *System, r *Result) {
 
 	check(!r.Completed || r.Insts == uint64(s.wl.Len()), "lost_instructions",
 		"completed run committed %d of %d instructions", r.Insts, s.wl.Len())
+
+	// Attribution cross-checks (Config.Profile + Config.Paranoid): cycles
+	// and the drain ledger must agree exactly; only the per-category energy
+	// split is allowed float64 reassociation slack against the ledger.
+	if pr := r.Profile; pr != nil {
+		p.rep.LedgerNJ = p.totalDrainedNJ
+		check(pr.TotalCycles == r.Cycles && pr.CycleTotal() == r.Cycles,
+			"profile_cycle_total",
+			"profiler cycles %d (categories sum %d) != run cycles %d",
+			pr.TotalCycles, pr.CycleTotal(), r.Cycles)
+		check(pr.Insts == r.Insts, "profile_insts",
+			"profiler insts %d != run insts %d", pr.Insts, r.Insts)
+		check(pr.LedgerNJ == p.totalDrainedNJ, "profile_ledger",
+			"profiler drain ledger %.9f nJ != shadow ledger %.9f nJ",
+			pr.LedgerNJ, p.totalDrainedNJ)
+		et := pr.EnergyTotalNJ()
+		check(math.Abs(et-pr.LedgerNJ) <= balanceTol(et, pr.LedgerNJ, 0, 0),
+			"profile_energy_split",
+			"energy categories sum %.9f nJ, drain ledger %.9f nJ", et, pr.LedgerNJ)
+	}
 }

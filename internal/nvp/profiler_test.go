@@ -1,0 +1,225 @@
+package nvp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ipex/internal/prefetch"
+	"ipex/internal/profile"
+)
+
+// profiledRun runs one app with the attribution profiler and the paranoid
+// checker enabled, returning the Result (which carries both reports).
+func profiledRun(t *testing.T, app string, scale float64, mut func(*Config)) Result {
+	t.Helper()
+	r := runApp(t, app, scale, func(c *Config) {
+		c.Profile = true
+		c.Paranoid = true
+		if mut != nil {
+			mut(c)
+		}
+	})
+	if r.Profile == nil {
+		t.Fatal("Config.Profile set but Result.Profile is nil")
+	}
+	if r.Invariants == nil {
+		t.Fatal("Config.Paranoid set but Result.Invariants is nil")
+	}
+	return r
+}
+
+// checkAttribution asserts the profiler's hard invariants on one Result:
+// cycle categories sum exactly to simulated time (per power cycle and in
+// aggregate), the drain ledger matches the paranoid shadow ledger
+// bit-for-bit (per power cycle via the runtime check, overall via
+// Report.LedgerNJ), and the per-category energy split closes against the
+// ledger up to float64 reassociation.
+func checkAttribution(t *testing.T, label string, r Result) {
+	t.Helper()
+	p := r.Profile
+
+	if !r.Invariants.Clean() {
+		t.Errorf("%s: paranoid checker flagged violations: %s", label, r.Invariants.Summary())
+	}
+
+	// Aggregate cycle attribution: exact, no tolerance.
+	if p.TotalCycles != r.Cycles {
+		t.Errorf("%s: profile TotalCycles %d != Result.Cycles %d", label, p.TotalCycles, r.Cycles)
+	}
+	if got := p.CycleTotal(); got != r.Cycles {
+		t.Errorf("%s: cycle categories sum to %d, want exactly %d", label, got, r.Cycles)
+	}
+	if p.Insts != r.Insts {
+		t.Errorf("%s: profile insts %d != result insts %d", label, p.Insts, r.Insts)
+	}
+
+	// Per-power-cycle records: spans tile [0, Cycles) exactly and category
+	// sums equal each span; record ledgers sum to... a reassociated total,
+	// but each record's ledger was already compared bitwise against the
+	// shadow ledger at runtime (profile_cycle_ledger check above).
+	var prevEnd uint64
+	for i := range p.PowerCycles {
+		c := &p.PowerCycles[i]
+		if c.Index != uint64(i) {
+			t.Fatalf("%s: record %d has index %d", label, i, c.Index)
+		}
+		if c.StartCycle != prevEnd {
+			t.Errorf("%s: record %d starts at %d, previous ended at %d", label, i, c.StartCycle, prevEnd)
+		}
+		prevEnd = c.StartCycle + c.TotalCycles()
+	}
+	if prevEnd != r.Cycles {
+		t.Errorf("%s: records tile to %d cycles, want exactly %d", label, prevEnd, r.Cycles)
+	}
+
+	// Energy ledger: bitwise equal to the paranoid shadow ledger.
+	if p.LedgerNJ != r.Invariants.LedgerNJ {
+		t.Errorf("%s: profile ledger %v != shadow ledger %v (must be bit-identical)",
+			label, p.LedgerNJ, r.Invariants.LedgerNJ)
+	}
+	// Category split closes against the ledger (summation reassociation
+	// only — the same tolerance the runtime balance checks use).
+	et := p.EnergyTotalNJ()
+	if diff := math.Abs(et - p.LedgerNJ); diff > 1e-9*(et+p.LedgerNJ)+1e-9 {
+		t.Errorf("%s: energy categories sum %.9f nJ vs ledger %.9f nJ (off by %.3g)",
+			label, et, p.LedgerNJ, diff)
+	}
+	// And the ledger itself must account for (essentially all of) the
+	// consumed energy the Result reports.
+	if diff := math.Abs(p.LedgerNJ - r.Energy.Total()); diff > 1e-9*(p.LedgerNJ+r.Energy.Total())+1e-9 {
+		t.Errorf("%s: ledger %.9f nJ vs consumed total %.9f nJ (off by %.3g)",
+			label, p.LedgerNJ, r.Energy.Total(), diff)
+	}
+
+	// Prefetch outcomes resolve consistently.
+	o := p.Prefetch
+	if o.Useful+o.Wiped+o.Inaccurate+o.Pending() != o.Issued {
+		t.Errorf("%s: outcomes don't partition issues: %+v", label, o)
+	}
+	if want := r.Inst.WipedUnused() + r.Data.WipedUnused(); o.Wiped != want {
+		t.Errorf("%s: profile wiped %d != result wiped %d", label, o.Wiped, want)
+	}
+}
+
+// TestAttributionInvariantsAcrossPrefetchers is the tentpole invariant
+// sweep: for every baseline prefetcher (and both IPEX attachments), cycle
+// attribution sums exactly to total simulated cycles and the energy ledger
+// matches the paranoid shadow ledger exactly, per power cycle (runtime
+// check) and overall.
+func TestAttributionInvariantsAcrossPrefetchers(t *testing.T) {
+	kinds := []prefetch.Kind{
+		prefetch.KindNone, prefetch.KindSequential, prefetch.KindStride,
+		prefetch.KindMarkov, prefetch.KindTIFS, prefetch.KindGHB,
+		prefetch.KindBO, prefetch.KindAMPM,
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			r := profiledRun(t, "fft", 0.08, func(c *Config) {
+				c.IPrefetcher = prefetch.KindSequential
+				c.DPrefetcher = k
+				if k == prefetch.KindNone {
+					c.IPrefetcher = prefetch.KindNone
+				}
+			})
+			checkAttribution(t, string(k), r)
+		})
+		t.Run(string(k)+"/ipex", func(t *testing.T) {
+			r := profiledRun(t, "qsort", 0.08, func(c *Config) {
+				c.DPrefetcher = k
+				*c = c.WithIPEX()
+			})
+			checkAttribution(t, string(k)+"+ipex", r)
+		})
+	}
+}
+
+// TestAttributionBufferMode covers the prefetch-buffer organization and the
+// ideal (free checkpoint) ablation.
+func TestAttributionBufferMode(t *testing.T) {
+	r := profiledRun(t, "gsme", 0.08, func(c *Config) {
+		c.PrefetchToCache = false
+	})
+	checkAttribution(t, "buffer", r)
+
+	r = profiledRun(t, "fft", 0.08, func(c *Config) {
+		c.Ideal = true
+	})
+	checkAttribution(t, "ideal", r)
+	if r.Profile.Cycles[profile.CycCheckpoint] != 0 || r.Profile.Cycles[profile.CycRestore] != 0 {
+		t.Error("ideal run attributed cycles to checkpoint/restore")
+	}
+	if r.Profile.EnergyNJ[profile.ECheckpoint] != 0 || r.Profile.EnergyNJ[profile.ERestore] != 0 {
+		t.Error("ideal run attributed energy to checkpoint/restore")
+	}
+}
+
+// TestProfilingDoesNotPerturbResult: profiling is observer-only — the
+// Result with it on must deep-equal the Result with it off, field for
+// field, once the report itself is stripped.
+func TestProfilingDoesNotPerturbResult(t *testing.T) {
+	plain := runApp(t, "fft", 0.1, nil)
+	prof := runApp(t, "fft", 0.1, func(c *Config) { c.Profile = true })
+	if prof.Profile == nil {
+		t.Fatal("no profile report")
+	}
+	prof.Profile = nil
+	if !reflect.DeepEqual(plain, prof) {
+		t.Errorf("profiling changed the result:\nplain %+v\nprofiled %+v", plain, prof)
+	}
+}
+
+// TestAttributionCategoriesPopulated sanity-checks that a run with outages
+// actually lands cycles and energy in the categories the paper's argument
+// is about.
+func TestAttributionCategoriesPopulated(t *testing.T) {
+	r := profiledRun(t, "fft", 0.1, nil)
+	p := r.Profile
+	if r.Outages == 0 {
+		t.Fatal("test trace produced no outages; attribution categories untestable")
+	}
+	if p.Cycles[profile.CycCompute] != r.Insts {
+		t.Errorf("compute cycles %d != insts %d (1 base cycle per inst)", p.Cycles[profile.CycCompute], r.Insts)
+	}
+	if p.Cycles[profile.CycOff] != r.OffCycles {
+		t.Errorf("off cycles %d != result OffCycles %d", p.Cycles[profile.CycOff], r.OffCycles)
+	}
+	for _, c := range []profile.CycleCat{profile.CycIMissStall, profile.CycCheckpoint, profile.CycRestore} {
+		if p.Cycles[c] == 0 {
+			t.Errorf("category %s got zero cycles", profile.CycleCatNames[c])
+		}
+	}
+	for _, c := range []profile.EnergyCat{profile.ECompute, profile.EIMiss, profile.EPrefetch,
+		profile.ECheckpoint, profile.ERestore, profile.ELeakage} {
+		if p.EnergyNJ[c] <= 0 {
+			t.Errorf("category %s got no energy", profile.EnergyCatNames[c])
+		}
+	}
+	if len(p.PowerCycles) != int(r.Outages)+1 {
+		t.Errorf("%d records for %d outages (want outages+1)", len(p.PowerCycles), r.Outages)
+	}
+	if p.String() == "" || p.CycleTable(5) == "" {
+		t.Error("empty renderings")
+	}
+}
+
+// TestBackfillAttribution: with outages and no prefetchers, some demand
+// refetches must be classified as re-execution backfill.
+func TestBackfillAttribution(t *testing.T) {
+	r := profiledRun(t, "fft", 0.1, func(c *Config) { *c = c.WithoutPrefetch() })
+	if r.Outages == 0 {
+		t.Skip("no outages in test trace")
+	}
+	p := r.Profile
+	if p.Cycles[profile.CycBackfill] == 0 {
+		t.Error("no backfill stall cycles attributed despite outages")
+	}
+	if p.EnergyNJ[profile.EBackfill] <= 0 {
+		t.Error("no backfill energy attributed despite outages")
+	}
+	if p.EnergyNJ[profile.EPrefetch] != 0 || p.Prefetch.Issued != 0 {
+		t.Error("prefetch category populated with prefetchers disabled")
+	}
+	checkAttribution(t, "no-prefetch", r)
+}

@@ -6,6 +6,7 @@ import (
 	"ipex/internal/energy"
 	"ipex/internal/fault"
 	"ipex/internal/mem"
+	"ipex/internal/profile"
 )
 
 // SideStats groups the per-cache-side (instruction or data) statistics.
@@ -163,6 +164,11 @@ type Result struct {
 	// simulator caught itself breaking an accounting invariant — treat the
 	// run's numbers as suspect.
 	Invariants *fault.Report `json:",omitempty"`
+
+	// Profile is the cycle/energy attribution report when Config.Profile
+	// was set; nil otherwise (so unprofiled Results marshal exactly as
+	// before the profiler existed).
+	Profile *profile.Report `json:",omitempty"`
 }
 
 // Seconds returns the wall-clock run time in seconds.

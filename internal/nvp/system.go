@@ -10,6 +10,7 @@ import (
 	"ipex/internal/mem"
 	"ipex/internal/power"
 	"ipex/internal/prefetch"
+	"ipex/internal/profile"
 	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
@@ -132,11 +133,13 @@ type System struct {
 	tr    *trace.Tracer
 	pcIdx uint64
 
-	// flt holds the fault injectors (Config.Faults) and par the runtime
-	// invariant checker (Config.Paranoid); both are nil when disabled and
-	// every integration site costs one nil compare then.
-	flt *faultRuntime
-	par *paranoid
+	// flt holds the fault injectors (Config.Faults), par the runtime
+	// invariant checker (Config.Paranoid), and prof the attribution
+	// profiler (Config.Profile); all are nil when disabled and every
+	// integration site costs one nil compare then.
+	flt  *faultRuntime
+	par  *paranoid
+	prof *profiler
 }
 
 // cycleMark snapshots the counters at the start of a power cycle so the
@@ -148,6 +151,11 @@ type cycleMark struct {
 	issued     uint64
 	throttled  uint64
 	wiped      uint64
+	// Per-side demand-stream snapshots for the cycle_stats trace event.
+	instAccesses uint64
+	instMisses   uint64
+	dataAccesses uint64
+	dataMisses   uint64
 }
 
 // NewSystem builds a system for one workload and power trace.
@@ -259,6 +267,9 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 	if cfg.Paranoid {
 		s.par = &paranoid{cycleStartE: s.cap.EnergyNJ()}
 	}
+	if cfg.Profile {
+		s.prof = newProfiler()
+	}
 	return s, nil
 }
 
@@ -291,12 +302,21 @@ func (s *System) run() (Result, error) {
 		cycles := uint64(1) + istall
 		s.inst.stats.StallCycles += istall
 		s.pend.Compute += energy.ComputeNJPerInst
+		if p := s.prof; p != nil {
+			p.cyc.Insts++
+			p.cyc.Cycles[profile.CycCompute]++
+			p.cyc.EnergyNJ[profile.ECompute] += energy.ComputeNJPerInst
+			p.endAccess(istall)
+		}
 
 		// Data reference.
 		if a.HasData {
 			dstall := s.access(&s.data, a.PC, a.DataAddr, a.Write)
 			cycles += dstall
 			s.data.stats.StallCycles += dstall
+			if s.prof != nil {
+				s.prof.endAccess(dstall)
+			}
 		}
 
 		s.advanceOn(cycles)
@@ -338,6 +358,9 @@ func (s *System) run() (Result, error) {
 		}
 	}
 	if s.tr != nil {
+		// The final partial cycle gets its demand-stream deltas too, so the
+		// offline analyzer's per-side totals match the Result aggregates.
+		s.emitCycleStats()
 		detail := "completed"
 		if !completed {
 			detail = "budget"
@@ -349,14 +372,33 @@ func (s *System) run() (Result, error) {
 
 // snapshotCycle re-marks the counters at a power-cycle boundary.
 func (s *System) snapshotCycle() {
+	ic, dc := s.inst.cache.Stats(), s.data.cache.Stats()
 	s.mark = cycleMark{
-		startCycle: s.now,
-		onCycles:   s.onCycles,
-		insts:      s.insts,
-		issued:     s.inst.stats.PrefetchIssued + s.data.stats.PrefetchIssued,
-		throttled:  s.inst.stats.PrefetchThrottled + s.data.stats.PrefetchThrottled,
-		wiped:      s.wipedUnusedNow(),
+		startCycle:   s.now,
+		onCycles:     s.onCycles,
+		insts:        s.insts,
+		issued:       s.inst.stats.PrefetchIssued + s.data.stats.PrefetchIssued,
+		throttled:    s.inst.stats.PrefetchThrottled + s.data.stats.PrefetchThrottled,
+		wiped:        s.wipedUnusedNow(),
+		instAccesses: ic.Accesses,
+		instMisses:   ic.Misses,
+		dataAccesses: dc.Accesses,
+		dataMisses:   dc.Misses,
 	}
+}
+
+// emitCycleStats streams each cache side's demand-stream deltas for the
+// power cycle closing now; paired with the cycle_end (or run_end) event
+// that follows it.
+func (s *System) emitCycleStats() {
+	if s.tr == nil {
+		return
+	}
+	ic, dc := s.inst.cache.Stats(), s.data.cache.Stats()
+	s.tr.Emit(trace.Event{Kind: trace.KindCycleStats, Side: s.inst.name,
+		Accesses: ic.Accesses - s.mark.instAccesses, Misses: ic.Misses - s.mark.instMisses})
+	s.tr.Emit(trace.Event{Kind: trace.KindCycleStats, Side: s.data.name,
+		Accesses: dc.Accesses - s.mark.dataAccesses, Misses: dc.Misses - s.mark.dataMisses})
 }
 
 // wipedUnusedNow totals outage-destroyed unused prefetches so far.
@@ -409,9 +451,16 @@ func (s *System) drainPrefetches(sd *side) {
 			continue
 		}
 		s.pend.Cache += sd.params.AccessNJ // array write on promote
+		if p := s.prof; p != nil {
+			p.energy(profile.EPrefetch, sd.params.AccessNJ)
+			p.unwipe(s, sd, e.block)
+		}
 		if sd.cache.FillPrefetched(e.block) {
 			_, wnj := s.nvm.Write(mem.WritebackWrite)
 			s.pend.Memory += wnj
+			if s.prof != nil {
+				s.prof.energy(profile.EPrefetch, wnj)
+			}
 		}
 	}
 	sd.minReady = min
@@ -428,6 +477,9 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 	}
 	hit := sd.cache.Access(addr, write)
 	s.pend.Cache += sd.params.AccessNJ
+	if s.prof != nil {
+		s.prof.beginAccess(s, sd)
+	}
 
 	bufHit := false
 	switch {
@@ -448,6 +500,10 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 			sd.cache.NoteBufHit()
 			stall++ // promotion into the cache
 			s.pend.Cache += sd.params.AccessNJ
+			if p := s.prof; p != nil {
+				p.accessNJ(sd.params.AccessNJ)
+				p.unwipe(s, sd, block)
+			}
 			s.fill(sd, addr, write)
 		} else {
 			// A duplicate in-flight copy (DupSuppress off) drains later
@@ -456,6 +512,9 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 			stall += rc
 			s.pend.Memory += rnj
 			s.pend.Cache += sd.params.AccessNJ
+			if s.prof != nil {
+				s.prof.noteDemandRead(s, sd, block, rnj+sd.params.AccessNJ)
+			}
 			s.fill(sd, addr, write)
 		}
 	default:
@@ -474,6 +533,10 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 			sd.cache.NoteBufHit()
 			stall++ // promotion into the cache
 			s.pend.Cache += sd.params.AccessNJ
+			if p := s.prof; p != nil {
+				p.accessNJ(sd.params.AccessNJ)
+				p.unwipe(s, sd, block)
+			}
 			s.fill(sd, addr, write)
 		} else {
 			if sd.buf.Lookup(block) != nil {
@@ -486,6 +549,9 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 			stall += rc
 			s.pend.Memory += rnj
 			s.pend.Cache += sd.params.AccessNJ
+			if s.prof != nil {
+				s.prof.noteDemandRead(s, sd, block, rnj+sd.params.AccessNJ)
+			}
 			s.fill(sd, addr, write)
 		}
 	}
@@ -509,6 +575,9 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 		}
 		if sd.agNJ != 0 {
 			s.pend.Cache += sd.agNJ
+			if s.prof != nil {
+				s.prof.energy(profile.EPrefetch, sd.agNJ)
+			}
 		}
 		sd.cands = sd.pf.OnAccess(sd.cands[:0], prefetch.Event{
 			PC:        pc,
@@ -525,12 +594,17 @@ func (s *System) access(sd *side, pc, addr uint64, write bool) (stall uint64) {
 	return stall
 }
 
-// fill inserts a block into a side's cache, handling dirty writeback.
+// fill inserts a block into a side's cache, handling dirty writeback. Only
+// demand accesses reach it, so a writeback's energy follows the current
+// access's attribution category.
 func (s *System) fill(sd *side, addr uint64, write bool) {
 	if sd.cache.Fill(addr, write) {
 		// Posted writeback: energy and traffic, no pipeline stall.
 		_, wnj := s.nvm.Write(mem.WritebackWrite)
 		s.pend.Memory += wnj
+		if s.prof != nil {
+			s.prof.accessNJ(wnj)
+		}
 	}
 }
 
@@ -586,6 +660,9 @@ candidates:
 	for i := 0; i < issue; i++ {
 		rc, rnj := s.nvm.Read(mem.PrefetchRead)
 		s.pend.Memory += rnj
+		if s.prof != nil {
+			s.prof.energy(profile.EPrefetch, rnj)
+		}
 		start := s.now + busyCycles
 		if s.cfg.PrefetchToCache {
 			rdy := start + rc
@@ -657,6 +734,9 @@ func (s *System) reissueThrottled(sd *side) {
 			}
 			rc, rnj := s.nvm.Read(mem.PrefetchRead)
 			s.pend.Memory += rnj
+			if s.prof != nil {
+				s.prof.energy(profile.EPrefetch, rnj)
+			}
 			rdy := s.now + rc
 			sd.inflight = append(sd.inflight, pfReq{block: b, readyAt: rdy})
 			if rdy < sd.minReady {
@@ -668,6 +748,9 @@ func (s *System) reissueThrottled(sd *side) {
 			}
 			rc, rnj := s.nvm.Read(mem.PrefetchRead)
 			s.pend.Memory += rnj
+			if s.prof != nil {
+				s.prof.energy(profile.EPrefetch, rnj)
+			}
 			sd.buf.Insert(b, s.now+rc)
 		}
 		sd.stats.PrefetchIssued++
@@ -691,6 +774,9 @@ func (s *System) advanceOn(cycles uint64) {
 	s.pend.Cache += s.leakCacheNJ * fc
 	s.pend.Memory += s.leakMemNJ * fc
 	s.pend.Compute += s.leakComputeNJ * fc
+	if s.prof != nil {
+		s.prof.energy(profile.ELeakage, (s.leakCacheNJ+s.leakMemNJ+s.leakComputeNJ)*fc)
+	}
 
 	s.capConsume(s.pend.Total())
 	s.consumed.Add(s.pend)
@@ -761,6 +847,10 @@ func (s *System) outage() {
 			s.guardViolations++
 		}
 		s.pend.BkRst += bkNJ
+		if p := s.prof; p != nil {
+			p.energy(profile.ECheckpoint, bkNJ)
+			p.cyc.Cycles[profile.CycCheckpoint] += bkCycles
+		}
 		s.harvest(bkCycles)
 		s.capConsume(s.pend.Total())
 		s.consumed.Add(s.pend)
@@ -777,6 +867,9 @@ func (s *System) outage() {
 
 	// 2. Power failure wipes all volatile state, including in-flight
 	// prefetch reads (their energy is already spent — pure waste).
+	if s.prof != nil {
+		s.prof.captureWipe(s)
+	}
 	s.inst.cache.Wipe()
 	s.data.cache.Wipe()
 	s.inst.buf.Wipe()
@@ -799,6 +892,7 @@ func (s *System) outage() {
 	if s.data.pf != nil {
 		s.data.pf.Reset()
 	}
+	s.emitCycleStats()
 	if s.tr != nil {
 		s.tr.Emit(trace.Event{Kind: trace.KindCycleEnd,
 			N: int64(s.insts - s.mark.insts)})
@@ -806,11 +900,15 @@ func (s *System) outage() {
 
 	// 3. Dead until the capacitor recharges to Von. No consumption while
 	// off; time passes in trace-sample steps.
+	off0 := s.offCycles
 	for !s.cap.AtOrAboveOn() && s.now < s.maxCycles {
 		chunk := power.SampleIntervalCycles - s.now%power.SampleIntervalCycles
 		s.capHarvest(power.EnergyNJ(s.powerAt(s.now), chunk))
 		s.now += chunk
 		s.offCycles += chunk
+	}
+	if s.prof != nil {
+		s.prof.cyc.Cycles[profile.CycOff] += s.offCycles - off0
 	}
 	// Everything from the restore walk on belongs to the next power cycle.
 	s.pcIdx++
@@ -826,10 +924,17 @@ func (s *System) outage() {
 			// Restored blocks re-enter the cache clean (NVM now holds
 			// their latest value).
 			s.data.cache.Fill(addr, false)
+			if s.prof != nil {
+				s.prof.unwipe(s, &s.data, addr)
+			}
 		}
 		rsCycles += 12
 		rsNJ += energy.RegisterRestoreNJ
 		s.pend.BkRst += rsNJ
+		if p := s.prof; p != nil {
+			p.energy(profile.ERestore, rsNJ)
+			p.cyc.Cycles[profile.CycRestore] += rsCycles
+		}
 		s.harvest(rsCycles)
 		s.capConsume(s.pend.Total())
 		s.consumed.Add(s.pend)
@@ -846,6 +951,11 @@ func (s *System) outage() {
 		// s.mark still describes the finished cycle: snapshotCycle below is
 		// what rolls it forward.
 		s.par.endCycle(s, s.insts-s.mark.insts)
+	}
+	if s.prof != nil {
+		// Closed at the same boundary the paranoid ledger closes (restore
+		// already charged), so record and shadow intervals coincide.
+		s.prof.flushRecord(s)
 	}
 
 	s.flushCycle(dirty)
@@ -914,6 +1024,11 @@ func (s *System) result(completed bool) Result {
 	if s.flt != nil {
 		fs := s.flt.stats
 		r.Faults = &fs
+	}
+	if s.prof != nil {
+		// After the stat drains above, so the outcome split matches the
+		// Result's counters; before finalChecks, which cross-checks it.
+		r.Profile = s.prof.finish(s)
 	}
 	if s.par != nil {
 		s.par.finalChecks(s, &r)

@@ -107,6 +107,45 @@ func TestTraceWipeEventsMatchAggregates(t *testing.T) {
 	}
 }
 
+// TestTraceCycleStatsMatchAggregates pins the per-cycle demand-stream
+// events: summing cycle_stats deltas per side must reproduce the end-of-run
+// cache statistics exactly, and every power cycle (including the final
+// partial one) must carry exactly one event per side.
+func TestTraceCycleStatsMatchAggregates(t *testing.T) {
+	r, evs, _ := tracedRun(t, "gsme", 0.1, nil)
+	if r.Outages == 0 {
+		t.Fatal("run saw no outages; per-cycle emission was never exercised")
+	}
+	var n, iacc, imiss, dacc, dmiss uint64
+	for _, e := range evs {
+		if e.Kind != trace.KindCycleStats {
+			continue
+		}
+		n++
+		switch e.Side {
+		case "icache":
+			iacc += e.Accesses
+			imiss += e.Misses
+		case "dcache":
+			dacc += e.Accesses
+			dmiss += e.Misses
+		default:
+			t.Fatalf("cycle_stats with unknown side: %+v", e)
+		}
+	}
+	if want := 2 * (r.Outages + 1); n != want {
+		t.Errorf("cycle_stats events = %d, want 2 per power cycle (%d)", n, want)
+	}
+	if iacc != r.Inst.Cache.Accesses || imiss != r.Inst.Cache.Misses {
+		t.Errorf("icache deltas sum to %d/%d, want %d/%d",
+			iacc, imiss, r.Inst.Cache.Accesses, r.Inst.Cache.Misses)
+	}
+	if dacc != r.Data.Cache.Accesses || dmiss != r.Data.Cache.Misses {
+		t.Errorf("dcache deltas sum to %d/%d, want %d/%d",
+			dacc, dmiss, r.Data.Cache.Accesses, r.Data.Cache.Misses)
+	}
+}
+
 // TestTraceStreamStructure checks the bracketing and boundary events.
 func TestTraceStreamStructure(t *testing.T) {
 	r, evs, _ := tracedRun(t, "fft", 0.1, nil)

@@ -1,0 +1,312 @@
+// Package profile defines the simulator's cycle and energy attribution
+// vocabulary and report types.
+//
+// The paper's whole argument is an accounting argument — prefetches wiped
+// before first use waste energy that would otherwise extend the power cycle —
+// but an end-of-run Result only says *how much* was spent, not *where* it
+// went inside a power cycle. The attribution profiler (nvp.Config.Profile)
+// charges every simulated cycle and every nanojoule of consumed energy to a
+// category at the moment it is spent, accumulated per power cycle and in
+// aggregate, in the spirit of ETAP's energy/timing attribution for
+// intermittent programs.
+//
+// Two invariants make the report trustworthy rather than indicative:
+//
+//   - Cycle attribution is exact by construction: the per-category cycle
+//     counts of every power-cycle record sum to precisely the simulated time
+//     the record spans, and the aggregate sums to Result.Cycles. Integers,
+//     no tolerance.
+//   - The energy ledger is exact against the paranoid checker: LedgerNJ
+//     accumulates the identical chronological sequence of capacitor drain
+//     requests that the paranoid shadow ledger (nvp.Config.Paranoid)
+//     observes, so the two totals are bit-identical — per power cycle
+//     (checked at every boundary when both are enabled) and overall. The
+//     per-category energy split sums to the ledger up to float64
+//     reassociation (the categories partition the same charges, accumulated
+//     per category instead of chronologically).
+//
+// The profiler observes only: with Config.Profile off the simulator holds a
+// nil pointer and every hook is one nil compare, preserving the golden
+// byte-identical output; with it on, results are unchanged and only the
+// report is added.
+package profile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CycleCat attributes one simulated cycle. Every cycle of a run belongs to
+// exactly one category.
+type CycleCat int
+
+// The cycle categories.
+const (
+	// CycCompute is the one base pipeline cycle of each committed
+	// instruction.
+	CycCompute CycleCat = iota
+	// CycIMissStall / CycDMissStall are pipeline stalls caused by
+	// instruction/data cache misses (NVM demand reads, prefetch-buffer
+	// promotion, waits on in-flight prefetches).
+	CycIMissStall
+	CycDMissStall
+	// CycBackfill is the re-execution backfill tax of an outage: stall
+	// cycles spent re-reading blocks from NVM that were resident in a cache
+	// before the previous power failure wiped them. Without the outage these
+	// reads would have been hits.
+	CycBackfill
+	// CycCheckpoint is the JIT backup walk at an outage (dirty blocks +
+	// register file into NVFFs).
+	CycCheckpoint
+	// CycRestore is the reboot walk (checkpointed blocks + registers back).
+	CycRestore
+	// CycOff is dead time: the capacitor recharging below Von.
+	CycOff
+
+	NumCycleCats
+)
+
+// CycleCatNames indexes display names by CycleCat.
+var CycleCatNames = [NumCycleCats]string{
+	"compute", "imiss_stall", "dmiss_stall", "backfill",
+	"checkpoint", "restore", "off",
+}
+
+// EnergyCat attributes one dynamic-energy charge. Every nanojoule drained
+// from the capacitor belongs to exactly one category.
+type EnergyCat int
+
+// The energy categories.
+const (
+	// ECompute is core dynamic energy plus the base cache access of every
+	// demand reference (the cost of executing the instruction itself).
+	ECompute EnergyCat = iota
+	// EIMiss / EDMiss are miss-path energies: demand NVM reads, refill
+	// array writes, promotion accesses, and eviction writebacks.
+	EIMiss
+	EDMiss
+	// EBackfill is the energy of demand NVM reads that re-fetch blocks a
+	// power failure wiped (the miss-path energy an outage-free run would
+	// not have spent).
+	EBackfill
+	// EPrefetch is all prefetch traffic: NVM prefetch reads, prefetcher
+	// address generation, buffer/cache promotion, and prefetch-fill
+	// writebacks. The outcome split (useful / wiped / inaccurate) is
+	// derived in PrefetchOutcomes.
+	EPrefetch
+	// ECheckpoint is the JIT backup (checkpoint writes + register backup,
+	// including fault-injected retry energy).
+	ECheckpoint
+	// ERestore is the reboot restore (restore reads + register restore).
+	ERestore
+	// ELeakage is static leakage of caches, NVM, and core over powered
+	// cycles. It is attributed as its own category rather than smeared over
+	// the activity that happened to be executing.
+	ELeakage
+
+	NumEnergyCats
+)
+
+// EnergyCatNames indexes display names by EnergyCat.
+var EnergyCatNames = [NumEnergyCats]string{
+	"compute", "imiss", "dmiss", "backfill",
+	"prefetch", "checkpoint", "restore", "leakage",
+}
+
+// PrefetchOutcomes splits issued prefetches by fate. Wasted energy is
+// outcome count × the per-block prefetch read energy (constant per
+// configuration), so the split is exact given the counts.
+type PrefetchOutcomes struct {
+	// Issued counts prefetch reads put on the NVM bus.
+	Issued uint64
+	// Useful counts prefetched blocks that served a demand access.
+	Useful uint64
+	// Wiped counts prefetched blocks destroyed by a power failure before
+	// first use — the paper's motivating waste.
+	Wiped uint64
+	// Inaccurate counts prefetched blocks that died useless for any other
+	// reason: evicted or drained unused, or completed after a demand read
+	// had already fetched the block (redundant).
+	Inaccurate uint64
+}
+
+// Pending returns prefetches not yet resolved to an outcome (still resident
+// unused, or still in flight) at the record boundary.
+func (o PrefetchOutcomes) Pending() uint64 {
+	done := o.Useful + o.Wiped + o.Inaccurate
+	if done >= o.Issued {
+		return 0
+	}
+	return o.Issued - done
+}
+
+// sub returns the per-interval delta o - prev (counter snapshots).
+func (o PrefetchOutcomes) sub(prev PrefetchOutcomes) PrefetchOutcomes {
+	return PrefetchOutcomes{
+		Issued:     o.Issued - prev.Issued,
+		Useful:     o.Useful - prev.Useful,
+		Wiped:      o.Wiped - prev.Wiped,
+		Inaccurate: o.Inaccurate - prev.Inaccurate,
+	}
+}
+
+// Sub is the exported counter-delta helper (used by the nvp profiler).
+func (o PrefetchOutcomes) Sub(prev PrefetchOutcomes) PrefetchOutcomes { return o.sub(prev) }
+
+// CycleRecord is the attribution of one power cycle. A record spans from
+// one reboot-complete point to the next: the cycle's powered execution, its
+// terminating checkpoint, the dead recharge gap, and the restore walk that
+// boots the successor. The final record of a run is the partial cycle the
+// run ended in.
+type CycleRecord struct {
+	// Index is the 0-based power-cycle index.
+	Index uint64
+	// StartCycle is the absolute simulated cycle the record begins at.
+	StartCycle uint64
+	// Insts is the number of instructions the record committed.
+	Insts uint64
+	// Cycles is the per-category cycle attribution; it sums exactly to the
+	// record's span.
+	Cycles [NumCycleCats]uint64
+	// EnergyNJ is the per-category energy attribution (nJ).
+	EnergyNJ [NumEnergyCats]float64
+	// LedgerNJ is the chronological sum of capacitor drain requests inside
+	// this record — bit-identical to the paranoid shadow ledger's count of
+	// the same interval.
+	LedgerNJ float64
+	// Prefetch is this record's prefetch-outcome delta.
+	Prefetch PrefetchOutcomes
+}
+
+// TotalCycles returns the record's span: the sum of all cycle categories.
+func (c *CycleRecord) TotalCycles() uint64 {
+	var n uint64
+	for _, v := range c.Cycles {
+		n += v
+	}
+	return n
+}
+
+// TotalEnergyNJ returns the sum of the record's energy categories (equal to
+// LedgerNJ up to float64 reassociation).
+func (c *CycleRecord) TotalEnergyNJ() float64 {
+	var e float64
+	for _, v := range c.EnergyNJ {
+		e += v
+	}
+	return e
+}
+
+// Report is the run-level attribution: aggregate category totals, the drain
+// ledger, the prefetch-outcome split, and the per-power-cycle records.
+type Report struct {
+	// Insts and TotalCycles mirror the Result they were profiled from.
+	Insts       uint64
+	TotalCycles uint64
+	// Cycles is the aggregate per-category cycle attribution; it sums
+	// exactly to TotalCycles.
+	Cycles [NumCycleCats]uint64
+	// EnergyNJ is the aggregate per-category energy attribution.
+	EnergyNJ [NumEnergyCats]float64
+	// LedgerNJ is the run's chronological drain-request total —
+	// bit-identical to the paranoid shadow ledger (fault.Report.LedgerNJ)
+	// when both are enabled.
+	LedgerNJ float64
+	// PrefetchReadNJ is the per-block prefetch read energy of the profiled
+	// configuration, used to convert outcome counts into nanojoules.
+	PrefetchReadNJ float64
+	// Prefetch is the aggregate outcome split.
+	Prefetch PrefetchOutcomes
+	// PowerCycles holds one record per power cycle (the last is the partial
+	// cycle the run ended in).
+	PowerCycles []CycleRecord
+}
+
+// CycleTotal returns the sum of the aggregate cycle categories.
+func (r *Report) CycleTotal() uint64 {
+	var n uint64
+	for _, v := range r.Cycles {
+		n += v
+	}
+	return n
+}
+
+// EnergyTotalNJ returns the sum of the aggregate energy categories (equal
+// to LedgerNJ up to float64 reassociation).
+func (r *Report) EnergyTotalNJ() float64 {
+	var e float64
+	for _, v := range r.EnergyNJ {
+		e += v
+	}
+	return e
+}
+
+// PrefetchEnergyNJ returns the outcome split in nanojoules:
+// useful, wiped, inaccurate (each outcome count × PrefetchReadNJ).
+func (r *Report) PrefetchEnergyNJ() (useful, wiped, inaccurate float64) {
+	return float64(r.Prefetch.Useful) * r.PrefetchReadNJ,
+		float64(r.Prefetch.Wiped) * r.PrefetchReadNJ,
+		float64(r.Prefetch.Inaccurate) * r.PrefetchReadNJ
+}
+
+// String renders the aggregate attribution as fixed-width ASCII tables.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attribution profile: %d insts, %d cycles, %d power cycle(s)\n",
+		r.Insts, r.TotalCycles, len(r.PowerCycles))
+
+	cycTotal := r.CycleTotal()
+	b.WriteString("cycles:\n")
+	for c := CycleCat(0); c < NumCycleCats; c++ {
+		fmt.Fprintf(&b, "  %-12s %12d  %6.2f%%\n",
+			CycleCatNames[c], r.Cycles[c], pct(float64(r.Cycles[c]), float64(cycTotal)))
+	}
+	fmt.Fprintf(&b, "  %-12s %12d\n", "total", cycTotal)
+
+	eTotal := r.EnergyTotalNJ()
+	b.WriteString("energy (nJ):\n")
+	for c := EnergyCat(0); c < NumEnergyCats; c++ {
+		fmt.Fprintf(&b, "  %-12s %14.1f  %6.2f%%\n",
+			EnergyCatNames[c], r.EnergyNJ[c], pct(r.EnergyNJ[c], eTotal))
+	}
+	fmt.Fprintf(&b, "  %-12s %14.1f  (drain ledger %.1f)\n", "total", eTotal, r.LedgerNJ)
+
+	u, w, i := r.PrefetchEnergyNJ()
+	fmt.Fprintf(&b, "prefetch outcomes: issued=%d useful=%d wiped=%d inaccurate=%d pending=%d\n",
+		r.Prefetch.Issued, r.Prefetch.Useful, r.Prefetch.Wiped,
+		r.Prefetch.Inaccurate, r.Prefetch.Pending())
+	fmt.Fprintf(&b, "prefetch read energy (nJ): useful=%.1f wiped=%.1f inaccurate=%.1f (%.3f nJ/read)\n",
+		u, w, i, r.PrefetchReadNJ)
+	return b.String()
+}
+
+// CycleTable renders the first n per-power-cycle records as an ASCII table
+// (all of them when n <= 0).
+func (r *Report) CycleTable(n int) string {
+	if n <= 0 || n > len(r.PowerCycles) {
+		n = len(r.PowerCycles)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %10s %8s %8s %7s %7s %7s %6s %6s %8s %8s %12s\n",
+		"cycle", "start", "insts", "compute", "imiss", "dmiss", "backfil",
+		"ckpt", "rstr", "off", "pf i/w", "energy nJ")
+	for i := 0; i < n; i++ {
+		c := &r.PowerCycles[i]
+		fmt.Fprintf(&b, "%5d %10d %8d %8d %7d %7d %7d %6d %6d %8d %4d/%-3d %12.1f\n",
+			c.Index, c.StartCycle, c.Insts,
+			c.Cycles[CycCompute], c.Cycles[CycIMissStall], c.Cycles[CycDMissStall],
+			c.Cycles[CycBackfill], c.Cycles[CycCheckpoint], c.Cycles[CycRestore],
+			c.Cycles[CycOff], c.Prefetch.Issued, c.Prefetch.Wiped, c.LedgerNJ)
+	}
+	if n < len(r.PowerCycles) {
+		fmt.Fprintf(&b, "(%d of %d power cycles shown)\n", n, len(r.PowerCycles))
+	}
+	return b.String()
+}
+
+func pct(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * part / total
+}

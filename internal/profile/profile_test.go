@@ -1,0 +1,117 @@
+package profile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	r := &Report{
+		Insts:          100,
+		TotalCycles:    260,
+		PrefetchReadNJ: 0.5,
+		LedgerNJ:       42.0,
+		Prefetch:       PrefetchOutcomes{Issued: 10, Useful: 5, Wiped: 3, Inaccurate: 1},
+	}
+	r.Cycles[CycCompute] = 100
+	r.Cycles[CycIMissStall] = 50
+	r.Cycles[CycDMissStall] = 30
+	r.Cycles[CycBackfill] = 10
+	r.Cycles[CycCheckpoint] = 20
+	r.Cycles[CycRestore] = 15
+	r.Cycles[CycOff] = 35
+	r.EnergyNJ[ECompute] = 20
+	r.EnergyNJ[EPrefetch] = 12
+	r.EnergyNJ[ELeakage] = 10
+	r.PowerCycles = []CycleRecord{
+		{Index: 0, StartCycle: 0, Insts: 60, LedgerNJ: 30},
+		{Index: 1, StartCycle: 200, Insts: 40, LedgerNJ: 12},
+	}
+	return r
+}
+
+func TestCategoryNamesComplete(t *testing.T) {
+	for c := CycleCat(0); c < NumCycleCats; c++ {
+		if CycleCatNames[c] == "" {
+			t.Errorf("cycle category %d unnamed", c)
+		}
+	}
+	for c := EnergyCat(0); c < NumEnergyCats; c++ {
+		if EnergyCatNames[c] == "" {
+			t.Errorf("energy category %d unnamed", c)
+		}
+	}
+}
+
+func TestTotalsAndOutcomes(t *testing.T) {
+	r := sample()
+	if got := r.CycleTotal(); got != 260 {
+		t.Errorf("CycleTotal = %d, want 260", got)
+	}
+	if got := r.EnergyTotalNJ(); got != 42 {
+		t.Errorf("EnergyTotalNJ = %v, want 42", got)
+	}
+	if got := r.Prefetch.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+	u, w, i := r.PrefetchEnergyNJ()
+	if u != 2.5 || w != 1.5 || i != 0.5 {
+		t.Errorf("PrefetchEnergyNJ = %v %v %v", u, w, i)
+	}
+	// Pending never underflows when counters over-resolve.
+	o := PrefetchOutcomes{Issued: 2, Useful: 2, Inaccurate: 1}
+	if o.Pending() != 0 {
+		t.Errorf("Pending underflowed: %d", o.Pending())
+	}
+	d := PrefetchOutcomes{Issued: 10, Useful: 6, Wiped: 2}.Sub(PrefetchOutcomes{Issued: 4, Useful: 1, Wiped: 2})
+	if d != (PrefetchOutcomes{Issued: 6, Useful: 5, Wiped: 0}) {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestRecordTotals(t *testing.T) {
+	var c CycleRecord
+	c.Cycles[CycCompute] = 7
+	c.Cycles[CycOff] = 3
+	c.EnergyNJ[ECompute] = 1.5
+	c.EnergyNJ[ELeakage] = 0.5
+	if c.TotalCycles() != 10 {
+		t.Errorf("TotalCycles = %d", c.TotalCycles())
+	}
+	if c.TotalEnergyNJ() != 2 {
+		t.Errorf("TotalEnergyNJ = %v", c.TotalEnergyNJ())
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	r := sample()
+	s := r.String()
+	for _, want := range []string{"compute", "backfill", "leakage", "wiped=3", "drain ledger 42.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+	tab := r.CycleTable(1)
+	if !strings.Contains(tab, "(1 of 2 power cycles shown)") {
+		t.Errorf("CycleTable(1) missing truncation note:\n%s", tab)
+	}
+	if strings.Contains(r.CycleTable(0), "shown") {
+		t.Error("CycleTable(0) should render all records")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := sample()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.LedgerNJ != r.LedgerNJ || back.CycleTotal() != r.CycleTotal() || len(back.PowerCycles) != 2 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

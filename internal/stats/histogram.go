@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram. The bucket boundaries are frozen at
+// construction, so two histograms fed the same values — in any order — render
+// byte-identical output; the offline trace analyzer depends on that for its
+// golden-fixture tests. Bucket i covers [Bounds[i], Bounds[i+1]); values below
+// Bounds[0] land in an underflow bucket, values at or above the last bound in
+// an overflow bucket.
+type Histogram struct {
+	// Bounds are the ascending bucket boundaries (len >= 2).
+	Bounds []float64
+	// Counts has len(Bounds)+1 entries: Counts[0] is underflow,
+	// Counts[i] for 1 <= i < len(Bounds) is bucket [Bounds[i-1], Bounds[i]),
+	// and Counts[len(Bounds)] is overflow.
+	Counts []uint64
+	// N, Sum, MinV, MaxV summarize every added value (including those in
+	// the under/overflow buckets).
+	N    uint64
+	Sum  float64
+	MinV float64
+	MaxV float64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds. It panics
+// on fewer than two bounds or a non-ascending sequence: bucket layout is a
+// programming decision, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) < 2 {
+		panic("stats: histogram needs at least two bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// LinearBounds returns n+1 evenly spaced bounds covering [lo, hi], i.e. n
+// equal-width buckets. It panics when n < 1 or hi <= lo.
+func LinearBounds(lo, hi float64, n int) []float64 {
+	if n < 1 || !(hi > lo) {
+		panic("stats: LinearBounds needs n >= 1 and hi > lo")
+	}
+	out := make([]float64, n+1)
+	step := (hi - lo) / float64(n)
+	for i := 0; i <= n; i++ {
+		out[i] = lo + float64(i)*step
+	}
+	out[n] = hi // exact upper bound regardless of rounding
+	return out
+}
+
+// ExpBounds returns bounds lo, lo*f, lo*f², … up to the first bound >= hi —
+// geometric buckets for heavy-tailed quantities such as issue-to-use
+// latencies. It panics when lo <= 0, f <= 1, or hi <= lo.
+func ExpBounds(lo, hi, f float64) []float64 {
+	if !(lo > 0) || !(f > 1) || !(hi > lo) {
+		panic("stats: ExpBounds needs lo > 0, f > 1, hi > lo")
+	}
+	out := []float64{lo}
+	for b := lo; b < hi; {
+		b *= f
+		out = append(out, b)
+	}
+	return out
+}
+
+// Add records one value. NaN values are dropped (a NaN would poison Sum and
+// compare false against every bound).
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if h.N == 0 || x < h.MinV {
+		h.MinV = x
+	}
+	if h.N == 0 || x > h.MaxV {
+		h.MaxV = x
+	}
+	h.N++
+	h.Sum += x
+	switch {
+	case x < h.Bounds[0]:
+		h.Counts[0]++
+	case x >= h.Bounds[len(h.Bounds)-1]:
+		h.Counts[len(h.Counts)-1]++
+	default:
+		// Binary search for the bucket with Bounds[i] <= x < Bounds[i+1].
+		lo, hi := 0, len(h.Bounds)-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if x >= h.Bounds[mid] {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		h.Counts[lo+1]++
+	}
+}
+
+// Mean returns Sum/N, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// String renders the histogram as an ASCII table: one row per non-empty
+// bucket with a proportional bar, plus a summary line. Output depends only on
+// the bucket layout and counts, never on insertion order.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f min=%.1f max=%.1f\n", h.N, h.Mean(), h.MinV, h.MaxV)
+	if h.N == 0 {
+		return b.String()
+	}
+	var peak uint64
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	const barWidth = 40
+	row := func(label string, c uint64) {
+		if c == 0 {
+			return
+		}
+		bar := int(math.Round(float64(c) / float64(peak) * barWidth))
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %-22s %8d %s\n", label, c, strings.Repeat("#", bar))
+	}
+	row(fmt.Sprintf("< %g", h.Bounds[0]), h.Counts[0])
+	for i := 1; i < len(h.Counts)-1; i++ {
+		row(fmt.Sprintf("[%g, %g)", h.Bounds[i-1], h.Bounds[i]), h.Counts[i])
+	}
+	row(fmt.Sprintf(">= %g", h.Bounds[len(h.Bounds)-1]), h.Counts[len(h.Counts)-1])
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinearBounds(t *testing.T) {
+	b := LinearBounds(0, 10, 5)
+	want := []float64{0, 2, 4, 6, 8, 10}
+	if len(b) != len(want) {
+		t.Fatalf("LinearBounds = %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("LinearBounds = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1, 100, 10)
+	want := []float64{1, 10, 100}
+	if len(b) != len(want) {
+		t.Fatalf("ExpBounds = %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBounds = %v, want %v", b, want)
+		}
+	}
+	// The last bound always reaches hi.
+	b = ExpBounds(1, 50, 10)
+	if b[len(b)-1] < 50 {
+		t.Errorf("ExpBounds(1, 50, 10) last bound %g < 50", b[len(b)-1])
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{0, 10, 20, 30})
+	for _, x := range []float64{-5, 0, 9.99, 10, 15, 25, 30, 100} {
+		h.Add(x)
+	}
+	wantCounts := []uint64{1, 2, 2, 1, 2} // under, [0,10), [10,20), [20,30), over
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Errorf("Counts[%d] = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	if h.N != 8 {
+		t.Errorf("N = %d, want 8", h.N)
+	}
+	if h.MinV != -5 || h.MaxV != 100 {
+		t.Errorf("min/max = %g/%g, want -5/100", h.MinV, h.MaxV)
+	}
+	if got := h.Mean(); math.Abs(got-(-5+0+9.99+10+15+25+30+100)/8) > 1e-12 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	h := NewHistogram([]float64{0, 1})
+	h.Add(math.NaN())
+	if h.N != 0 {
+		t.Error("NaN was counted")
+	}
+}
+
+func TestHistogramOrderIndependentRender(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	a := NewHistogram(LinearBounds(0, 10, 10))
+	bh := NewHistogram(LinearBounds(0, 10, 10))
+	for _, v := range vals {
+		a.Add(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		bh.Add(vals[i])
+	}
+	if a.String() != bh.String() {
+		t.Errorf("render depends on insertion order:\n%s\nvs\n%s", a, bh)
+	}
+	if !strings.Contains(a.String(), "n=11") {
+		t.Errorf("summary line missing: %s", a)
+	}
+	// Empty buckets are omitted; a populated one is present with a bar.
+	if !strings.Contains(a.String(), "[5, 6)") || !strings.Contains(a.String(), "#") {
+		t.Errorf("bucket rows malformed:\n%s", a)
+	}
+}
+
+func TestHistogramEmptyRender(t *testing.T) {
+	h := NewHistogram([]float64{0, 1})
+	if got := h.String(); !strings.HasPrefix(got, "n=0") || strings.Contains(got, "#") {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"one bound":     func() { NewHistogram([]float64{1}) },
+		"descending":    func() { NewHistogram([]float64{2, 1}) },
+		"equal":         func() { NewHistogram([]float64{1, 1}) },
+		"linear n=0":    func() { LinearBounds(0, 1, 0) },
+		"linear lo>=hi": func() { LinearBounds(1, 1, 4) },
+		"exp lo<=0":     func() { ExpBounds(0, 10, 2) },
+		"exp factor<=1": func() { ExpBounds(1, 10, 1) },
+		"exp hi<=lo":    func() { ExpBounds(10, 10, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

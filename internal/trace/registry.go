@@ -2,8 +2,11 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -138,4 +141,85 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// sortedCounters / sortedGauges return name-sorted snapshots so every dump
+// format iterates the registry in one deterministic order.
+func (r *Registry) sortedCounters() ([]string, map[string]uint64) {
+	vals := make(map[string]uint64)
+	if r == nil {
+		return nil, vals
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name, c := range r.counters {
+		names = append(names, name)
+		vals[name] = c.Load()
+	}
+	sort.Strings(names)
+	return names, vals
+}
+
+func (r *Registry) sortedGauges() ([]string, map[string]float64) {
+	vals := make(map[string]float64)
+	if r == nil {
+		return nil, vals
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		names = append(names, name)
+		vals[name] = g.Load()
+	}
+	sort.Strings(names)
+	return names, vals
+}
+
+// PromName converts a registry metric name into a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_] becomes '_' and the "ipex_"
+// namespace prefix is prepended (so "icache.pf_wiped" → "ipex_icache_pf_wiped").
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("ipex_")
+	// The fixed prefix means a leading digit in name is never a leading
+	// digit in the metric name, so digits are legal everywhere here.
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format
+// (version 0.0.4): one HELP/TYPE pair and one sample per metric, counters
+// typed counter and gauges typed gauge, names sorted so the output is
+// byte-deterministic for a given registry state. It serves both scrapers
+// (cmd/experiments -listen) and flat-file dumps (ipexsim -metrics-format
+// prom).
+func (r *Registry) WriteProm(w io.Writer) error {
+	cn, cv := r.sortedCounters()
+	for _, name := range cn {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s simulator counter %q\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, cv[name]); err != nil {
+			return err
+		}
+	}
+	gn, gv := r.sortedGauges()
+	for _, name := range gn {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s simulator gauge %q\n# TYPE %s gauge\n%s %g\n",
+			pn, name, pn, pn, gv[name]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -94,3 +94,56 @@ func TestWriteJSONDeterministic(t *testing.T) {
 		t.Errorf("dump has %d keys, want 3", len(m))
 	}
 }
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"run.insts":        "ipex_run_insts",
+		"icache.pf_wiped":  "ipex_icache_pf_wiped",
+		"energy.total_nj":  "ipex_energy_total_nj",
+		"weird metric/1$x": "ipex_weird_metric_1_x",
+		"0starts.digit":    "ipex_0starts_digit",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("run.outages").Add(3)
+	r.Counter("icache.misses").Add(7)
+	r.Gauge("energy.total_nj").Add(12.5)
+	var s1, s2 strings.Builder
+	if err := r.WriteProm(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Error("two Prometheus dumps of the same registry differ")
+	}
+	out := s1.String()
+	for _, want := range []string{
+		"# TYPE ipex_run_outages counter",
+		"ipex_run_outages 3",
+		"# TYPE ipex_icache_misses counter",
+		"# TYPE ipex_energy_total_nj gauge",
+		"ipex_energy_total_nj 12.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus dump missing %q:\n%s", want, out)
+		}
+	}
+	// Counters come before gauges, each group name-sorted.
+	if strings.Index(out, "ipex_icache_misses") > strings.Index(out, "ipex_run_outages") {
+		t.Error("counters not name-sorted")
+	}
+	// Nil registry writes nothing and does not panic.
+	var empty strings.Builder
+	if err := (*Registry)(nil).WriteProm(&empty); err != nil || empty.Len() != 0 {
+		t.Errorf("nil registry: err=%v out=%q", err, empty.String())
+	}
+}

@@ -68,6 +68,12 @@ const (
 	// KindDegreeChange reports R_cpd after a change; N is the new degree
 	// and Detail is "halve", "double", or "reboot_reset".
 	KindDegreeChange Kind = "degree_change"
+	// KindCycleStats carries one cache side's demand-stream deltas for the
+	// power cycle ending here (Side, Accesses, Misses). Emitted once per
+	// side right before KindCycleEnd, and again before KindRunEnd for the
+	// final partial cycle, so the offline analyzer can reconstruct
+	// per-cycle miss rates and prefetch coverage from the trace alone.
+	KindCycleStats Kind = "cycle_stats"
 	// KindMark is a free-form stream marker (cmd/experiments separates
 	// experiments with it); Detail carries the label.
 	KindMark Kind = "mark"
@@ -104,6 +110,10 @@ type Event struct {
 	Value float64 `json:"value,omitempty"`
 	// Detail disambiguates within a kind (see the Kind constants).
 	Detail string `json:"detail,omitempty"`
+	// Accesses / Misses are the per-side demand-stream deltas carried by
+	// KindCycleStats events; zero (and omitted) on every other kind.
+	Accesses uint64 `json:"accesses,omitempty"`
+	Misses   uint64 `json:"misses,omitempty"`
 }
 
 // Tracer streams events as JSON Lines. The zero value is not usable; build

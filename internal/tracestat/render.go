@@ -1,0 +1,134 @@
+package tracestat
+
+import (
+	"fmt"
+	"strings"
+
+	"ipex/internal/stats"
+)
+
+// String renders the full report: every run, all power cycles.
+func (r *Report) String() string { return r.Render(0) }
+
+// Render renders the report, capping each run's per-power-cycle table at n
+// rows (n <= 0 means all).
+func (r *Report) Render(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events, %d run(s)\n", r.Events, len(r.Runs))
+	for i, run := range r.Runs {
+		b.WriteString("\n")
+		b.WriteString(run.render(i, n))
+	}
+	return b.String()
+}
+
+func (r *RunStat) render(idx, n int) string {
+	var b strings.Builder
+	label := r.Name
+	if r.Mark != "" {
+		label += " (" + r.Mark + ")"
+	}
+	end := r.EndDetail
+	if end == "" {
+		end = "truncated"
+	}
+	fmt.Fprintf(&b, "run %d: %s [%s]\n", idx, label, end)
+	fmt.Fprintf(&b, "  insts %d  end cycle %d  power cycles %d (%d outages)\n",
+		r.Insts, r.EndCycle, len(r.Cycles), r.Outages())
+
+	var t stats.Table
+	t.Header("side", "accesses", "misses", "missrate", "pf_issued", "reissued",
+		"throttled", "first_use", "wiped(c/b/i)", "accuracy", "coverage~")
+	for _, s := range []struct {
+		name string
+		st   SideTally
+	}{{"icache", r.Inst}, {"dcache", r.Data}} {
+		t.Rowf("%s\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d/%d/%d\t%s\t%s",
+			s.name, s.st.Accesses, s.st.Misses, stats.Pct(s.st.MissRate()),
+			s.st.Issued, s.st.Reissued, s.st.Throttle, s.st.FirstUses(),
+			s.st.WipedCache, s.st.WipedBuffer, s.st.WipedInflight,
+			stats.Pct(s.st.Accuracy()), stats.Pct(s.st.Coverage()))
+	}
+	b.WriteString(indent(t.String()))
+
+	fmt.Fprintf(&b, "  wasted: %d wiped prefetch read(s) x %.3f nJ = %.1f nJ; throttling avoided %d read(s) (%.1f nJ)\n",
+		r.Wiped(), r.PrefetchReadNJ, r.WastedNJ(),
+		r.Inst.Throttle+r.Data.Throttle, r.AvoidedNJ())
+
+	if r.Timeliness != nil && r.Timeliness.N > 0 {
+		b.WriteString("  prefetch timeliness (cycles, issue -> first use):\n")
+		b.WriteString(indent(r.Timeliness.String()))
+	}
+
+	if len(r.Degrees) > 0 || len(r.Crossings) > 0 {
+		b.WriteString("  " + r.ipexLine() + "\n")
+	}
+
+	if len(r.Cycles) > 0 {
+		b.WriteString("  per-power-cycle timeline:\n")
+		b.WriteString(indent(r.CycleTable(n)))
+	}
+	return b.String()
+}
+
+// ipexLine summarizes the degree/voltage trajectory in one line.
+func (r *RunStat) ipexLine() string {
+	causes := map[string]uint64{}
+	minD, maxD := int64(0), int64(0)
+	for i, d := range r.Degrees {
+		causes[d.Cause]++
+		if i == 0 || d.Degree < minD {
+			minD = d.Degree
+		}
+		if i == 0 || d.Degree > maxD {
+			maxD = d.Degree
+		}
+	}
+	up, down := uint64(0), uint64(0)
+	for _, c := range r.Crossings {
+		if c.Dir > 0 {
+			up++
+		} else {
+			down++
+		}
+	}
+	return fmt.Sprintf("ipex: %d degree change(s) (%d halve, %d double, %d reboot_reset), degree [%d, %d]; crossings %d up / %d down; threshold adapts %d up / %d down",
+		len(r.Degrees), causes["halve"], causes["double"], causes["reboot_reset"],
+		minD, maxD, up, down, r.AdaptUp, r.AdaptDown)
+}
+
+// CycleTable renders the per-power-cycle timeline, capped at n rows (n <= 0
+// means all).
+func (r *RunStat) CycleTable(n int) string {
+	var t stats.Table
+	t.Header("pc", "start", "end", "insts", "imiss", "dmiss", "pf_issued",
+		"throttled", "first_use", "wiped", "ckpt_dirty", "ckpt_nj")
+	rows := r.Cycles
+	truncated := false
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+		truncated = true
+	}
+	for _, c := range rows {
+		mark := ""
+		if c.Final {
+			mark = "*"
+		}
+		t.Rowf("%d%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f",
+			c.Index, mark, c.StartCycle, c.EndCycle, c.Insts, c.IMisses, c.DMisses,
+			c.Issued, c.Throttled, c.FirstUses, c.Wiped, c.CkptDirty, c.CkptNJ)
+	}
+	out := t.String()
+	if truncated {
+		out += fmt.Sprintf("(%d of %d power cycles shown)\n", n, len(r.Cycles))
+	}
+	return out
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,392 @@
+// Package tracestat is the offline analyzer for the simulator's JSONL event
+// traces (internal/trace). It re-derives from the event stream alone what the
+// simulator reports as end-of-run aggregates — per-power-cycle timelines,
+// prefetch coverage/accuracy/timeliness, wiped-prefetch waste, IPEX degree
+// trajectories — so a trace can be audited (do the events really sum to the
+// published numbers?) and mined for distributions the aggregates flatten.
+//
+// The analyzer is deliberately decoupled from the simulator: it sees only
+// what the trace records. Counts it reconstructs (issues, throttles, wipes
+// per location, demand accesses/misses) match the Result aggregates exactly;
+// derived rates that need unrecorded state (inflight-served demand hits) are
+// labelled as approximations.
+package tracestat
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ipex/internal/energy"
+	"ipex/internal/stats"
+	"ipex/internal/trace"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// PrefetchReadNJ prices one prefetch NVM read for the wasted-energy
+	// numbers; <= 0 means the default ReRAM per-block read energy
+	// (energy.NVMReadNJ). The trace does not record the simulated NVM
+	// configuration, so a non-default sweep must pass its own value.
+	PrefetchReadNJ float64
+	// TimelinessBounds are the histogram bucket boundaries (in cycles) for
+	// the issue-to-first-use latency; nil means geometric buckets
+	// 16, 64, 256, … 2^20.
+	TimelinessBounds []float64
+}
+
+func (o Options) norm() Options {
+	if o.PrefetchReadNJ <= 0 {
+		o.PrefetchReadNJ = float64(energy.NVMReadNJ)
+	}
+	if o.TimelinessBounds == nil {
+		o.TimelinessBounds = stats.ExpBounds(16, 1<<20, 4)
+	}
+	return o
+}
+
+// SideTally aggregates one cache side (icache or dcache) over a run.
+type SideTally struct {
+	Accesses uint64
+	Misses   uint64
+	Issued   uint64
+	Reissued uint64
+	Throttle uint64
+	// FirstUseCache / FirstUseBuffer count pf_first_use events by the
+	// location that served the hit.
+	FirstUseCache  uint64
+	FirstUseBuffer uint64
+	// WipedCache / WipedBuffer / WipedInflight count pf_wipe events by the
+	// location the block died in.
+	WipedCache    uint64
+	WipedBuffer   uint64
+	WipedInflight uint64
+}
+
+// FirstUses returns prefetched blocks that served a demand access.
+func (s SideTally) FirstUses() uint64 { return s.FirstUseCache + s.FirstUseBuffer }
+
+// Wiped returns prefetched blocks destroyed unused, in any location.
+func (s SideTally) Wiped() uint64 { return s.WipedCache + s.WipedBuffer + s.WipedInflight }
+
+// MissRate returns Misses/Accesses.
+func (s SideTally) MissRate() float64 {
+	return stats.Ratio(float64(s.Misses), float64(s.Accesses))
+}
+
+// Accuracy returns first-uses per issued prefetch (the fraction of issues
+// that ever served a demand access before being lost).
+func (s SideTally) Accuracy() float64 {
+	return stats.Ratio(float64(s.FirstUses()), float64(s.Issued))
+}
+
+// Coverage approximates the fraction of would-be misses a prefetch absorbed:
+// first-uses over first-uses plus residual demand misses. It is approximate
+// because inflight-served hits leave no first-use event.
+func (s SideTally) Coverage() float64 {
+	return stats.Ratio(float64(s.FirstUses()), float64(s.FirstUses()+s.Misses))
+}
+
+// CycleStat is one reconstructed power cycle of a run.
+type CycleStat struct {
+	Index uint64
+	// StartCycle / EndCycle bracket the cycle's events: StartCycle is the
+	// cycle_start stamp (restore walk already charged), EndCycle the
+	// cycle_end stamp (or the run_end stamp for the final partial cycle).
+	StartCycle uint64
+	EndCycle   uint64
+	// Insts is the cycle's committed instructions (cycle_end's payload;
+	// derived from the run total for the final partial cycle).
+	Insts     uint64
+	Issued    uint64
+	Throttled uint64
+	Wiped     uint64
+	FirstUses uint64
+	// IAccesses/IMisses and DAccesses/DMisses are the per-side
+	// demand-stream deltas carried by the cycle's cycle_stats events.
+	IAccesses uint64
+	IMisses   uint64
+	DAccesses uint64
+	DMisses   uint64
+	// CkptDirty / CkptNJ describe the terminating JIT checkpoint; absent
+	// (zero) on the final partial cycle.
+	CkptDirty int64
+	CkptNJ    float64
+	// Final marks the run-terminating partial cycle (no outage).
+	Final bool
+}
+
+// DegreePoint is one sample of the IPEX degree trajectory.
+type DegreePoint struct {
+	Cycle      uint64
+	PowerCycle uint64
+	Degree     int64
+	// Cause is the degree_change detail: "halve", "double", or
+	// "reboot_reset".
+	Cause string
+}
+
+// VoltPoint is one IPEX voltage-threshold crossing.
+type VoltPoint struct {
+	Cycle      uint64
+	PowerCycle uint64
+	Volts      float64
+	// Dir is +1 for an upward crossing, -1 for downward.
+	Dir int64
+}
+
+// RunStat is everything reconstructed for one run in the stream.
+type RunStat struct {
+	// Name is the workload name; Mark the experiment label (cmd/experiments
+	// mark event) active when the run started, if any.
+	Name string
+	Mark string `json:",omitempty"`
+	// EndDetail is "completed" or "budget"; empty if the stream was
+	// truncated before the run's run_end.
+	EndDetail string
+	Insts     uint64
+	EndCycle  uint64
+	Cycles    []CycleStat
+	Inst      SideTally
+	Data      SideTally
+	// Timeliness is the distribution of cycles between a block's (last)
+	// pf_issue and its pf_first_use.
+	Timeliness *stats.Histogram
+	// Degrees is the IPEX degree trajectory; Crossings the
+	// threshold-crossing samples (degree vs voltage over time).
+	Degrees   []DegreePoint `json:",omitempty"`
+	Crossings []VoltPoint   `json:",omitempty"`
+	// AdaptUp / AdaptDown count reboot-time adaptive threshold moves.
+	AdaptUp   uint64
+	AdaptDown uint64
+	// PrefetchReadNJ is the per-read energy the waste numbers used.
+	PrefetchReadNJ float64
+}
+
+// Outages returns the number of power failures the run survived.
+func (r *RunStat) Outages() uint64 {
+	n := uint64(0)
+	for _, c := range r.Cycles {
+		if !c.Final {
+			n++
+		}
+	}
+	return n
+}
+
+// Wiped returns prefetched blocks destroyed unused, both sides.
+func (r *RunStat) Wiped() uint64 { return r.Inst.Wiped() + r.Data.Wiped() }
+
+// WastedNJ returns the energy of wiped prefetch reads: every wiped block
+// paid one NVM read that served nobody.
+func (r *RunStat) WastedNJ() float64 {
+	return float64(r.Wiped()) * r.PrefetchReadNJ
+}
+
+// AvoidedNJ returns the read energy IPEX throttling declined to spend.
+func (r *RunStat) AvoidedNJ() float64 {
+	return float64(r.Inst.Throttle+r.Data.Throttle) * r.PrefetchReadNJ
+}
+
+// Report is the analysis of one trace stream.
+type Report struct {
+	Events uint64
+	Runs   []*RunStat
+}
+
+// analysis carries the per-run scratch state of one Analyze pass.
+type analysis struct {
+	opt  Options
+	rep  *Report
+	mark string
+	run  *RunStat
+	// issue maps side name → block → last pf_issue cycle, for timeliness.
+	issue map[string]map[uint64]uint64
+	// instsSeen sums cycle_end payloads to derive the final partial
+	// cycle's instruction count from the run total.
+	instsSeen uint64
+}
+
+// Analyze reads a JSONL event stream and reconstructs its runs. Unknown
+// event kinds are ignored (newer traces stay readable); a malformed line is
+// an error. A stream truncated mid-run still yields that run's partial
+// statistics (EndDetail stays empty).
+func Analyze(r io.Reader, opt Options) (*Report, error) {
+	a := &analysis{opt: opt.norm(), rep: &Report{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e trace.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("tracestat: line %d: %w", line, err)
+		}
+		a.rep.Events++
+		a.event(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracestat: reading stream: %w", err)
+	}
+	a.flushRun()
+	return a.rep, nil
+}
+
+// side returns the tally for an event's Side label (nil for unknown labels,
+// which are then ignored rather than misattributed).
+func (a *analysis) side(name string) *SideTally {
+	switch name {
+	case "icache":
+		return &a.run.Inst
+	case "dcache":
+		return &a.run.Data
+	}
+	return nil
+}
+
+// cycle returns the CycleStat for power-cycle index pc, materializing
+// records up to it. Stamps are monotone within a run, so this only appends.
+func (a *analysis) cycle(pc uint64) *CycleStat {
+	for uint64(len(a.run.Cycles)) <= pc {
+		a.run.Cycles = append(a.run.Cycles, CycleStat{Index: uint64(len(a.run.Cycles))})
+	}
+	return &a.run.Cycles[pc]
+}
+
+func (a *analysis) flushRun() {
+	if a.run == nil {
+		return
+	}
+	a.rep.Runs = append(a.rep.Runs, a.run)
+	a.run = nil
+}
+
+func (a *analysis) event(e trace.Event) {
+	if e.Kind == trace.KindMark {
+		a.flushRun()
+		a.mark = e.Detail
+		return
+	}
+	if e.Kind == trace.KindRunStart {
+		a.flushRun()
+		a.run = &RunStat{
+			Name:           e.Run,
+			Mark:           a.mark,
+			Timeliness:     stats.NewHistogram(a.opt.TimelinessBounds),
+			PrefetchReadNJ: a.opt.PrefetchReadNJ,
+		}
+		a.issue = map[string]map[uint64]uint64{
+			"icache": make(map[uint64]uint64),
+			"dcache": make(map[uint64]uint64),
+		}
+		a.instsSeen = 0
+		return
+	}
+	if a.run == nil {
+		// Events before any run_start (or after a truncated stream's last
+		// run) have nothing to attach to.
+		return
+	}
+	switch e.Kind {
+	case trace.KindRunEnd:
+		a.run.EndDetail = e.Detail
+		a.run.Insts = uint64(e.N)
+		a.run.EndCycle = e.Cycle
+		if len(a.run.Cycles) > 0 {
+			c := &a.run.Cycles[len(a.run.Cycles)-1]
+			c.Final = true
+			c.EndCycle = e.Cycle
+			c.Insts = a.run.Insts - a.instsSeen
+		}
+		a.flushRun()
+	case trace.KindCycleStart:
+		a.cycle(e.PowerCycle).StartCycle = e.Cycle
+	case trace.KindCycleEnd:
+		c := a.cycle(e.PowerCycle)
+		c.EndCycle = e.Cycle
+		c.Insts = uint64(e.N)
+		a.instsSeen += uint64(e.N)
+	case trace.KindCycleStats:
+		c := a.cycle(e.PowerCycle)
+		switch e.Side {
+		case "icache":
+			c.IAccesses, c.IMisses = e.Accesses, e.Misses
+		case "dcache":
+			c.DAccesses, c.DMisses = e.Accesses, e.Misses
+		}
+		if sd := a.side(e.Side); sd != nil {
+			sd.Accesses += e.Accesses
+			sd.Misses += e.Misses
+		}
+	case trace.KindCheckpoint:
+		c := a.cycle(e.PowerCycle)
+		c.CkptDirty = e.N
+		c.CkptNJ = e.Value
+	case trace.KindPrefetchIssue:
+		if sd := a.side(e.Side); sd != nil {
+			sd.Issued++
+			if e.Detail == "reissue" {
+				sd.Reissued++
+			}
+		}
+		a.cycle(e.PowerCycle).Issued++
+		if m := a.issue[e.Side]; m != nil {
+			m[e.Block] = e.Cycle
+		}
+	case trace.KindPrefetchThrottle:
+		if sd := a.side(e.Side); sd != nil {
+			sd.Throttle++
+		}
+		a.cycle(e.PowerCycle).Throttled++
+	case trace.KindPrefetchWipe:
+		if sd := a.side(e.Side); sd != nil {
+			switch e.Detail {
+			case "cache":
+				sd.WipedCache++
+			case "buffer":
+				sd.WipedBuffer++
+			case "inflight":
+				sd.WipedInflight++
+			}
+		}
+		a.cycle(e.PowerCycle).Wiped++
+		if m := a.issue[e.Side]; m != nil {
+			delete(m, e.Block)
+		}
+	case trace.KindPrefetchFirstUse:
+		if sd := a.side(e.Side); sd != nil {
+			switch e.Detail {
+			case "buffer":
+				sd.FirstUseBuffer++
+			default:
+				sd.FirstUseCache++
+			}
+		}
+		a.cycle(e.PowerCycle).FirstUses++
+		if m := a.issue[e.Side]; m != nil {
+			if at, ok := m[e.Block]; ok {
+				a.run.Timeliness.Add(float64(e.Cycle - at))
+				delete(m, e.Block)
+			}
+		}
+	case trace.KindDegreeChange:
+		a.run.Degrees = append(a.run.Degrees, DegreePoint{
+			Cycle: e.Cycle, PowerCycle: e.PowerCycle, Degree: e.N, Cause: e.Detail,
+		})
+	case trace.KindThresholdCross:
+		a.run.Crossings = append(a.run.Crossings, VoltPoint{
+			Cycle: e.Cycle, PowerCycle: e.PowerCycle, Volts: e.Value, Dir: e.N,
+		})
+	case trace.KindThresholdAdapt:
+		if e.N > 0 {
+			a.run.AdaptUp++
+		} else {
+			a.run.AdaptDown++
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package tracestat
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/trace"
+	"ipex/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files from current behaviour")
+
+// capture runs the simulator with a tracer attached and returns the Result
+// alongside the raw JSONL stream.
+func capture(t *testing.T, app string, scale float64, mut func(*nvp.Config)) (nvp.Result, string) {
+	t.Helper()
+	cfg := nvp.DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	var sb strings.Builder
+	cfg.Tracer = trace.NewJSONL(&sb)
+	tr := power.Generate(power.RFHome, 20000, 1)
+	r, err := nvp.Run(workload.MustNew(app, scale), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return r, sb.String()
+}
+
+// TestAnalyzeMatchesResult is the analyzer's exactness contract: every count
+// it reconstructs from the event stream alone must equal the simulator's
+// end-of-run aggregates — most importantly the wiped-prefetch counts per
+// location, the paper's headline waste statistic.
+func TestAnalyzeMatchesResult(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		app  string
+		mut  func(*nvp.Config)
+	}{
+		{"conventional", "gsme", nil},
+		{"ipex", "fft", func(c *nvp.Config) { *c = c.WithIPEX() }},
+		{"buffer", "qsort", func(c *nvp.Config) { *c = c.WithIPEX(); c.PrefetchToCache = false }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, stream := capture(t, tc.app, 0.1, tc.mut)
+			if r.Outages == 0 {
+				t.Fatal("run saw no outages; nothing to reconstruct")
+			}
+			rep, err := Analyze(strings.NewReader(stream), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Runs) != 1 {
+				t.Fatalf("reconstructed %d runs, want 1", len(rep.Runs))
+			}
+			run := rep.Runs[0]
+			if run.Name != tc.app || run.EndDetail != "completed" {
+				t.Errorf("run header = %s/%s, want %s/completed", run.Name, run.EndDetail, tc.app)
+			}
+			if run.Insts != r.Insts {
+				t.Errorf("insts = %d, want %d", run.Insts, r.Insts)
+			}
+			if got := run.Outages(); got != r.Outages {
+				t.Errorf("outages = %d, want %d", got, r.Outages)
+			}
+			if got := uint64(len(run.Cycles)); got != r.Outages+1 {
+				t.Errorf("power cycles = %d, want %d", got, r.Outages+1)
+			}
+
+			type sideWant struct {
+				name string
+				got  SideTally
+				want nvp.SideStats
+			}
+			for _, s := range []sideWant{
+				{"icache", run.Inst, r.Inst},
+				{"dcache", run.Data, r.Data},
+			} {
+				if s.got.WipedCache != s.want.Cache.PrefetchedWiped {
+					t.Errorf("%s wiped(cache) = %d, want %d", s.name, s.got.WipedCache, s.want.Cache.PrefetchedWiped)
+				}
+				if s.got.WipedBuffer != s.want.Buffer.WipedUnused {
+					t.Errorf("%s wiped(buffer) = %d, want %d", s.name, s.got.WipedBuffer, s.want.Buffer.WipedUnused)
+				}
+				if s.got.WipedInflight != s.want.InflightWiped {
+					t.Errorf("%s wiped(inflight) = %d, want %d", s.name, s.got.WipedInflight, s.want.InflightWiped)
+				}
+				if s.got.Issued != s.want.PrefetchIssued {
+					t.Errorf("%s issued = %d, want %d", s.name, s.got.Issued, s.want.PrefetchIssued)
+				}
+				if s.got.Reissued != s.want.PrefetchReissued {
+					t.Errorf("%s reissued = %d, want %d", s.name, s.got.Reissued, s.want.PrefetchReissued)
+				}
+				if s.got.Throttle != s.want.PrefetchThrottled {
+					t.Errorf("%s throttled = %d, want %d", s.name, s.got.Throttle, s.want.PrefetchThrottled)
+				}
+				if s.got.Accesses != s.want.Cache.Accesses || s.got.Misses != s.want.Cache.Misses {
+					t.Errorf("%s demand stream = %d/%d, want %d/%d",
+						s.name, s.got.Accesses, s.got.Misses, s.want.Cache.Accesses, s.want.Cache.Misses)
+				}
+			}
+
+			// Per-cycle decompositions re-sum to the run totals.
+			var insts, wiped, issued, imiss, dmiss uint64
+			for _, c := range run.Cycles {
+				insts += c.Insts
+				wiped += c.Wiped
+				issued += c.Issued
+				imiss += c.IMisses
+				dmiss += c.DMisses
+			}
+			if insts != r.Insts {
+				t.Errorf("per-cycle insts sum to %d, want %d", insts, r.Insts)
+			}
+			if wiped != run.Wiped() {
+				t.Errorf("per-cycle wipes sum to %d, want %d", wiped, run.Wiped())
+			}
+			if issued != r.PrefetchesIssued() {
+				t.Errorf("per-cycle issues sum to %d, want %d", issued, r.PrefetchesIssued())
+			}
+			if imiss != r.Inst.Cache.Misses || dmiss != r.Data.Cache.Misses {
+				t.Errorf("per-cycle misses sum to %d/%d, want %d/%d",
+					imiss, dmiss, r.Inst.Cache.Misses, r.Data.Cache.Misses)
+			}
+			if run.Cycles[len(run.Cycles)-1].Final != true {
+				t.Error("last cycle not marked final")
+			}
+		})
+	}
+}
+
+// TestTimelinessPopulated checks the issue-to-first-use histogram sees every
+// first use that had a recorded issue.
+func TestTimelinessPopulated(t *testing.T) {
+	_, stream := capture(t, "gsme", 0.1, nil)
+	rep, err := Analyze(strings.NewReader(stream), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := rep.Runs[0]
+	if run.Inst.FirstUses()+run.Data.FirstUses() == 0 {
+		t.Fatal("no first uses in trace")
+	}
+	if run.Timeliness.N != run.Inst.FirstUses()+run.Data.FirstUses() {
+		t.Errorf("timeliness samples = %d, want one per first use (%d)",
+			run.Timeliness.N, run.Inst.FirstUses()+run.Data.FirstUses())
+	}
+	if run.Timeliness.MinV < 0 {
+		t.Errorf("negative issue-to-use latency %g", run.Timeliness.MinV)
+	}
+}
+
+// TestMultiRunStreamWithMarks reconstructs a stream the experiment harness
+// shape: mark, run, run, mark, run.
+func TestMultiRunStreamWithMarks(t *testing.T) {
+	var sb strings.Builder
+	tr := trace.NewJSONL(&sb)
+	tr.Emit(trace.Event{Kind: trace.KindMark, Detail: "fig10"})
+	emitRun := func(name string) {
+		tr.Begin(name, func() (uint64, uint64) { return 0, 0 })
+		tr.Emit(trace.Event{Kind: trace.KindCycleStart})
+		tr.Emit(trace.Event{Kind: trace.KindRunEnd, N: 7, Detail: "completed"})
+	}
+	emitRun("fft")
+	emitRun("gsme")
+	tr.Emit(trace.Event{Kind: trace.KindMark, Detail: "table2"})
+	emitRun("qsort")
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(strings.NewReader(sb.String()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(rep.Runs))
+	}
+	wantMarks := []string{"fig10", "fig10", "table2"}
+	wantNames := []string{"fft", "gsme", "qsort"}
+	for i, run := range rep.Runs {
+		if run.Mark != wantMarks[i] || run.Name != wantNames[i] {
+			t.Errorf("run %d = %s (%s), want %s (%s)", i, run.Name, run.Mark, wantNames[i], wantMarks[i])
+		}
+		if run.Insts != 7 {
+			t.Errorf("run %d insts = %d, want 7", i, run.Insts)
+		}
+	}
+}
+
+// TestTruncatedStream: cutting a stream mid-run still yields the partial run
+// with EndDetail empty.
+func TestTruncatedStream(t *testing.T) {
+	_, stream := capture(t, "fft", 0.1, nil)
+	lines := strings.Split(strings.TrimRight(stream, "\n"), "\n")
+	half := strings.Join(lines[:len(lines)/2], "\n") + "\n"
+	rep, err := Analyze(strings.NewReader(half), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1 partial run", len(rep.Runs))
+	}
+	if rep.Runs[0].EndDetail != "" {
+		t.Errorf("truncated run has EndDetail %q", rep.Runs[0].EndDetail)
+	}
+	if !strings.Contains(rep.String(), "[truncated]") {
+		t.Error("render does not flag the truncated run")
+	}
+}
+
+func TestMalformedLine(t *testing.T) {
+	if _, err := Analyze(strings.NewReader("{\"ev\":\"run_start\"}\nnot json\n"), Options{}); err == nil {
+		t.Error("malformed line accepted")
+	}
+	rep, err := Analyze(strings.NewReader(""), Options{})
+	if err != nil || len(rep.Runs) != 0 || rep.Events != 0 {
+		t.Errorf("empty stream: rep=%+v err=%v", rep, err)
+	}
+}
+
+const goldenPath = "testdata/report_gsme_ipex.txt"
+
+// TestGoldenReport pins the rendered report for a deterministic pinned run:
+// same simulator, same trace, same analyzer ⇒ byte-identical output.
+// Regenerate with `go test ./internal/tracestat -run TestGoldenReport -update`
+// after an intentional format or simulator change.
+func TestGoldenReport(t *testing.T) {
+	_, stream := capture(t, "gsme", 0.1, func(c *nvp.Config) { *c = c.WithIPEX() })
+	rep, err := Analyze(strings.NewReader(stream), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Render(8)
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(got), goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden report (generate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from golden fixture %s (regenerate with -update if intentional)\ngot:\n%s", goldenPath, got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"ipex/internal/nvp"
 	"ipex/internal/power"
 	"ipex/internal/prefetch"
+	"ipex/internal/profile"
 	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
@@ -263,6 +264,30 @@ type InvariantReport = fault.Report
 
 // InvariantViolation is one failed runtime check inside an InvariantReport.
 type InvariantViolation = fault.Violation
+
+// ProfileReport is the cycle/energy attribution report (Result.Profile when
+// Config.Profile is set): per-category cycle and energy totals, the
+// capacitor drain ledger, the prefetch outcome split, and one CycleRecord
+// per power cycle. Its cycle attribution sums exactly to Result.Cycles, and
+// its drain ledger is bit-identical to the paranoid shadow ledger when
+// Config.Paranoid is also set.
+type ProfileReport = profile.Report
+
+// ProfileCycleRecord is one power cycle's attribution inside a
+// ProfileReport.
+type ProfileCycleRecord = profile.CycleRecord
+
+// PrefetchOutcomes splits issued prefetches by fate (useful / wiped by an
+// outage / inaccurate).
+type PrefetchOutcomes = profile.PrefetchOutcomes
+
+// The profiler's attribution categories; index ProfileReport.Cycles and
+// ProfileReport.EnergyNJ with them (names in profile.CycleCatNames /
+// profile.EnergyCatNames).
+type (
+	ProfileCycleCat  = profile.CycleCat
+	ProfileEnergyCat = profile.EnergyCat
+)
 
 // ExperimentOptions controls the paper-evaluation sweeps re-exported below.
 type ExperimentOptions = experiments.Options
