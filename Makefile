@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race bench golden tracestat-golden lint fuzz ci clean
+.PHONY: all build vet test race race-harness bench golden tracestat-golden resume-smoke lint fuzz ci clean
 
 all: ci
 
@@ -19,6 +19,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the crash-safety layer (worker pool, supervisor,
+# journal, cell plumbing). `make race` covers these too; this is the quick
+# iteration loop while touching the harness.
+race-harness:
+	$(GO) test -race -count=2 ./internal/harness ./internal/experiments
 
 # Regenerate the committed hot-loop record: the Fig10-class sweep benchmark
 # plus the raw simulator-throughput probe, which writes $(BENCH_JSON) via
@@ -38,6 +44,26 @@ golden:
 tracestat-golden:
 	$(GO) test -run TestGoldenReport ./internal/tracestat
 
+# Resume smoke: run–interrupt–resume–diff against the real binary. The
+# resumed sweep's -json output must be byte-identical to an uninterrupted
+# run (the tentpole guarantee of the crash-safe harness).
+resume-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments || exit 1; \
+	args="-exp fig11 -scale 0.02 -apps fft,gsme -json"; \
+	$$tmp/experiments $$args >$$tmp/golden.json || exit 1; \
+	$$tmp/experiments $$args -journal $$tmp/sweep.jsonl -interrupt-after 2 \
+		>$$tmp/partial.json 2>$$tmp/interrupt.log; \
+	status=$$?; \
+	if [ $$status -ne 130 ]; then \
+		echo "resume-smoke: interrupted run exited $$status, want 130"; \
+		cat $$tmp/interrupt.log; exit 1; \
+	fi; \
+	$$tmp/experiments $$args -journal $$tmp/sweep.jsonl -resume >$$tmp/resumed.json || exit 1; \
+	diff -u $$tmp/golden.json $$tmp/resumed.json \
+		|| { echo "resume-smoke: resumed output differs from golden"; exit 1; }; \
+	echo "resume-smoke: resumed sweep is byte-identical to the uninterrupted golden"
+
 # Short fuzzing passes over the two untrusted-input surfaces: the simulator
 # configuration validator and the harvest-trace parser. `go test -fuzz`
 # accepts one target per invocation, hence two lines.
@@ -46,15 +72,18 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) ./internal/nvp/
 	$(GO) test -run=NONE -fuzz=FuzzHarvestTraceParse -fuzztime=$(FUZZTIME) ./internal/power/
 
-# Determinism lint: simulator internals must not read the wall clock or the
-# global math/rand stream — both would break replayable, seed-stable results.
-# internal/benchio is the one documented exception (it stamps benchmark
-# records with their generation time; nothing simulated depends on it).
+# Determinism lint: simulator internals must not read the wall clock (Now,
+# After, or Sleep) or the global math/rand stream — both would break
+# replayable, seed-stable results. internal/benchio (benchmark records carry
+# their generation time) and internal/harness/watchdog.go (the wall-clock
+# cell backstop and retry backoff, which never touch simulated results) are
+# the two documented exceptions.
 lint: vet
-	@bad=$$(grep -rn 'time\.Now' internal/ --include='*.go' \
-		| grep -v '^internal/benchio/' | grep -v '_test\.go'); \
+	@bad=$$(grep -rnE 'time\.(Now|After|Sleep)' internal/ --include='*.go' \
+		| grep -v '^internal/benchio/' | grep -v '^internal/harness/watchdog\.go:' \
+		| grep -v '_test\.go'); \
 	if [ -n "$$bad" ]; then \
-		echo "lint: wall-clock read in simulator internals (only internal/benchio may):"; \
+		echo "lint: wall-clock use in simulator internals (only internal/benchio and the harness watchdog may):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@bad=$$(grep -rn '"math/rand"' internal/ --include='*.go'); \
@@ -68,7 +97,7 @@ lint: vet
 		echo "$$bad"; exit 1; \
 	fi
 
-ci: build lint race golden tracestat-golden fuzz
+ci: build lint race golden tracestat-golden resume-smoke fuzz
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

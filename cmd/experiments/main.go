@@ -11,22 +11,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	"ipex/internal/benchio"
 	"ipex/internal/experiments"
+	"ipex/internal/harness"
 	"ipex/internal/nvp"
 	"ipex/internal/power"
 	"ipex/internal/trace"
@@ -112,6 +118,14 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON  = flag.String("benchjson", "", "write hot-loop + per-experiment timings to this JSON file (e.g. BENCH_hotloop.json)")
+
+		journalPath = flag.String("journal", "", "journal every completed sweep cell to this JSONL file; an interrupted sweep resumes with -resume")
+		resume      = flag.Bool("resume", false, "resume the -journal file: journaled cells replay bit-identically instead of re-simulating")
+		maxRetries  = flag.Int("max-retries", 0, "re-run a cell up to N times after a transient failure (paranoid-flagged or timed-out run)")
+		backoff     = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay of the deterministic exponential backoff between cell retries")
+		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock backstop per cell: a run stuck past this is cancelled at its next power-cycle boundary and retried (0 = off; never affects results)")
+		cellBudget  = flag.Uint64("cell-budget", 0, "deterministic per-cell deadline in simulated cycles: clamps each cell's MaxCycles (0 = off)")
+		stopAfter   = flag.Uint64("interrupt-after", 0, "deterministically drain the sweep after admitting N cells, as if interrupted (for resume tests)")
 	)
 	flag.Parse()
 
@@ -139,32 +153,47 @@ func main() {
 			}
 		}
 	}
+	if *maxRetries < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -max-retries must be >= 0, got %d\n", *maxRetries)
+		os.Exit(1)
+	}
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume needs -journal <file> (the journal to replay)")
+		os.Exit(1)
+	}
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		a, err := benchio.NewAtomicFile(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
+		if err := pprof.StartCPUProfile(a); err != nil {
+			a.Discard()
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := a.Commit(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
 		}()
 	}
 	if *memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
+			a, err := benchio.NewAtomicFile(*memProfile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := pprof.WriteHeapProfile(a); err != nil {
+				a.Discard()
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			if err := a.Commit(); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			}
 		}()
@@ -185,19 +214,48 @@ func main() {
 		o.Apps = strings.Split(*apps, ",")
 	}
 
-	var tracerFile *os.File
+	// The supervisor is shared by every experiment of this invocation: its
+	// StopAfter budget, retry policy, and counters span the whole sweep.
+	sup := &harness.Supervisor{
+		MaxRetries:   *maxRetries,
+		BackoffBase:  *backoff,
+		WallBackstop: *cellTimeout,
+		StopAfter:    *stopAfter,
+	}
+	o.Sup = sup
+	o.CellBudget = *cellBudget
+
+	// SIGINT/SIGTERM drain the sweep gracefully: dispatch stops, in-flight
+	// cells finish and are journaled, artifacts flush atomically, and the
+	// process exits with a resumable journal. A second signal kills.
+	drainCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	o.Ctx = drainCtx
+	var sweepDone atomic.Bool
+	go func() {
+		<-drainCtx.Done()
+		if sweepDone.Load() {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "experiments: interrupt received; finishing in-flight cells and flushing artifacts (interrupt again to kill)")
+		// Restore default signal disposition so an impatient second ^C
+		// terminates immediately.
+		stopSignals()
+	}()
+
+	var tracerOut *benchio.AtomicFile
 	if *tracePath != "" {
 		if *traceDir != "" {
 			fmt.Fprintln(os.Stderr, "experiments: -trace and -tracedir are mutually exclusive (one shared stream vs one file per cell)")
 			os.Exit(1)
 		}
-		f, err := os.Create(*tracePath)
+		a, err := benchio.NewAtomicFile(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		tracerFile = f
-		o.Tracer = trace.NewJSONL(f)
+		tracerOut = a
+		o.Tracer = trace.NewJSONL(a)
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -217,7 +275,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", ln.Addr())
-		handler := newTelemetryHandler(time.Now(), o.Progress, o.Metrics)
+		handler := newTelemetryHandler(time.Now(), o.Progress, o.Metrics, sup)
 		go func() {
 			if err := http.Serve(ln, handler); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: telemetry server: %v\n", err)
@@ -240,6 +298,50 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *journalPath != "" {
+		appsList := o.Apps
+		if len(appsList) == 0 {
+			appsList = workload.Names()
+		}
+		// The sweep hash covers everything that changes any cell's identity;
+		// a -resume against a journal hashed from a different command line is
+		// rejected before a single cell runs.
+		sweepKey := harness.Key(experiments.SweepIdentity{
+			Experiments: ids,
+			Scale:       *scale,
+			Apps:        appsList,
+			TraceSeed:   *seed,
+			Paranoid:    *paranoid,
+			CellBudget:  *cellBudget,
+		})
+		if *resume {
+			j, replay, warns, err := harness.ResumeJournal(*journalPath, sweepKey)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			for _, w := range warns {
+				fmt.Fprintf(os.Stderr, "experiments: warning: %s\n", w)
+			}
+			replayable := 0
+			for _, e := range replay {
+				if e.Kind == harness.KindCell {
+					replayable++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "resuming %s: %d journaled cell(s) will replay without re-simulating\n", *journalPath, replayable)
+			sup.Journal, sup.Replay = j, replay
+		} else {
+			j, err := harness.CreateJournal(*journalPath, sweepKey)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			sup.Journal = j
+		}
+		defer sup.Journal.Close()
+	}
+
 	// §6.1's overhead analysis is pure arithmetic; print it with -all.
 	if *all {
 		fmt.Println(overheadReport())
@@ -248,6 +350,7 @@ func main() {
 
 	var timings []benchio.Experiment
 	var failures []string
+	interrupted := false
 	for _, id := range ids {
 		if o.Tracer != nil {
 			// A mark event separates the experiments in the shared stream.
@@ -257,6 +360,14 @@ func main() {
 		o.Cells.SetLabel(id)
 		start := time.Now()
 		r, err := registry[id](o)
+		if errors.Is(err, harness.ErrInterrupted) {
+			// Graceful drain: in-flight cells already finished and were
+			// journaled; stop dispatching the remaining experiments too and
+			// fall through to flush every artifact atomically.
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			interrupted = true
+			break
+		}
 		if err != nil {
 			// One failing experiment must not abort the rest of -all; record
 			// it and keep sweeping. A single -exp run still exits on the spot.
@@ -282,13 +393,15 @@ func main() {
 		fmt.Printf("(%s took %.1fs)\n\n", id, elapsed)
 	}
 
+	sweepDone.Store(true)
+
 	if o.Tracer != nil {
 		if err := o.Tracer.Flush(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		if err := tracerFile.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: closing %s: %v\n", *tracePath, err)
+		if err := tracerOut.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", o.Tracer.Events(), *tracePath)
@@ -297,23 +410,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %d cell trace files to %s\n", o.Cells.Files(), *traceDir)
 	}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+		a, err := benchio.NewAtomicFile(*metricsOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		if err := o.Metrics.WriteJSON(f); err != nil {
+		if err := o.Metrics.WriteJSON(a); err != nil {
+			a.Discard()
 			fmt.Fprintf(os.Stderr, "experiments: writing metrics: %v\n", err)
 			os.Exit(1)
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: closing %s: %v\n", *metricsOut, err)
+		if err := a.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsOut)
 	}
 
-	if *benchJSON != "" {
+	if *benchJSON != "" && !interrupted {
 		rec := benchio.NewRecord()
 		rec.Scale = *scale
 		hl, err := probeHotloop(*scale)
@@ -329,6 +443,20 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%.1f ns/inst, %d experiments)\n",
 			*benchJSON, rec.Hotloop.NsPerInst, len(timings))
+	}
+
+	if cs := sup.Counters.Snapshot(); cs != (harness.CounterSnapshot{}) && (sup.Journal != nil || interrupted || cs.Retried+cs.Panics+cs.Timeouts > 0) {
+		fmt.Fprintf(os.Stderr, "supervision: %d cell(s) executed, %d replayed, %d retried, %d timeouts, %d panics, %d failed\n",
+			cs.Executed, cs.Replayed, cs.Retried, cs.Timeouts, cs.Panics, cs.Failures)
+	}
+	if interrupted {
+		if sup.Journal != nil {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; journal %s is resumable — rerun the same command line with -resume\n", sup.Journal.Path())
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; rerun with -journal <file> to make sweeps resumable")
+		}
+		sup.Journal.Close()
+		os.Exit(130)
 	}
 
 	if len(failures) > 0 {

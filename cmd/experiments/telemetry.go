@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ipex/internal/experiments"
+	"ipex/internal/harness"
 	"ipex/internal/trace"
 )
 
@@ -21,6 +22,15 @@ type telemetry struct {
 	start time.Time
 	prog  *experiments.Progress
 	reg   *trace.Registry
+	sup   *harness.Supervisor
+}
+
+// counters reads the supervision counters (zero when no supervisor).
+func (t *telemetry) counters() harness.CounterSnapshot {
+	if t.sup == nil {
+		return harness.CounterSnapshot{}
+	}
+	return t.sup.Counters.Snapshot()
 }
 
 // curTelemetry backs the process-wide expvar publication (expvar allows one
@@ -30,19 +40,26 @@ var (
 	expvarOnce   sync.Once
 )
 
-// newTelemetryHandler builds the HTTP handler for -listen.
-func newTelemetryHandler(start time.Time, prog *experiments.Progress, reg *trace.Registry) http.Handler {
-	t := &telemetry{start: start, prog: prog, reg: reg}
+// newTelemetryHandler builds the HTTP handler for -listen. sup may be nil
+// (unsupervised sweep); the supervision gauges then read zero.
+func newTelemetryHandler(start time.Time, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor) http.Handler {
+	t := &telemetry{start: start, prog: prog, reg: reg, sup: sup}
 	curTelemetry.Store(t)
 	expvarOnce.Do(func() {
 		expvar.Publish("ipex_sweep", expvar.Func(func() any {
 			cur := curTelemetry.Load()
 			done, total, insts := cur.prog.Snapshot()
+			cs := cur.counters()
 			return map[string]any{
 				"cells_done":      done,
 				"cells_total":     total,
 				"insts":           insts,
 				"elapsed_seconds": time.Since(cur.start).Seconds(),
+				"cells_replayed":  cs.Replayed,
+				"cells_retried":   cs.Retried,
+				"cell_timeouts":   cs.Timeouts,
+				"cell_panics":     cs.Panics,
+				"cell_failures":   cs.Failures,
 			}
 		}))
 	})
@@ -76,6 +93,14 @@ func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("ipex_sweep_elapsed_seconds", "wall-clock time since the sweep started", elapsed)
 	gauge("ipex_sweep_cells_per_second", "completed cells per wall-clock second", rate)
 	gauge("ipex_sweep_eta_seconds", "estimated seconds until the enqueued cells finish", eta)
+	// Supervision counters (crash-safe harness): journal replays, retries,
+	// watchdog timeouts, isolated panics, and journaled failures.
+	cs := t.counters()
+	gauge("ipex_sweep_cells_replayed", "cells answered from the resume journal without simulating", float64(cs.Replayed))
+	gauge("ipex_sweep_cells_retried", "cell re-runs after a transient failure", float64(cs.Retried))
+	gauge("ipex_sweep_cell_timeouts", "wall-clock backstop expiries", float64(cs.Timeouts))
+	gauge("ipex_sweep_cell_panics", "isolated cell panics (journaled, soft-failed)", float64(cs.Panics))
+	gauge("ipex_sweep_cell_failures", "cells journaled as failed (panics + exhausted retries)", float64(cs.Failures))
 	// A scrape racing a disconnect can fail mid-write; there is no one to
 	// report that to, so the error is dropped.
 	_ = t.reg.WriteProm(w)

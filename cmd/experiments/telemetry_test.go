@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ipex/internal/experiments"
+	"ipex/internal/harness"
 	"ipex/internal/trace"
 )
 
@@ -43,7 +44,8 @@ func TestTelemetryEndpoints(t *testing.T) {
 
 	// Run a real (tiny) sweep through the progress counters so the gauges
 	// carry live values, exactly as a sweep under -listen would.
-	o := experiments.Options{Scale: 0.02, Apps: []string{"fft", "gsme"}, Progress: prog, Metrics: reg}
+	sup := &harness.Supervisor{}
+	o := experiments.Options{Scale: 0.02, Apps: []string{"fft", "gsme"}, Progress: prog, Metrics: reg, Sup: sup}
 	if _, err := experiments.Fig11(o); err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestTelemetryEndpoints(t *testing.T) {
 		t.Fatalf("sweep progress = %d/%d insts=%d", done, total, insts)
 	}
 
-	srv := httptest.NewServer(newTelemetryHandler(time.Now(), prog, reg))
+	srv := httptest.NewServer(newTelemetryHandler(time.Now(), prog, reg, sup))
 	defer srv.Close()
 
 	body := get(t, srv, "/metrics")
@@ -63,6 +65,16 @@ func TestTelemetryEndpoints(t *testing.T) {
 		"# TYPE ipex_sweep_elapsed_seconds gauge",
 		"# TYPE ipex_sweep_cells_per_second gauge",
 		"# TYPE ipex_sweep_eta_seconds gauge",
+		// Supervision counters from the crash-safe harness ride along; this
+		// unsupervised-but-counted sweep executed every cell and replayed,
+		// retried, and panicked none.
+		"# TYPE ipex_sweep_cells_replayed gauge",
+		"ipex_sweep_cells_replayed 0",
+		"# TYPE ipex_sweep_cells_retried gauge",
+		"# TYPE ipex_sweep_cell_timeouts gauge",
+		"# TYPE ipex_sweep_cell_panics gauge",
+		"ipex_sweep_cell_panics 0",
+		"# TYPE ipex_sweep_cell_failures gauge",
 		// The shared registry rides along, counters typed as counters, with
 		// live simulation metrics next to the sentinels.
 		"# TYPE ipex_test_sentinel counter",

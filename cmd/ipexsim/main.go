@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"ipex/internal/benchio"
 	"ipex/internal/core"
 	"ipex/internal/energy"
 	"ipex/internal/fault"
@@ -115,28 +116,35 @@ func main() {
 	}
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		a, err := benchio.NewAtomicFile(*cpuProfile)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
+		if err := pprof.StartCPUProfile(a); err != nil {
+			a.Discard()
 			fatalf("%v", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := a.Commit(); err != nil {
+				fmt.Fprintf(os.Stderr, "ipexsim: %v\n", err)
+			}
 		}()
 	}
 	if *memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
+			a, err := benchio.NewAtomicFile(*memProfile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ipexsim: %v\n", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := pprof.WriteHeapProfile(a); err != nil {
+				a.Discard()
+				fmt.Fprintf(os.Stderr, "ipexsim: %v\n", err)
+				return
+			}
+			if err := a.Commit(); err != nil {
 				fmt.Fprintf(os.Stderr, "ipexsim: %v\n", err)
 			}
 		}()
@@ -209,28 +217,29 @@ func main() {
 	}
 
 	if *saveTrace != "" {
-		f, err := os.Create(*saveTrace)
+		a, err := benchio.NewAtomicFile(*saveTrace)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := workload.WriteTrace(wl, f); err != nil {
+		if err := workload.WriteTrace(wl, a); err != nil {
+			a.Discard()
 			fatalf("recording trace: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			fatalf("closing %s: %v", *saveTrace, err)
+		if err := a.Commit(); err != nil {
+			fatalf("%v", err)
 		}
 		fmt.Printf("recorded %d instructions of %s to %s\n", wl.Len(), *app, *saveTrace)
 		return
 	}
 
-	var tracerFile *os.File
+	var tracerOut *benchio.AtomicFile
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+		a, err := benchio.NewAtomicFile(*tracePath)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		tracerFile = f
-		cfg.Tracer = trace.NewJSONL(f)
+		tracerOut = a
+		cfg.Tracer = trace.NewJSONL(a)
 	}
 	if *metricsOut != "" {
 		cfg.Metrics = trace.NewRegistry()
@@ -269,13 +278,13 @@ func main() {
 		if err := cfg.Tracer.Flush(); err != nil {
 			fatalf("%v", err)
 		}
-		if err := tracerFile.Close(); err != nil {
-			fatalf("closing %s: %v", *tracePath, err)
+		if err := tracerOut.Commit(); err != nil {
+			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %d trace events to %s\n", cfg.Tracer.Events(), *tracePath)
 	}
 	if cfg.Metrics != nil {
-		f, err := os.Create(*metricsOut)
+		a, err := benchio.NewAtomicFile(*metricsOut)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -283,11 +292,12 @@ func main() {
 		if *metricsFmt == "prom" {
 			dump = cfg.Metrics.WriteProm
 		}
-		if err := dump(f); err != nil {
+		if err := dump(a); err != nil {
+			a.Discard()
 			fatalf("writing metrics: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			fatalf("closing %s: %v", *metricsOut, err)
+		if err := a.Commit(); err != nil {
+			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s metrics to %s\n", *metricsFmt, *metricsOut)
 	}

@@ -16,14 +16,16 @@ import (
 	"io"
 	"os"
 
+	"ipex/internal/benchio"
 	"ipex/internal/tracestat"
 )
 
 func main() {
 	var (
-		asJSON = flag.Bool("json", false, "emit the reconstruction as JSON instead of tables")
-		cycles = flag.Int("cycles", 20, "per-power-cycle table rows per run (0 = all)")
-		readNJ = flag.Float64("readnj", 0, "per-block prefetch NVM read energy in nJ for the waste numbers (0 = default ReRAM)")
+		asJSON  = flag.Bool("json", false, "emit the reconstruction as JSON instead of tables")
+		cycles  = flag.Int("cycles", 20, "per-power-cycle table rows per run (0 = all)")
+		readNJ  = flag.Float64("readnj", 0, "per-block prefetch NVM read energy in nJ for the waste numbers (0 = default ReRAM)")
+		outPath = flag.String("o", "", "write the report to this file (atomically: temp + rename) instead of stdout")
 	)
 	flag.Parse()
 
@@ -53,15 +55,37 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	var out io.Writer = os.Stdout
+	var atomic *benchio.AtomicFile
+	if *outPath != "" {
+		a, err := benchio.NewAtomicFile(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		atomic = a
+		out = a
+	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
+			if atomic != nil {
+				atomic.Discard()
+			}
 			fatalf("encoding report: %v", err)
 		}
-		return
+	} else if _, err := io.WriteString(out, rep.Render(*cycles)); err != nil {
+		if atomic != nil {
+			atomic.Discard()
+		}
+		fatalf("writing report: %v", err)
 	}
-	fmt.Print(rep.Render(*cycles))
+	if atomic != nil {
+		if err := atomic.Commit(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote report to %s\n", *outPath)
+	}
 }
 
 func fatalf(format string, args ...any) {

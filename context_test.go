@@ -1,0 +1,85 @@
+package ipex_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ipex"
+)
+
+// TestRunContextNilMatchesRun pins that RunContext(nil-like background ctx)
+// is bit-identical to Run: the cancellation hook must be invisible when
+// unused.
+func TestRunContextNilMatchesRun(t *testing.T) {
+	tr := ipex.GenerateTrace(ipex.RFHome, 0, 1)
+	cfg := ipex.DefaultConfig()
+	base, err := ipex.Run("fft", 0.1, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ctx := range map[string]context.Context{
+		"nil":        nil,
+		"background": context.Background(),
+	} {
+		got, err := ipex.RunContext(ctx, "fft", 0.1, tr, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a, _ := json.Marshal(base)
+		b, _ := json.Marshal(got)
+		if string(a) != string(b) {
+			t.Fatalf("%s ctx: RunContext differs from Run:\n%s\n%s", name, a, b)
+		}
+	}
+}
+
+// TestRunContextCancelStopsAtPowerCycle pins the cancellation contract: a
+// cancelled run stops at the next power-cycle boundary with Completed=false
+// and a nil error — the same soft contract as budget truncation — and makes
+// strictly less progress than the full run.
+func TestRunContextCancelStopsAtPowerCycle(t *testing.T) {
+	tr := ipex.GenerateTrace(ipex.RFHome, 0, 1)
+	cfg := ipex.DefaultConfig()
+	full, err := ipex.Run("fft", 0.1, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Outages == 0 {
+		t.Fatal("test premise broken: RFHome run finished without an outage")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ipex.RunContext(ctx, "fft", 0.1, tr, cfg)
+	if err != nil {
+		t.Fatalf("cancelled run returned an error: %v", err)
+	}
+	if res.Completed {
+		t.Fatal("cancelled run reported Completed=true")
+	}
+	if res.Insts >= full.Insts {
+		t.Fatalf("cancelled run made full progress: %d insts vs %d", res.Insts, full.Insts)
+	}
+	if res.Outages != 1 {
+		t.Fatalf("pre-cancelled run stopped after %d outages, want exactly 1 (the first power-cycle boundary)", res.Outages)
+	}
+}
+
+// TestRunWorkloadContext covers the workload-generator variant of the same
+// contract.
+func TestRunWorkloadContext(t *testing.T) {
+	tr := ipex.GenerateTrace(ipex.RFHome, 0, 1)
+	cfg := ipex.DefaultConfig()
+	wl, err := ipex.NewWorkload("gsme", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ipex.RunWorkloadContext(context.Background(), wl, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("uncancelled RunWorkloadContext did not complete")
+	}
+}

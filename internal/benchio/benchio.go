@@ -61,7 +61,8 @@ func NewRecord() Record {
 	}
 }
 
-// Write marshals the record (indented, trailing newline) to path.
+// Write marshals the record (indented, trailing newline) to path, via the
+// temp-then-rename discipline so an interrupt never leaves a torn record.
 func Write(path string, r Record) error {
 	if r.Schema == "" {
 		r.Schema = Schema
@@ -70,7 +71,7 @@ func Write(path string, r Record) error {
 	if err != nil {
 		return fmt.Errorf("benchio: %w", err)
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return WriteFileAtomic(path, append(b, '\n'), 0o644)
 }
 
 // Read loads a record written by Write.

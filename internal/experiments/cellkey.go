@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"ipex/internal/capacitor"
+	"ipex/internal/core"
+	"ipex/internal/energy"
+	"ipex/internal/fault"
+	"ipex/internal/harness"
+	"ipex/internal/nvp"
+	"ipex/internal/prefetch"
+)
+
+// cfgIdentity is the journaling identity of an nvp.Config: every field that
+// can change a simulation result, and nothing else. It exists because
+// nvp.Config itself cannot be hashed — the prefetcher factory fields are
+// funcs — and because observer attachments (Tracer, Metrics) must not
+// change a cell's identity: a re-run with tracing on replays the same
+// journaled result.
+//
+// Factories are recorded as presence booleans: a custom prefetcher has no
+// stable serializable identity, so two sweeps using different factories
+// under the same flag would collide. cmd/experiments never installs
+// factories, and library callers who do are told (Options.Sup docs) that
+// journaling custom-prefetcher sweeps is on them.
+type cfgIdentity struct {
+	ICacheSize         int
+	DCacheSize         int
+	Ways               int
+	PrefetchBufEntries int
+	PrefetchToCache    bool
+	IPrefetcher        prefetch.Kind
+	DPrefetcher        prefetch.Kind
+	IFactory           bool
+	DFactory           bool
+	InitialDegree      int
+	IPEXInst           bool
+	IPEXData           bool
+	IPEX               core.Config
+	NVM                energy.NVMParams
+	Capacitor          capacitor.Config
+	Ideal              bool
+	DupSuppress        bool
+	ReissueOnExit      bool
+	GateAddressGen     bool
+	RecordCycles       bool
+	MaxCycles          uint64
+	Faults             *fault.Config
+	Paranoid           bool
+	Profile            bool
+}
+
+func identityOf(cfg nvp.Config) cfgIdentity {
+	return cfgIdentity{
+		ICacheSize:         cfg.ICacheSize,
+		DCacheSize:         cfg.DCacheSize,
+		Ways:               cfg.Ways,
+		PrefetchBufEntries: cfg.PrefetchBufEntries,
+		PrefetchToCache:    cfg.PrefetchToCache,
+		IPrefetcher:        cfg.IPrefetcher,
+		DPrefetcher:        cfg.DPrefetcher,
+		IFactory:           cfg.IPrefetcherFactory != nil,
+		DFactory:           cfg.DPrefetcherFactory != nil,
+		InitialDegree:      cfg.InitialDegree,
+		IPEXInst:           cfg.IPEXInst,
+		IPEXData:           cfg.IPEXData,
+		IPEX:               cfg.IPEX,
+		NVM:                cfg.NVM,
+		Capacitor:          cfg.Capacitor,
+		Ideal:              cfg.Ideal,
+		DupSuppress:        cfg.DupSuppress,
+		ReissueOnExit:      cfg.ReissueOnExit,
+		GateAddressGen:     cfg.GateAddressGen,
+		RecordCycles:       cfg.RecordCycles,
+		MaxCycles:          cfg.MaxCycles,
+		Faults:             cfg.Faults,
+		Paranoid:           cfg.Paranoid,
+		Profile:            cfg.Profile,
+	}
+}
+
+// cellIdentity is the complete content identity of one sweep cell: what is
+// simulated (app at a scale), under which power trace, with which effective
+// configuration. Two cells with equal identities produce bit-identical
+// results, so a journaled result can stand in for a simulation.
+type cellIdentity struct {
+	App       string
+	Scale     float64
+	TraceSeed uint64
+	TraceName string
+	TraceLen  int
+	Config    cfgIdentity
+}
+
+// cellKey hashes the content identity of one job under the normalized
+// options. cfg must be the effective config (cell budget clamp and paranoid
+// flag already applied), minus observer attachments.
+func cellKey(o Options, j job, cfg nvp.Config) string {
+	name, n := "", 0
+	if j.tr != nil {
+		name, n = j.tr.Name, len(j.tr.Samples)
+	}
+	return harness.Key(cellIdentity{
+		App:       j.app,
+		Scale:     o.Scale,
+		TraceSeed: o.TraceSeed,
+		TraceName: name,
+		TraceLen:  n,
+		Config:    identityOf(cfg),
+	})
+}
+
+// SweepIdentity describes a whole sweep invocation for the journal header:
+// the experiment set and every option that changes any cell's identity.
+// cmd/experiments hashes it with harness.Key; a -resume against a journal
+// whose sweep hash differs is rejected before any cell runs.
+type SweepIdentity struct {
+	Experiments []string
+	Scale       float64
+	Apps        []string
+	TraceSeed   uint64
+	Paranoid    bool
+	// CellBudget is the per-cell deterministic cycle deadline (0 = none);
+	// it clamps MaxCycles and therefore changes truncation behaviour.
+	CellBudget uint64
+}

@@ -8,12 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
 
+	"ipex/internal/harness"
 	"ipex/internal/nvp"
 	"ipex/internal/power"
 	"ipex/internal/trace"
@@ -55,8 +57,33 @@ type Options struct {
 	Metrics *trace.Registry
 	// Paranoid runs every simulation with the runtime invariant checker
 	// (nvp.Config.Paranoid) and fails a run whose report is not clean —
-	// structured diagnostics instead of a silently corrupted sweep.
+	// structured diagnostics instead of a silently corrupted sweep. The
+	// failure is marked transient, so a supervisor with retries re-runs the
+	// flagged cell before giving up.
 	Paranoid bool
+	// Ctx, when non-nil, is the graceful-drain context: once cancelled
+	// (SIGINT/SIGTERM in cmd/experiments) no further cells are dispatched,
+	// in-flight cells finish and are journaled, and the sweep reports
+	// harness.ErrInterrupted. The context is deliberately NOT passed to the
+	// simulations themselves — an interrupt never discards work in flight.
+	Ctx context.Context
+	// Sup, when non-nil, supervises every cell: durable journaling, replay
+	// on resume, bounded retries with deterministic backoff, a wall-clock
+	// backstop, and panic isolation. One Supervisor is shared across every
+	// experiment of a command invocation. Nil runs cells bare (but still
+	// panic-isolated by the zero supervisor).
+	//
+	// Cell identities hash the effective nvp.Config; caller-installed
+	// prefetcher factories only contribute a presence bit, so journaling a
+	// sweep that swaps factory implementations under one flag is the
+	// caller's responsibility to avoid.
+	Sup *harness.Supervisor
+	// CellBudget, when > 0, clamps every cell's nvp.Config.MaxCycles to at
+	// most this many simulated cycles — the deterministic per-cell
+	// deadline. A cell that exceeds it truncates (Completed=false) inside
+	// simulated time, identically on every machine; the supervisor's
+	// wall-clock watchdog is only the backstop behind it.
+	CellBudget uint64
 }
 
 func (o Options) norm() Options {
@@ -108,21 +135,37 @@ type job struct {
 	tr  *power.Trace
 }
 
-// runAll executes jobs on a bounded worker pool, preserving order. A fixed
-// pool (rather than one goroutine per job gated by a semaphore) keeps the
-// footprint at Parallelism goroutines regardless of sweep size — a headline
-// run enqueues thousands of jobs, and each blocked goroutine used to cost a
-// stack before its semaphore slot even opened.
+// effective derives the result-affecting config of one job: the sweep-level
+// paranoid flag and the deterministic per-cell cycle deadline applied, but
+// no observer attachments (those are added per run and excluded from the
+// cell's journal identity).
+func (o Options) effective(cfg nvp.Config) nvp.Config {
+	if o.Paranoid {
+		cfg.Paranoid = true
+	}
+	if o.CellBudget > 0 && (cfg.MaxCycles == 0 || cfg.MaxCycles > o.CellBudget) {
+		cfg.MaxCycles = o.CellBudget
+	}
+	return cfg
+}
+
+// runAll executes jobs on the crash-safe harness pool, preserving order.
+// Every job becomes a supervised cell: journaled when Options.Sup carries a
+// journal, replayed instead of re-simulated on resume, retried on transient
+// failures, and panic-isolated (a panicking cell soft-fails into the
+// skipped-app path instead of taking the sweep down). Cancellation of
+// Options.Ctx drains gracefully — in-flight cells complete — and surfaces
+// as a harness.ErrInterrupted-wrapped error.
 func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 	store := o.Workloads
 	if store == nil {
 		store = workload.Shared()
 	}
-	results := make([]nvp.Result, len(jobs))
-	errs := make([]error, len(jobs))
 	o.Progress.addTotal(uint64(len(jobs)))
 	// Per-cell trace paths are reserved here, in enqueue order, so the file
-	// names are deterministic however the workers get scheduled.
+	// names are deterministic however the workers get scheduled. Creation
+	// is deferred to the cell body: a replayed cell simulates nothing and
+	// therefore writes no trace file.
 	var cellPaths []string
 	if o.Cells != nil {
 		cellPaths = make([]string, len(jobs))
@@ -130,74 +173,99 @@ func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 			cellPaths[i] = o.Cells.reserve(j.app)
 		}
 	}
-	workers := o.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				j := jobs[i]
-				wl, err := store.Get(j.app, o.Scale)
-				if err != nil {
-					errs[i] = err
-					o.Progress.jobDone(0)
-					continue
-				}
-				cfg := j.cfg
-				cfg.Tracer = o.Tracer
-				cfg.Metrics = o.Metrics
-				if o.Paranoid {
-					cfg.Paranoid = true
-				}
-				var cellFile *os.File
-				if cellPaths != nil {
-					f, err := os.Create(cellPaths[i])
-					if err != nil {
-						errs[i] = err
-						o.Progress.jobDone(0)
-						continue
-					}
-					cellFile = f
-					cfg.Tracer = trace.NewJSONL(f)
-				}
-				results[i], errs[i] = nvp.Run(wl, j.tr, cfg)
-				if cellFile != nil {
-					if err := cfg.Tracer.Flush(); err != nil && errs[i] == nil {
-						errs[i] = err
-					}
-					if err := cellFile.Close(); err != nil && errs[i] == nil {
-						errs[i] = fmt.Errorf("experiments: closing %s: %w", cellPaths[i], err)
-					}
-					if errs[i] == nil {
-						o.Cells.wrote()
-					}
-				}
-				if errs[i] == nil && o.Paranoid && !results[i].Invariants.Clean() {
-					errs[i] = fmt.Errorf("experiments: %s: %s", j.app, results[i].Invariants.Summary())
-				}
-				o.Progress.jobDone(results[i].Insts)
-			}
-		}()
-	}
+	cells := make([]harness.Cell, len(jobs))
 	for i := range jobs {
-		idx <- i
+		j := jobs[i]
+		cfg := o.effective(j.cfg)
+		var path string
+		if cellPaths != nil {
+			path = cellPaths[i]
+		}
+		cells[i] = harness.Cell{
+			Key:   cellKey(o, j, cfg),
+			Label: j.app,
+			Run:   o.cellRun(store, j, cfg, path),
+		}
 	}
-	close(idx)
-	wg.Wait()
+	pool := &harness.Pool{
+		Workers: o.Parallelism,
+		Ctx:     o.Ctx,
+		Sup:     o.Sup,
+		OnDone: func(_ int, res nvp.Result, _ error, _ bool) {
+			o.Progress.jobDone(res.Insts)
+		},
+	}
+	results, errs, interrupted := pool.Run(cells)
+	if interrupted != nil {
+		return nil, interrupted
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return results, nil
+}
+
+// testCellHook, when non-nil, runs inside every cell body just before the
+// simulation (after the cell's trace file, if any, is created). It exists so
+// in-package tests can inject a per-cell panic and cover the isolation path
+// end to end; production code never sets it.
+var testCellHook func(app string)
+
+// cellRun builds the supervised body of one sweep cell. The context it
+// receives is the supervisor's wall-clock backstop (nil when unarmed) —
+// never the sweep's drain context — threaded into nvp.RunContext so a
+// wedged cell stops at its next power-cycle boundary.
+func (o Options) cellRun(store *workload.Store, j job, cfg nvp.Config, cellPath string) func(context.Context) (nvp.Result, error) {
+	return func(ctx context.Context) (res nvp.Result, err error) {
+		wl, err := store.Get(j.app, o.Scale)
+		if err != nil {
+			return nvp.Result{}, err
+		}
+		cfg.Tracer = o.Tracer
+		cfg.Metrics = o.Metrics
+		if cellPath != "" {
+			f, ferr := os.Create(cellPath)
+			if ferr != nil {
+				return nvp.Result{}, ferr
+			}
+			tr := trace.NewJSONL(f)
+			cfg.Tracer = tr
+			// The trace file must never outlive a failed cell half-written:
+			// on success it is flushed, closed, and counted; on error it is
+			// closed and removed; on panic it is removed and the panic is
+			// re-raised for the supervisor to isolate and journal.
+			defer func() {
+				if p := recover(); p != nil {
+					f.Close()
+					os.Remove(cellPath)
+					panic(p)
+				}
+				if err == nil {
+					err = tr.Flush()
+				}
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = fmt.Errorf("experiments: closing %s: %w", cellPath, cerr)
+				}
+				if err != nil {
+					os.Remove(cellPath)
+					return
+				}
+				o.Cells.wrote()
+			}()
+		}
+		if testCellHook != nil {
+			testCellHook(j.app)
+		}
+		res, err = nvp.RunContext(ctx, wl, j.tr, cfg)
+		if err == nil && cfg.Paranoid && !res.Invariants.Clean() {
+			// Flagged runs are worth one more try (bounded by the
+			// supervisor's MaxRetries) before the sweep aborts.
+			err = harness.Transient(fmt.Errorf("experiments: %s: %s", j.app, res.Invariants.Summary()))
+		}
+		return res, err
+	}
 }
 
 // runPerApp runs one configuration for every app and returns results in app

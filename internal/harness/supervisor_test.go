@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ipex/internal/nvp"
+)
+
+func okResult(app string) nvp.Result { return nvp.Result{App: app, Completed: true} }
+
+func TestRunCellFirstTrySuccess(t *testing.T) {
+	s := &Supervisor{}
+	calls := 0
+	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		return okResult("fft"), nil
+	}})
+	if err != nil || replayed || calls != 1 || !res.Completed {
+		t.Fatalf("res=%+v err=%v replayed=%v calls=%d", res, err, replayed, calls)
+	}
+	if cs := s.Counters.Snapshot(); cs.Executed != 1 || cs.Retried != 0 {
+		t.Fatalf("counters = %+v", cs)
+	}
+}
+
+func TestRunCellRetriesTransientThenSucceeds(t *testing.T) {
+	s := &Supervisor{MaxRetries: 3}
+	calls := 0
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		if calls < 3 {
+			return nvp.Result{}, Transient(errors.New("flaky"))
+		}
+		return okResult("fft"), nil
+	}})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (two transient failures retried)", calls)
+	}
+	if cs := s.Counters.Snapshot(); cs.Retried != 2 {
+		t.Fatalf("Retried = %d, want 2", cs.Retried)
+	}
+}
+
+func TestRunCellBoundsRetries(t *testing.T) {
+	s := &Supervisor{MaxRetries: 2}
+	calls := 0
+	_, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		return nvp.Result{}, Transient(errors.New("always flaky"))
+	}})
+	if err == nil {
+		t.Fatal("exhausted retries returned success")
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (initial + 2 retries)", calls)
+	}
+	if cs := s.Counters.Snapshot(); cs.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", cs.Failures)
+	}
+}
+
+func TestRunCellDoesNotRetryHardErrors(t *testing.T) {
+	s := &Supervisor{MaxRetries: 5}
+	calls := 0
+	_, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		return nvp.Result{}, errors.New("deterministic failure")
+	}})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want hard error after exactly 1 call", err, calls)
+	}
+}
+
+func TestRunCellRetriesTruncatedRuns(t *testing.T) {
+	s := &Supervisor{MaxRetries: 1}
+	calls := 0
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		if calls == 1 {
+			return nvp.Result{App: "fft", Completed: false}, nil
+		}
+		return okResult("fft"), nil
+	}})
+	if err != nil || !res.Completed || calls != 2 {
+		t.Fatalf("res=%+v err=%v calls=%d", res, err, calls)
+	}
+}
+
+func TestRunCellAcceptsTruncationAfterRetries(t *testing.T) {
+	// A cell that truncates every time is NOT an error: the result flows to
+	// the sweep's skipped-app path.
+	s := &Supervisor{MaxRetries: 1}
+	calls := 0
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		return nvp.Result{App: "fft", Completed: false}, nil
+	}})
+	if err != nil || res.Completed || calls != 2 {
+		t.Fatalf("res=%+v err=%v calls=%d", res, err, calls)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := CreateJournal(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Supervisor{Journal: j}
+	res, err, _ := s.RunCell(Cell{Key: "cell", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		panic("injected cell panic")
+	}})
+	if err != nil {
+		t.Fatalf("isolated panic surfaced as error: %v", err)
+	}
+	if res.Completed || res.App != "fft" {
+		t.Fatalf("panic result = %+v, want soft-fail with App label", res)
+	}
+	if cs := s.Counters.Snapshot(); cs.Panics != 1 || cs.Failures != 1 {
+		t.Fatalf("counters = %+v", cs)
+	}
+	j.Close()
+	_, entries, _, err := ResumeJournal(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries["cell"]
+	if e == nil || e.Kind != KindFail {
+		t.Fatalf("panic not journaled: %+v", e)
+	}
+	if !strings.Contains(e.Error, "injected cell panic") {
+		t.Errorf("journaled error %q lacks the panic value", e.Error)
+	}
+	if !strings.Contains(e.Stack, "goroutine") || !strings.Contains(e.Stack, "TestPanicIsolation") {
+		t.Errorf("journaled stack does not look like a goroutine stack:\n%s", e.Stack)
+	}
+}
+
+func TestWallBackstopTimeoutIsTransient(t *testing.T) {
+	s := &Supervisor{WallBackstop: 5 * time.Millisecond, MaxRetries: 1}
+	calls := 0
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(ctx context.Context) (nvp.Result, error) {
+		calls++
+		if calls == 1 {
+			// A wedged first attempt: block until the watchdog fires, then
+			// stop "at the power-cycle boundary" like nvp.RunContext does.
+			<-ctx.Done()
+			return nvp.Result{App: "fft", Completed: false}, nil
+		}
+		return okResult("fft"), nil
+	}})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (timeout retried)", calls)
+	}
+	cs := s.Counters.Snapshot()
+	if cs.Timeouts != 1 || cs.Retried != 1 {
+		t.Fatalf("counters = %+v", cs)
+	}
+}
+
+func TestReplayShortCircuits(t *testing.T) {
+	want := okResult("fft")
+	s := &Supervisor{Replay: map[string]*Entry{
+		"k": {Kind: KindCell, Key: "k", Result: &want},
+	}}
+	calls := 0
+	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		return nvp.Result{}, nil
+	}})
+	if err != nil || !replayed || calls != 0 {
+		t.Fatalf("err=%v replayed=%v calls=%d", err, replayed, calls)
+	}
+	if res.App != "fft" || !res.Completed {
+		t.Fatalf("replayed result = %+v", res)
+	}
+	if cs := s.Counters.Snapshot(); cs.Replayed != 1 || cs.Executed != 0 {
+		t.Fatalf("counters = %+v", cs)
+	}
+}
+
+func TestReplayIgnoresFailEntries(t *testing.T) {
+	s := &Supervisor{Replay: map[string]*Entry{
+		"k": {Kind: KindFail, Key: "k", Error: "old panic"},
+	}}
+	calls := 0
+	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+		calls++
+		return okResult("fft"), nil
+	}})
+	if err != nil || replayed || calls != 1 || !res.Completed {
+		t.Fatalf("failed cell was not re-run: err=%v replayed=%v calls=%d", err, replayed, calls)
+	}
+}
+
+func TestTransientMarkerWraps(t *testing.T) {
+	base := fmt.Errorf("inner: %w", ErrCellTimeout)
+	err := Transient(base)
+	if !IsTransient(err) {
+		t.Fatal("Transient lost its mark")
+	}
+	if !errors.Is(err, ErrCellTimeout) {
+		t.Fatal("Transient broke the unwrap chain")
+	}
+	if IsTransient(base) {
+		t.Fatal("unmarked error reported transient")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+}

@@ -1,0 +1,35 @@
+package harness
+
+// This file is the harness's only wall-clock corner, and the determinism
+// lint (make lint) pins it that way: time.Now/time.After/time.Sleep in
+// internal/ are forbidden everywhere except internal/benchio and this
+// file. Nothing here feeds a simulated result — the watchdog merely
+// cancels a wedged cell (which then stops at a power-cycle boundary), and
+// the backoff sleep only spaces retries out; both are invisible in
+// journals and output.
+
+import (
+	"context"
+	"time"
+)
+
+// backstopContext returns a context the wall-clock watchdog cancels after
+// d.
+func backstopContext(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// backoff sleeps the deterministic exponential delay before retry number
+// `attempt` (1-based): BackoffBase << (attempt-1), capped at 32× the base.
+// No jitter: the schedule depends only on the attempt count, so retry
+// behaviour is reproducible run to run.
+func (s *Supervisor) backoff(attempt int) {
+	if s == nil || s.BackoffBase <= 0 {
+		return
+	}
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5
+	}
+	time.Sleep(s.BackoffBase << shift)
+}

@@ -1,6 +1,7 @@
 package nvp
 
 import (
+	"context"
 	"fmt"
 
 	"ipex/internal/cache"
@@ -140,6 +141,13 @@ type System struct {
 	flt  *faultRuntime
 	par  *paranoid
 	prof *profiler
+
+	// ctx, when non-nil (RunContext), is polled at power-cycle boundaries:
+	// a cancelled run stops cleanly after the next reboot with
+	// Completed=false, exactly like a run that exhausted its cycle budget.
+	// Checking only at outages keeps the per-instruction hot loop free of
+	// any context overhead; cancellation latency is one power cycle.
+	ctx context.Context
 }
 
 // cycleMark snapshots the counters at the start of a power cycle so the
@@ -283,9 +291,27 @@ func Run(wl workload.Generator, trace *power.Trace, cfg Config) (Result, error) 
 	return s.run()
 }
 
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the simulation stops cleanly at the next power-cycle boundary (after the
+// JIT checkpoint, outage, and reboot complete) and returns the partial
+// result with Completed=false and a nil error — the same contract as a run
+// that exhausted its MaxCycles budget, so every downstream consumer
+// (skipped-app filtering, journaling) handles it identically. Inspect
+// ctx.Err() to distinguish cancellation from budget truncation. A nil ctx
+// behaves exactly like Run.
+func RunContext(ctx context.Context, wl workload.Generator, trace *power.Trace, cfg Config) (Result, error) {
+	s, err := NewSystem(wl, trace, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.ctx = ctx
+	return s.run()
+}
+
 func (s *System) run() (Result, error) {
 	wl := s.wl
 	completed := true
+	cancelled := false
 	if s.tr != nil {
 		s.tr.Begin(wl.Name(), func() (uint64, uint64) { return s.now, s.pcIdx })
 		s.tr.Emit(trace.Event{Kind: trace.KindCycleStart})
@@ -350,6 +376,16 @@ func (s *System) run() (Result, error) {
 		}
 		if s.cap.BelowBackup() {
 			s.outage()
+			// Cooperative cancellation (RunContext) is honoured only here,
+			// right after a reboot: the checkpoint is durable, no simulated
+			// state is half-applied, and the hot loop never touches the
+			// context. The partial result reports Completed=false exactly
+			// like a budget-truncated run.
+			if s.ctx != nil && s.ctx.Err() != nil {
+				completed = false
+				cancelled = true
+				break
+			}
 		}
 
 		if s.now >= s.maxCycles {
@@ -364,6 +400,9 @@ func (s *System) run() (Result, error) {
 		detail := "completed"
 		if !completed {
 			detail = "budget"
+		}
+		if cancelled {
+			detail = "cancelled"
 		}
 		s.tr.Emit(trace.Event{Kind: trace.KindRunEnd, N: int64(s.insts), Detail: detail})
 	}

@@ -17,6 +17,7 @@
 package ipex
 
 import (
+	"context"
 	"io"
 
 	"ipex/internal/capacitor"
@@ -218,6 +219,27 @@ func EvictWorkloadCache() { workload.Shared().Evict() }
 // application model) under one power trace and configuration.
 func RunWorkload(wl Workload, trace *Trace, cfg Config) (Result, error) {
 	return nvp.Run(wl, trace, cfg)
+}
+
+// RunContext is Run with cooperative cancellation. When ctx is cancelled the
+// simulation stops cleanly at the next power-cycle boundary — after the JIT
+// checkpoint, outage, and reboot complete — and returns the partial result
+// with Completed=false and a nil error, the same contract as a run that
+// exhausted its cycle budget. Check ctx.Err() to tell the two apart. A nil
+// ctx behaves exactly like Run. Cancellation latency is one power cycle: the
+// per-instruction hot loop never inspects the context.
+func RunContext(ctx context.Context, app string, scale float64, trace *Trace, cfg Config) (Result, error) {
+	wl, err := workload.Shared().Get(app, scale)
+	if err != nil {
+		return Result{}, err
+	}
+	return nvp.RunContext(ctx, wl, trace, cfg)
+}
+
+// RunWorkloadContext is RunWorkload with cooperative cancellation; see
+// RunContext for the cancellation contract.
+func RunWorkloadContext(ctx context.Context, wl Workload, trace *Trace, cfg Config) (Result, error) {
+	return nvp.RunContext(ctx, wl, trace, cfg)
 }
 
 // Speedup returns how much faster b completed than a (wall-clock cycles,
