@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race race-harness bench golden tracestat-golden resume-smoke lint fuzz ci clean
+.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke lint fuzz ci clean
 
 all: ci
 
@@ -32,6 +32,13 @@ race-harness:
 bench:
 	BENCH_HOTLOOP_JSON=$(BENCH_JSON) $(GO) test -run=NONE \
 		-bench='BenchmarkFig10|BenchmarkSimulatorThroughput' -benchtime=10x ./...
+
+# Performance gate against the committed record: fails on a >10% hot-loop
+# throughput regression or any steady-state allocation. Regenerate the
+# record on the gating machine with `make bench` first — wall-clock
+# throughput does not transfer between machines.
+bench-gate:
+	IPEX_BENCH_GATE=1 $(GO) test -run TestBenchGate -count=1 .
 
 # The golden determinism gate: simulator results must stay bit-identical to
 # testdata/golden_rfhome.json (captured before the hot-loop optimization).
@@ -97,7 +104,7 @@ lint: vet
 		echo "$$bad"; exit 1; \
 	fi
 
-ci: build lint race golden tracestat-golden resume-smoke fuzz
+ci: build lint race golden tracestat-golden resume-smoke fuzz bench-gate
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

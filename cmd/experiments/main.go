@@ -110,6 +110,8 @@ func main() {
 		parallel = flag.Int("parallelism", 0, "max concurrent simulations (0 = NumCPU; tracing forces 1)")
 		paranoid = flag.Bool("paranoid", false, "run every simulation with the runtime invariant checker; a dirty report fails the run")
 
+	genericRun = flag.Bool("generic-loop", false, "force the generic interpreter loop in every cell (disable the specialized fast paths; results are bit-identical either way)")
+
 		tracePath  = flag.String("trace", "", "stream a JSONL event trace of every run to this file (serializes the sweep)")
 		traceDir   = flag.String("tracedir", "", "write one JSONL trace file per sweep cell into this directory (keeps -parallelism; analyze with tracestat)")
 		metricsOut = flag.String("metrics", "", "write an aggregate JSON metrics dump of the sweep to this file")
@@ -209,7 +211,7 @@ func main() {
 		return
 	}
 
-	o := experiments.Options{Scale: *scale, TraceSeed: *seed, Parallelism: *parallel, Paranoid: *paranoid}
+	o := experiments.Options{Scale: *scale, TraceSeed: *seed, Parallelism: *parallel, Paranoid: *paranoid, GenericLoop: *genericRun}
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
 	}

@@ -60,6 +60,7 @@ func main() {
 		bufferMode = flag.Bool("buffermode", false, "keep prefetches in the buffer until use instead of filling the cache")
 		cycles     = flag.Int("cycles", 0, "print per-power-cycle telemetry for the first N cycles")
 		paranoid   = flag.Bool("paranoid", false, "run the runtime invariant checker and print its report")
+		genericRun = flag.Bool("generic-loop", false, "force the generic interpreter loop (disable the specialized fast paths; results are bit-identical either way)")
 
 		faultSeed     = flag.Uint64("fault-seed", fault.DefaultSeed, "fault-injection seed (same seed + config = identical schedule)")
 		adcBits       = flag.Int("adc-bits", 0, "quantize IPEX voltage sensing to an N-bit ADC (0 = ideal analog)")
@@ -161,6 +162,7 @@ func main() {
 	cfg.Ideal = *ideal
 	cfg.ReissueOnExit = *reissue
 	cfg.PrefetchToCache = !*bufferMode
+	cfg.DisableFastPaths = *genericRun
 	cfg.Capacitor.CapacitanceFarads = *capF
 
 	var tech energy.NVMTech

@@ -1,0 +1,72 @@
+package ipex
+
+import (
+	"reflect"
+	"testing"
+
+	"ipex/internal/power"
+)
+
+// TestGoldenFastPaths cross-checks the specialized hot loops against the
+// generic interpreter loop, one named case per dispatch corner:
+//
+//	default        — observers off, prefetchers on → the runFast loop
+//	ipex-both      — runFast with both IPEX controllers live
+//	no-prefetch    — both prefetchers off → the runFastNoPF loop
+//	buffer-mode    — PrefetchToCache=false is ineligible, pinning that the
+//	                 dispatcher really falls back to the generic loop
+//
+// Each case simulates with the fast paths enabled and disabled
+// (Config.DisableFastPaths) and requires bit-identical Results. The golden
+// suite (TestGoldenDeterminism) pins the generic loop against the seed
+// simulator, so together the two tests anchor the fast paths to the seed.
+func TestGoldenFastPaths(t *testing.T) {
+	trace := power.Generate(power.RFHome, power.DefaultTraceSamples, 1)
+	bufferMode := DefaultConfig()
+	bufferMode.PrefetchToCache = false
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", DefaultConfig()},
+		{"ipex-both", DefaultConfig().WithIPEX()},
+		{"no-prefetch", DefaultConfig().WithoutPrefetch()},
+		{"buffer-mode", bufferMode},
+	}
+	apps := []string{"gsme", "qsort", "jpegd"}
+	const scale = 0.25
+
+	arena := NewArena()
+	for _, tc := range cases {
+		for _, app := range apps {
+			generic := tc.cfg
+			generic.DisableFastPaths = true
+			want, err := Run(app, scale, trace, generic)
+			if err != nil {
+				t.Fatalf("%s/%s generic: %v", tc.name, app, err)
+			}
+
+			fast := tc.cfg
+			fast.DisableFastPaths = false
+			got, err := Run(app, scale, trace, fast)
+			if err != nil {
+				t.Fatalf("%s/%s fast: %v", tc.name, app, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: fast loop diverged from generic\nfast:    %s\ngeneric: %s",
+					tc.name, app, mustJSON(got), mustJSON(want))
+			}
+
+			// The same configuration through a reused arena — the recycled-
+			// state path the sweep harness takes — must also match.
+			got, err = arena.Run(app, scale, trace, fast)
+			if err != nil {
+				t.Fatalf("%s/%s arena: %v", tc.name, app, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: arena run diverged from generic\narena:   %s\ngeneric: %s",
+					tc.name, app, mustJSON(got), mustJSON(want))
+			}
+		}
+	}
+}

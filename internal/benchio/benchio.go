@@ -14,7 +14,24 @@ import (
 )
 
 // Schema identifies the record layout; bump on incompatible change.
-const Schema = "ipex-bench-hotloop/v1"
+// v2 added Hotloop.FastPaths: per-loop-variant throughput and allocation
+// figures for the specialized hot loops.
+const Schema = "ipex-bench-hotloop/v2"
+
+// FastPath is the measurement of one loop variant: the generic interpreter
+// loop or one of the specialized fast paths, all run through a warmed
+// arena so the figures isolate the loop itself.
+type FastPath struct {
+	// Name is the variant: "generic", "fast" (default configuration through
+	// the specialized loop), or "fast-nopf" (the no-prefetch loop).
+	Name string `json:"name"`
+	// InstsPerSec is simulated instructions per wall second.
+	InstsPerSec float64 `json:"insts_per_sec"`
+	// NsPerInst is wall nanoseconds per simulated instruction.
+	NsPerInst float64 `json:"ns_per_inst"`
+	// AllocsPerRun is heap allocations per steady-state arena run.
+	AllocsPerRun int64 `json:"allocs_per_run"`
+}
 
 // Hotloop measures the simulator core: one full nvp.Run of a memoized
 // workload, normalized per simulated instruction.
@@ -31,6 +48,8 @@ type Hotloop struct {
 	// AllocsPerRun and BytesPerRun are heap allocations per nvp.Run.
 	AllocsPerRun int64 `json:"allocs_per_run"`
 	BytesPerRun  int64 `json:"bytes_per_run"`
+	// FastPaths breaks throughput down per loop variant (schema v2).
+	FastPaths []FastPath `json:"fast_paths,omitempty"`
 }
 
 // Experiment is the wall-clock of one cmd/experiments entry.

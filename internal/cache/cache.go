@@ -51,8 +51,13 @@ type line struct {
 
 // Cache is one set-associative write-back SRAM cache.
 type Cache struct {
-	params  energy.CacheParams
-	sets    [][]line
+	params energy.CacheParams
+	// lines is the flat line array: set s occupies
+	// lines[s*ways : (s+1)*ways]. One flat slice instead of a [][]line
+	// keeps the per-access probe to a single dependent load — the set
+	// lookup is an index computation, not a slice-header fetch.
+	lines   []line
+	ways    int
 	nsets   int
 	blockLg uint
 	setLg   uint // log2(nsets), precomputed for the per-access tag shift
@@ -96,14 +101,10 @@ func New(params energy.CacheParams) (*Cache, error) {
 	if 1<<blockLg != params.BlockSize {
 		return nil, fmt.Errorf("cache: block size %d is not a power of two", params.BlockSize)
 	}
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*params.Ways)
-	for i := range sets {
-		sets[i] = backing[i*params.Ways : (i+1)*params.Ways]
-	}
 	return &Cache{
 		params:  params,
-		sets:    sets,
+		lines:   make([]line, nsets*params.Ways),
+		ways:    params.Ways,
 		nsets:   nsets,
 		blockLg: blockLg,
 		setLg:   uintLog2(nsets),
@@ -162,12 +163,34 @@ func uintLog2(n int) uint {
 // write hit the line is marked dirty. A miss does NOT fill the cache; the
 // caller decides how the fill happens (from the prefetch buffer or NVM) and
 // calls Fill.
+//
+// The body is just the hinted-way probe — small enough to inline into the
+// simulator's hot loops, so the dominant re-touch-the-same-line case costs
+// no call at all; everything else lives in accessSlow. index(addr) needs no
+// prior block alignment: the block-offset bits are shifted away anyway.
 func (c *Cache) Access(addr uint64, write bool) bool {
 	c.stats.Accesses++
 	c.tick++
-	set, tag := c.index(c.BlockAddr(addr))
-	lines := c.sets[set]
+	set, tag := c.index(addr)
 	h := int(c.hint[set])
+	if l := &c.lines[set*c.ways+h]; l.valid && l.tag == tag && !l.pfUnused {
+		l.used = c.tick
+		if write {
+			l.dirty = true
+		}
+		return true
+	}
+	// The hinted way either missed or holds a prefetched line awaiting its
+	// first-use classification; both are rare enough for the out-of-line
+	// path.
+	return c.accessSlow(set, tag, h, write)
+}
+
+// accessSlow finishes an access the inlined hinted probe could not: it
+// re-examines the hinted way (it may have matched but needed first-use
+// bookkeeping), then scans the remaining ways.
+func (c *Cache) accessSlow(set int, tag uint64, h int, write bool) bool {
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
 	if l := &lines[h]; l.valid && l.tag == tag {
 		if c.touch(l, write) && c.tr != nil {
 			c.traceFirstUse(set, l)
@@ -221,8 +244,8 @@ func (c *Cache) NoteBufHit() { c.stats.BufHits++ }
 // Contains reports whether the block containing addr is present, without
 // touching statistics or LRU state.
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.index(c.BlockAddr(addr))
-	lines := c.sets[set]
+	set, tag := c.index(addr)
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
 	if l := &lines[c.hint[set]]; l.valid && l.tag == tag {
 		return true
 	}
@@ -252,8 +275,8 @@ func (c *Cache) FillPrefetched(addr uint64) (evictedDirty bool) {
 
 func (c *Cache) fill(addr uint64, write, prefetched bool) (evictedDirty bool) {
 	c.tick++
-	set, tag := c.index(c.BlockAddr(addr))
-	lines := c.sets[set]
+	set, tag := c.index(addr)
+	lines := c.lines[set*c.ways : set*c.ways+c.ways]
 	victim := 0
 	for i := range lines {
 		l := &lines[i]
@@ -297,11 +320,9 @@ func (c *Cache) fill(addr uint64, write, prefetched bool) (evictedDirty bool) {
 // matters (ideal mode, telemetry).
 func (c *Cache) DirtyCount() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].dirty {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
 		}
 	}
 	return n
@@ -314,11 +335,9 @@ func (c *Cache) DirtyBlocks() int { return c.DirtyCount() }
 // ValidBlocks returns the number of valid lines currently resident.
 func (c *Cache) ValidBlocks() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n
@@ -334,12 +353,11 @@ func (c *Cache) DirtyAddrs() []uint64 {
 // set-major order DirtyAddrs uses) and returns the extended slice. Passing
 // a reused scratch buffer makes the per-outage checkpoint allocation-free.
 func (c *Cache) DirtyAddrsAppend(dst []uint64) []uint64 {
-	for si, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].dirty {
-				block := (set[i].tag<<c.setLg | uint64(si)) << c.blockLg
-				dst = append(dst, block)
-			}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			si := i / c.ways
+			block := (c.lines[i].tag<<c.setLg | uint64(si)) << c.blockLg
+			dst = append(dst, block)
 		}
 	}
 	return dst
@@ -350,11 +368,9 @@ func (c *Cache) DirtyAddrsAppend(dst []uint64) []uint64 {
 // profiler snapshots a cache with it right before an outage wipe to learn
 // which later demand misses are re-execution backfill.
 func (c *Cache) AppendResidentBlocks(dst []uint64) []uint64 {
-	for si, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				dst = append(dst, c.blockOf(si, &set[i]))
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			dst = append(dst, c.blockOf(i/c.ways, &c.lines[i]))
 		}
 	}
 	return dst
@@ -363,12 +379,10 @@ func (c *Cache) AppendResidentBlocks(dst []uint64) []uint64 {
 // DrainPrefetchStats classifies still-resident prefetched-unused lines as
 // useless (end-of-run accounting; they are not wiped). Lines stay valid.
 func (c *Cache) DrainPrefetchStats() {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].pfUnused {
-				set[i].pfUnused = false
-				c.stats.PrefetchedUseless++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].pfUnused {
+			c.lines[i].pfUnused = false
+			c.stats.PrefetchedUseless++
 		}
 	}
 }
@@ -376,28 +390,42 @@ func (c *Cache) DrainPrefetchStats() {
 // CleanDirty marks every line clean; called after a JIT checkpoint has
 // persisted the dirty blocks.
 func (c *Cache) CleanDirty() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i].dirty = false
-		}
+	for i := range c.lines {
+		c.lines[i].dirty = false
 	}
+}
+
+// Reset restores the cache to its just-constructed state — every line
+// invalid, hints and the LRU clock zeroed, statistics cleared — without
+// touching the backing arrays. The run arena recycles caches of identical
+// geometry with it, so a steady-state run allocates nothing. The tracer
+// attachment is cleared too; the next run re-attaches its own (or none).
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.hint {
+		c.hint[i] = 0
+	}
+	c.tick = 0
+	c.stats = Stats{}
+	c.tr = nil
+	c.side = ""
 }
 
 // Wipe invalidates every line: the effect of a power failure on volatile
 // SRAM. Prefetched-but-unused lines lost here are the energy waste IPEX
 // exists to prevent; they are counted as both useless and wiped.
 func (c *Cache) Wipe() {
-	for si, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].pfUnused {
-				c.stats.PrefetchedUseless++
-				c.stats.PrefetchedWiped++
-				if c.tr != nil {
-					c.tr.Emit(trace.Event{Kind: trace.KindPrefetchWipe,
-						Side: c.side, Block: c.blockOf(si, &set[i]), Detail: "cache"})
-				}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].pfUnused {
+			c.stats.PrefetchedUseless++
+			c.stats.PrefetchedWiped++
+			if c.tr != nil {
+				c.tr.Emit(trace.Event{Kind: trace.KindPrefetchWipe,
+					Side: c.side, Block: c.blockOf(i/c.ways, &c.lines[i]), Detail: "cache"})
 			}
-			set[i] = line{}
 		}
+		c.lines[i] = line{}
 	}
 }

@@ -137,6 +137,19 @@ func (b *PrefetchBuffer) Wipe() {
 	b.next = 0
 }
 
+// Reset restores the buffer to its just-constructed state (all slots
+// empty, statistics cleared, tracer detached) without reallocating the
+// entry array; the run arena recycles buffers of identical depth with it.
+func (b *PrefetchBuffer) Reset() {
+	for i := range b.entries {
+		b.entries[i] = PBEntry{}
+	}
+	b.next = 0
+	b.stats = PBStats{}
+	b.tr = nil
+	b.side = ""
+}
+
 // Drain classifies all still-resident blocks without invalidating them;
 // call once at end of run so Stats covers every inserted block.
 func (b *PrefetchBuffer) Drain() {

@@ -182,6 +182,21 @@ func (c *Capacitor) Consume(nj float64) {
 	}
 }
 
+// CapacityNJ returns the maximum storable energy (the Vmax clamp) in nJ.
+func (c *Capacitor) CapacityNJ() float64 { return c.maxNJ }
+
+// BackupCutoffNJ returns the stored energy below which BelowBackup fires —
+// the exact energy-domain image of the Vbackup comparison.
+func (c *Capacitor) BackupCutoffNJ() float64 { return c.backupCutNJ }
+
+// RestoreEnergyNJ overwrites the stored energy with a value previously
+// derived from EnergyNJ() by replicating Harvest/Consume arithmetic outside
+// the capacitor. The simulator's specialized hot loops keep the charge in a
+// register (via EnergyNJ/CapacityNJ/BackupCutoffNJ) and write it back here
+// at power-cycle boundaries; e must follow the same clamp-at-capacity,
+// floor-at-zero algebra or the voltage model is undefined.
+func (c *Capacitor) RestoreEnergyNJ(e float64) { c.energyNJ = e }
+
 // SetVoltage forces the terminal voltage (clamped to [0, Vmax]); tests and
 // the reboot path use it.
 func (c *Capacitor) SetVoltage(v float64) {

@@ -228,6 +228,30 @@ func (c *Controller) SetTracer(t *trace.Tracer, side string) {
 	c.side = side
 }
 
+// Reset restores the controller to its just-constructed state: pristine
+// thresholds from the configuration, all registers and statistics zeroed,
+// R_cpd back at R_ipd, the tracer detached, and the energy cutoffs (if an
+// energyOf converter is installed) recomputed for the pristine thresholds.
+// No slice is reallocated, so the run arena can recycle controllers whose
+// configuration matches the next run's.
+func (c *Controller) Reset() {
+	copy(c.thresholds, c.cfg.Thresholds)
+	for i := range c.above {
+		c.above[i] = false
+	}
+	c.haveV = false
+	c.cpd = c.cfg.InitialDegree
+	c.rThrottled = 0
+	c.rTotal = 0
+	c.rTR = 0
+	c.savedThrottled = 0
+	c.savedTotal = 0
+	c.stats = Stats{}
+	c.tr = nil
+	c.side = ""
+	c.refreshCuts()
+}
+
 // Enabled reports whether the extension is active.
 func (c *Controller) Enabled() bool { return c.cfg.Enabled }
 

@@ -61,6 +61,12 @@ type Options struct {
 	// failure is marked transient, so a supervisor with retries re-runs the
 	// flagged cell before giving up.
 	Paranoid bool
+	// GenericLoop forces every cell through the generic interpreter loop
+	// (nvp.Config.DisableFastPaths): an A/B switch for validating the
+	// specialized fast paths, which are bit-identical by contract. It does
+	// not enter the cell's journal identity, so resumed sweeps replay
+	// regardless of which loop produced the journal.
+	GenericLoop bool
 	// Ctx, when non-nil, is the graceful-drain context: once cancelled
 	// (SIGINT/SIGTERM in cmd/experiments) no further cells are dispatched,
 	// in-flight cells finish and are journaled, and the sweep reports
@@ -143,6 +149,9 @@ func (o Options) effective(cfg nvp.Config) nvp.Config {
 	if o.Paranoid {
 		cfg.Paranoid = true
 	}
+	if o.GenericLoop {
+		cfg.DisableFastPaths = true
+	}
 	if o.CellBudget > 0 && (cfg.MaxCycles == 0 || cfg.MaxCycles > o.CellBudget) {
 		cfg.MaxCycles = o.CellBudget
 	}
@@ -216,12 +225,18 @@ var testCellHook func(app string)
 // cellRun builds the supervised body of one sweep cell. The context it
 // receives is the supervisor's wall-clock backstop (nil when unarmed) —
 // never the sweep's drain context — threaded into nvp.RunContext so a
-// wedged cell stops at its next power-cycle boundary.
-func (o Options) cellRun(store *workload.Store, j job, cfg nvp.Config, cellPath string) func(context.Context) (nvp.Result, error) {
-	return func(ctx context.Context) (res nvp.Result, err error) {
-		wl, err := store.Get(j.app, o.Scale)
+// wedged cell stops at its next power-cycle boundary. The cell simulates
+// straight off the store's shared immutable trace arena through the
+// worker's nvp.Arena, so a steady-state cell neither copies the workload
+// nor allocates simulation state.
+func (o Options) cellRun(store *workload.Store, j job, cfg nvp.Config, cellPath string) func(context.Context, *nvp.Arena) (nvp.Result, error) {
+	return func(ctx context.Context, a *nvp.Arena) (res nvp.Result, err error) {
+		st, err := store.Stream(j.app, o.Scale)
 		if err != nil {
 			return nvp.Result{}, err
+		}
+		if a == nil {
+			a = nvp.NewArena()
 		}
 		cfg.Tracer = o.Tracer
 		cfg.Metrics = o.Metrics
@@ -258,7 +273,7 @@ func (o Options) cellRun(store *workload.Store, j job, cfg nvp.Config, cellPath 
 		if testCellHook != nil {
 			testCellHook(j.app)
 		}
-		res, err = nvp.RunContext(ctx, wl, j.tr, cfg)
+		res, err = a.RunStreamContext(ctx, st, j.tr, cfg)
 		if err == nil && cfg.Paranoid && !res.Invariants.Clean() {
 			// Flagged runs are worth one more try (bounded by the
 			// supervisor's MaxRetries) before the sweep aborts.

@@ -60,8 +60,13 @@ func (p *Pool) Run(cells []Cell) ([]nvp.Result, []error, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: consecutive cells on the same worker
+			// recycle their simulation state, so a steady-state sweep cell
+			// allocates nothing. Arenas are not concurrency-safe and never
+			// cross goroutines.
+			arena := nvp.NewArena()
 			for i := range idx {
-				res, err, replayed := sup.RunCell(cells[i])
+				res, err, replayed := sup.RunCell(cells[i], arena)
 				results[i], errs[i], ran[i] = res, err, true
 				if p.OnDone != nil {
 					p.OnDone(i, res, err, replayed)

@@ -15,7 +15,7 @@ func makeCells(n int) []Cell {
 	cells := make([]Cell, n)
 	for i := range cells {
 		app := fmt.Sprintf("app%02d", i)
-		cells[i] = Cell{Key: Key(app), Label: app, Run: func(context.Context) (nvp.Result, error) {
+		cells[i] = Cell{Key: Key(app), Label: app, Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 			return nvp.Result{App: app, Completed: true}, nil
 		}}
 	}
@@ -72,7 +72,7 @@ func TestPoolContextCancelStopsDispatch(t *testing.T) {
 	var ran atomic.Uint64
 	cells := makeCells(4)
 	for i := range cells {
-		cells[i].Run = func(context.Context) (nvp.Result, error) {
+		cells[i].Run = func(context.Context, *nvp.Arena) (nvp.Result, error) {
 			ran.Add(1)
 			return nvp.Result{Completed: true}, nil
 		}
@@ -95,11 +95,11 @@ func TestPoolCancelMidSweepKeepsInFlightResults(t *testing.T) {
 	// its result recorded — the drain context never reaches running cells.
 	ctx, cancel := context.WithCancel(context.Background())
 	cells := []Cell{
-		{Key: "a", Label: "a", Run: func(context.Context) (nvp.Result, error) {
+		{Key: "a", Label: "a", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 			cancel()
 			return nvp.Result{App: "a", Completed: true}, nil
 		}},
-		{Key: "b", Label: "b", Run: func(context.Context) (nvp.Result, error) {
+		{Key: "b", Label: "b", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 			return nvp.Result{App: "b", Completed: true}, nil
 		}},
 	}
@@ -132,7 +132,7 @@ func TestPoolOnDoneObservesEveryCell(t *testing.T) {
 
 func TestPoolPanicFailsOnlyThatCell(t *testing.T) {
 	cells := makeCells(5)
-	cells[2].Run = func(context.Context) (nvp.Result, error) { panic("poisoned cell") }
+	cells[2].Run = func(context.Context, *nvp.Arena) (nvp.Result, error) { panic("poisoned cell") }
 	sup := &Supervisor{}
 	p := &Pool{Workers: 2, Sup: sup}
 	results, errs, interrupted := p.Run(cells)

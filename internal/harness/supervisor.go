@@ -105,7 +105,9 @@ func (c *Counters) Snapshot() CounterSnapshot {
 // the closure that simulates it. Run receives a context that is non-nil
 // only when the wall-clock backstop is armed; implementations should thread
 // it into nvp.RunContext so the backstop can stop a wedged run at the next
-// power-cycle boundary.
+// power-cycle boundary. The arena is the worker's reusable simulation
+// state (never nil); implementations should run through it so steady-state
+// cells allocate nothing.
 type Cell struct {
 	// Key is the content-hash identity (see Key). Empty disables journal
 	// and replay for this cell (it always runs).
@@ -114,7 +116,7 @@ type Cell struct {
 	Label string
 	// Run executes the cell. A nil-Completed result feeds the sweep's
 	// soft-fail (skipped app) path downstream.
-	Run func(ctx context.Context) (nvp.Result, error)
+	Run func(ctx context.Context, a *nvp.Arena) (nvp.Result, error)
 }
 
 // Supervisor wraps every cell of a sweep in the crash-safety envelope:
@@ -186,16 +188,24 @@ func (s *Supervisor) replay(c Cell) (nvp.Result, bool) {
 // sweep should abort on; isolated panics return a zero, not-Completed
 // result and a nil error so the sweep's existing skipped-app path absorbs
 // them.
-func (s *Supervisor) RunCell(c Cell) (nvp.Result, error, bool) {
+//
+// The arena is handed to the cell body for state reuse; nil gets a private
+// one. Reusing an arena across retries — and even across a recovered panic
+// — is safe because every recycled component is reset from scratch at the
+// next run's construction.
+func (s *Supervisor) RunCell(c Cell, a *nvp.Arena) (nvp.Result, error, bool) {
 	if res, ok := s.replay(c); ok {
 		return res, nil, true
+	}
+	if a == nil {
+		a = nvp.NewArena()
 	}
 	var res nvp.Result
 	var err error
 	attempts := 0
 	for {
 		attempts++
-		res, err = s.runOnce(c)
+		res, err = s.runOnce(c, a)
 		var pe *PanicError
 		if errors.As(err, &pe) {
 			s.count(func(cs *Counters) { cs.Panics.Add(1); cs.Failures.Add(1) })
@@ -253,7 +263,7 @@ func (s *Supervisor) journal(e Entry) {
 
 // runOnce performs a single recover()-isolated attempt, arming the
 // wall-clock watchdog when configured.
-func (s *Supervisor) runOnce(c Cell) (res nvp.Result, err error) {
+func (s *Supervisor) runOnce(c Cell, a *nvp.Arena) (res nvp.Result, err error) {
 	var ctx context.Context
 	cancel := func() {}
 	if s != nil && s.WallBackstop > 0 {
@@ -265,7 +275,7 @@ func (s *Supervisor) runOnce(c Cell) (res nvp.Result, err error) {
 			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
 		}
 	}()
-	res, err = c.Run(ctx)
+	res, err = c.Run(ctx, a)
 	if err == nil && ctx != nil && ctx.Err() != nil {
 		// The watchdog fired and the run stopped at a power-cycle
 		// boundary: classify as a transient timeout rather than a

@@ -17,10 +17,10 @@ func okResult(app string) nvp.Result { return nvp.Result{App: app, Completed: tr
 func TestRunCellFirstTrySuccess(t *testing.T) {
 	s := &Supervisor{}
 	calls := 0
-	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		return okResult("fft"), nil
-	}})
+	}}, nil)
 	if err != nil || replayed || calls != 1 || !res.Completed {
 		t.Fatalf("res=%+v err=%v replayed=%v calls=%d", res, err, replayed, calls)
 	}
@@ -32,13 +32,13 @@ func TestRunCellFirstTrySuccess(t *testing.T) {
 func TestRunCellRetriesTransientThenSucceeds(t *testing.T) {
 	s := &Supervisor{MaxRetries: 3}
 	calls := 0
-	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		if calls < 3 {
 			return nvp.Result{}, Transient(errors.New("flaky"))
 		}
 		return okResult("fft"), nil
-	}})
+	}}, nil)
 	if err != nil || !res.Completed {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
@@ -53,10 +53,10 @@ func TestRunCellRetriesTransientThenSucceeds(t *testing.T) {
 func TestRunCellBoundsRetries(t *testing.T) {
 	s := &Supervisor{MaxRetries: 2}
 	calls := 0
-	_, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	_, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		return nvp.Result{}, Transient(errors.New("always flaky"))
-	}})
+	}}, nil)
 	if err == nil {
 		t.Fatal("exhausted retries returned success")
 	}
@@ -71,10 +71,10 @@ func TestRunCellBoundsRetries(t *testing.T) {
 func TestRunCellDoesNotRetryHardErrors(t *testing.T) {
 	s := &Supervisor{MaxRetries: 5}
 	calls := 0
-	_, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	_, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		return nvp.Result{}, errors.New("deterministic failure")
-	}})
+	}}, nil)
 	if err == nil || calls != 1 {
 		t.Fatalf("err=%v calls=%d, want hard error after exactly 1 call", err, calls)
 	}
@@ -83,13 +83,13 @@ func TestRunCellDoesNotRetryHardErrors(t *testing.T) {
 func TestRunCellRetriesTruncatedRuns(t *testing.T) {
 	s := &Supervisor{MaxRetries: 1}
 	calls := 0
-	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		if calls == 1 {
 			return nvp.Result{App: "fft", Completed: false}, nil
 		}
 		return okResult("fft"), nil
-	}})
+	}}, nil)
 	if err != nil || !res.Completed || calls != 2 {
 		t.Fatalf("res=%+v err=%v calls=%d", res, err, calls)
 	}
@@ -100,10 +100,10 @@ func TestRunCellAcceptsTruncationAfterRetries(t *testing.T) {
 	// the sweep's skipped-app path.
 	s := &Supervisor{MaxRetries: 1}
 	calls := 0
-	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		return nvp.Result{App: "fft", Completed: false}, nil
-	}})
+	}}, nil)
 	if err != nil || res.Completed || calls != 2 {
 		t.Fatalf("res=%+v err=%v calls=%d", res, err, calls)
 	}
@@ -116,9 +116,9 @@ func TestPanicIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := &Supervisor{Journal: j}
-	res, err, _ := s.RunCell(Cell{Key: "cell", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	res, err, _ := s.RunCell(Cell{Key: "cell", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		panic("injected cell panic")
-	}})
+	}}, nil)
 	if err != nil {
 		t.Fatalf("isolated panic surfaced as error: %v", err)
 	}
@@ -148,7 +148,7 @@ func TestPanicIsolation(t *testing.T) {
 func TestWallBackstopTimeoutIsTransient(t *testing.T) {
 	s := &Supervisor{WallBackstop: 5 * time.Millisecond, MaxRetries: 1}
 	calls := 0
-	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(ctx context.Context) (nvp.Result, error) {
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(ctx context.Context, _ *nvp.Arena) (nvp.Result, error) {
 		calls++
 		if calls == 1 {
 			// A wedged first attempt: block until the watchdog fires, then
@@ -157,7 +157,7 @@ func TestWallBackstopTimeoutIsTransient(t *testing.T) {
 			return nvp.Result{App: "fft", Completed: false}, nil
 		}
 		return okResult("fft"), nil
-	}})
+	}}, nil)
 	if err != nil || !res.Completed {
 		t.Fatalf("res=%+v err=%v", res, err)
 	}
@@ -176,10 +176,10 @@ func TestReplayShortCircuits(t *testing.T) {
 		"k": {Kind: KindCell, Key: "k", Result: &want},
 	}}
 	calls := 0
-	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		return nvp.Result{}, nil
-	}})
+	}}, nil)
 	if err != nil || !replayed || calls != 0 {
 		t.Fatalf("err=%v replayed=%v calls=%d", err, replayed, calls)
 	}
@@ -196,10 +196,10 @@ func TestReplayIgnoresFailEntries(t *testing.T) {
 		"k": {Kind: KindFail, Key: "k", Error: "old panic"},
 	}}
 	calls := 0
-	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context) (nvp.Result, error) {
+	res, err, replayed := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
 		calls++
 		return okResult("fft"), nil
-	}})
+	}}, nil)
 	if err != nil || replayed || calls != 1 || !res.Completed {
 		t.Fatalf("failed cell was not re-run: err=%v replayed=%v calls=%d", err, replayed, calls)
 	}

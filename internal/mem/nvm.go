@@ -92,6 +92,35 @@ func (m *NVM) Write(kind AccessKind) (cycles uint64, nj energy.NJ) {
 	return m.params.WriteCycles, m.params.WriteNJ
 }
 
+// ReadDemand is Read(DemandRead) without the kind dispatch — small enough
+// to inline into the simulator's specialized miss paths.
+func (m *NVM) ReadDemand() (cycles uint64, nj energy.NJ) {
+	m.stats.DemandReads++
+	return m.params.ReadCycles, m.params.ReadNJ
+}
+
+// ReadPrefetch is Read(PrefetchRead) without the kind dispatch (inlinable).
+func (m *NVM) ReadPrefetch() (cycles uint64, nj energy.NJ) {
+	m.stats.PrefetchReads++
+	return m.params.ReadCycles, m.params.ReadNJ
+}
+
+// WriteWriteback is Write(WritebackWrite) without the kind dispatch
+// (inlinable).
+func (m *NVM) WriteWriteback() (cycles uint64, nj energy.NJ) {
+	m.stats.WritebackWrites++
+	return m.params.WriteCycles, m.params.WriteNJ
+}
+
+// Reset clears the traffic counters and switches to the given parameters,
+// restoring the just-constructed state in place; the run arena recycles one
+// NVM instance across runs with it (the parameters are plain values, so a
+// technology change needs no reallocation).
+func (m *NVM) Reset(params energy.NVMParams) {
+	m.params = params
+	m.stats = Stats{}
+}
+
 // LeakNJPerCycle returns the array's leakage energy per CPU cycle.
 func (m *NVM) LeakNJPerCycle() energy.NJ {
 	return energy.LeakNJPerCycle(m.params.LeakMW)

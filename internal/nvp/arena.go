@@ -1,0 +1,121 @@
+package nvp
+
+import (
+	"context"
+
+	"ipex/internal/cache"
+	"ipex/internal/capacitor"
+	"ipex/internal/core"
+	"ipex/internal/energy"
+	"ipex/internal/mem"
+	"ipex/internal/power"
+	"ipex/internal/prefetch"
+	"ipex/internal/workload"
+)
+
+// Arena is a reusable bundle of per-run simulator state. A fresh System
+// allocates its caches, buffers, prefetcher tables, controllers, capacitor
+// and NVM on every run; an Arena keeps them alive between runs and recycles
+// each component whenever the next run's configuration matches, resetting it
+// to its just-constructed state instead of reallocating. A warmed arena
+// running a steady configuration performs zero heap allocations per run —
+// the property TestZeroAllocRun pins.
+//
+// Reuse is graded per component, so a sweep that varies one knob (say, the
+// prefetcher kind) still recycles everything the knob does not touch.
+// Results are bit-identical to fresh construction: the golden suite and the
+// arena determinism tests cross-check the two paths.
+//
+// An Arena serves one run at a time and is not safe for concurrent use;
+// give each worker goroutine its own (see internal/harness.Pool).
+type Arena struct {
+	sys System
+
+	capCfg capacitor.Config
+	cap    *capacitor.Capacitor
+	// cutoff is the cached cp.EnergyCutoffNJ method value. Binding a
+	// method value allocates its receiver closure, so it is captured once
+	// per capacitor here rather than once per run.
+	cutoff func(v float64) float64
+
+	nvm *mem.NVM
+
+	instSlot sideSlot
+	dataSlot sideSlot
+
+	// cursor lets RunStream iterate a shared immutable workload.Stream
+	// without allocating a per-run Cursor.
+	cursor workload.Cursor
+}
+
+// sideSlot caches one cache side's recyclable components together with the
+// configuration each was built from.
+type sideSlot struct {
+	params energy.CacheParams
+	cache  *cache.Cache
+
+	buf *cache.PrefetchBuffer
+
+	pfKind prefetch.Kind
+	pf     prefetch.Prefetcher
+
+	ctlCfg core.Config
+	ctl    *core.Controller
+}
+
+// NewArena returns an empty arena; its first run populates it.
+func NewArena() *Arena { return &Arena{} }
+
+// Run simulates wl over trace exactly like the package-level Run, recycling
+// this arena's components where the configuration allows.
+func (a *Arena) Run(wl workload.Generator, trace *power.Trace, cfg Config) (Result, error) {
+	return a.RunContext(context.Background(), wl, trace, cfg)
+}
+
+// RunContext is Run with cooperative cancellation, mirroring the
+// package-level RunContext.
+func (a *Arena) RunContext(ctx context.Context, wl workload.Generator, trace *power.Trace, cfg Config) (Result, error) {
+	s, err := newSystem(a, wl, trace, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.ctx = ctx
+	return s.run()
+}
+
+// RunStream runs a shared immutable trace stream (see workload.Store.Stream)
+// through the arena's internal cursor, avoiding the per-run Generator
+// allocation entirely.
+func (a *Arena) RunStream(st *workload.Stream, trace *power.Trace, cfg Config) (Result, error) {
+	return a.RunStreamContext(context.Background(), st, trace, cfg)
+}
+
+// RunStreamContext is RunStream with cooperative cancellation.
+func (a *Arena) RunStreamContext(ctx context.Context, st *workload.Stream, trace *power.Trace, cfg Config) (Result, error) {
+	a.cursor.Bind(st)
+	return a.RunContext(ctx, &a.cursor, trace, cfg)
+}
+
+// ipexCfgEqual compares controller configurations field by field. It exists
+// instead of reflect.DeepEqual because the assembly path must not allocate,
+// and DeepEqual boxes its operands.
+func ipexCfgEqual(a, b core.Config) bool {
+	if a.Enabled != b.Enabled ||
+		a.InitialDegree != b.InitialDegree ||
+		a.MaxDegree != b.MaxDegree ||
+		a.StepV != b.StepV ||
+		a.ThrottleRateTrigger != b.ThrottleRateTrigger ||
+		a.Adaptive != b.Adaptive ||
+		a.LinearAdjust != b.LinearAdjust ||
+		a.MinV != b.MinV ||
+		a.MaxV != b.MaxV ||
+		len(a.Thresholds) != len(b.Thresholds) {
+		return false
+	}
+	for i := range a.Thresholds {
+		if a.Thresholds[i] != b.Thresholds[i] {
+			return false
+		}
+	}
+	return true
+}

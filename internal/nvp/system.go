@@ -168,6 +168,16 @@ type cycleMark struct {
 
 // NewSystem builds a system for one workload and power trace.
 func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, error) {
+	return newSystem(nil, wl, trace, cfg)
+}
+
+// newSystem assembles a system, recycling the arena's components where their
+// configuration matches (a nil arena builds everything fresh — the classic
+// NewSystem path). Every recycled component is Reset to its
+// just-constructed state first, so an arena-assembled system starts
+// bit-identical to a fresh one; the arena-vs-fresh determinism tests and
+// the golden suite pin that equivalence.
+func newSystem(a *Arena, wl workload.Generator, trace *power.Trace, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -177,38 +187,100 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 	if trace == nil {
 		return nil, fmt.Errorf("nvp: nil power trace")
 	}
-	cp, err := capacitor.New(cfg.Capacitor)
-	if err != nil {
-		return nil, err
+	// The capacitor is pure value state: reusable whenever the
+	// configuration matches (the boot SetVoltage below defines its whole
+	// initial state). The energy-cutoff converter rides along — the method
+	// value is the one closure allocation NewSystem cannot avoid, so the
+	// arena caches it with the capacitor.
+	var cp *capacitor.Capacitor
+	var cutoff func(v float64) float64
+	if a != nil && a.cap != nil && a.capCfg == cfg.Capacitor {
+		cp, cutoff = a.cap, a.cutoff
+	} else {
+		var err error
+		cp, err = capacitor.New(cfg.Capacitor)
+		if err != nil {
+			return nil, err
+		}
+		cutoff = cp.EnergyCutoffNJ
+		if a != nil {
+			a.cap, a.capCfg, a.cutoff = cp, cfg.Capacitor, cutoff
+		}
 	}
 
-	buildSide := func(name string, size int, kind prefetch.Kind, factory func() prefetch.Prefetcher, ipexOn bool) (side, error) {
+	buildSide := func(slot *sideSlot, prev *side, name string, size int, kind prefetch.Kind, factory func() prefetch.Prefetcher, ipexOn bool) (side, error) {
 		params := energy.CacheFor(size, cfg.Ways)
-		c, err := cache.New(params)
-		if err != nil {
-			return side{}, err
+		var c *cache.Cache
+		if slot != nil && slot.cache != nil && slot.params == params {
+			c = slot.cache
+			c.Reset()
+		} else {
+			var err error
+			c, err = cache.New(params)
+			if err != nil {
+				return side{}, err
+			}
+			if slot != nil {
+				slot.cache, slot.params = c, params
+			}
 		}
+		bufDepth := cfg.PrefetchBufEntries
+		if bufDepth < 1 {
+			bufDepth = 1 // NewPrefetchBuffer's clamp
+		}
+		var b *cache.PrefetchBuffer
+		if slot != nil && slot.buf != nil && slot.buf.Size() == bufDepth {
+			b = slot.buf
+			b.Reset()
+		} else {
+			b = cache.NewPrefetchBuffer(cfg.PrefetchBufEntries)
+			if slot != nil {
+				slot.buf = b
+			}
+		}
+		// A factory-built prefetcher is never recycled: the factory contract
+		// is one fresh instance per run. Built-in kinds are recycled via
+		// their Reset, which restores the virgin table state.
 		var pf prefetch.Prefetcher
 		if factory != nil {
 			pf = factory()
-		} else if pf, err = prefetch.New(kind); err != nil {
-			return side{}, err
+		} else if slot != nil && slot.pf != nil && slot.pfKind == kind {
+			pf = slot.pf
+			pf.Reset()
+		} else {
+			var err error
+			if pf, err = prefetch.New(kind); err != nil {
+				return side{}, err
+			}
+			if slot != nil {
+				slot.pf, slot.pfKind = pf, kind
+			}
 		}
 		ipexCfg := cfg.IPEX
 		ipexCfg.Enabled = ipexOn && pf != nil
 		ipexCfg.InitialDegree = cfg.InitialDegree
-		ctl, err := core.NewController(ipexCfg)
-		if err != nil {
-			return side{}, err
+		var ctl *core.Controller
+		if slot != nil && slot.ctl != nil && ipexCfgEqual(slot.ctlCfg, ipexCfg) {
+			ctl = slot.ctl
+			ctl.Reset()
+		} else {
+			var err error
+			ctl, err = core.NewController(ipexCfg)
+			if err != nil {
+				return side{}, err
+			}
+			if slot != nil {
+				slot.ctl, slot.ctlCfg = ctl, ipexCfg
+			}
 		}
 		// Let the controller compare capacitor energy against precomputed
 		// per-threshold energy cutoffs instead of taking a square root per
 		// observation; the cutoffs are exact (bit-identical decisions).
-		ctl.UseEnergyCutoffs(cp.EnergyCutoffNJ)
+		ctl.UseEnergyCutoffs(cutoff)
 		sd := side{
 			name:     name,
 			cache:    c,
-			buf:      cache.NewPrefetchBuffer(cfg.PrefetchBufEntries),
+			buf:      b,
 			pf:       pf,
 			ctl:      ctl,
 			params:   params,
@@ -225,20 +297,46 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 		}
 		// Metrics wrapping happens after the interface probes above: the
 		// wrapper intentionally hides AddressGenCoster/HitIndifferent, and
-		// agNJ/pfSkipHits must describe the real prefetcher.
+		// agNJ/pfSkipHits must describe the real prefetcher. The wrapper is
+		// built per run; only the raw prefetcher lives in the arena slot.
 		if pf != nil && cfg.Metrics != nil {
 			sd.pf = prefetch.NewInstrument(pf, cfg.Metrics, name)
+		}
+		// Scratch buffers keep their previous run's capacity ([:0] reuse).
+		if prev != nil {
+			sd.cands = prev.cands[:0]
+			sd.inflight = prev.inflight[:0]
+			sd.throttledQ = prev.throttledQ[:0]
 		}
 		return sd, nil
 	}
 
-	is, err := buildSide("icache", cfg.ICacheSize, cfg.IPrefetcher, cfg.IPrefetcherFactory, cfg.IPEXInst)
+	var instSlot, dataSlot *sideSlot
+	var prevInst, prevData *side
+	var prevDirty []uint64
+	if a != nil {
+		instSlot, dataSlot = &a.instSlot, &a.dataSlot
+		prevInst, prevData = &a.sys.inst, &a.sys.data
+		prevDirty = a.sys.dirtyScratch
+	}
+	is, err := buildSide(instSlot, prevInst, "icache", cfg.ICacheSize, cfg.IPrefetcher, cfg.IPrefetcherFactory, cfg.IPEXInst)
 	if err != nil {
 		return nil, err
 	}
-	ds, err := buildSide("dcache", cfg.DCacheSize, cfg.DPrefetcher, cfg.DPrefetcherFactory, cfg.IPEXData)
+	ds, err := buildSide(dataSlot, prevData, "dcache", cfg.DCacheSize, cfg.DPrefetcher, cfg.DPrefetcherFactory, cfg.IPEXData)
 	if err != nil {
 		return nil, err
+	}
+
+	var nv *mem.NVM
+	if a != nil && a.nvm != nil {
+		nv = a.nvm
+		nv.Reset(cfg.NVM)
+	} else {
+		nv = mem.New(cfg.NVM)
+		if a != nil {
+			a.nvm = nv
+		}
 	}
 
 	maxCycles := cfg.MaxCycles
@@ -246,15 +344,27 @@ func NewSystem(wl workload.Generator, trace *power.Trace, cfg Config) (*System, 
 		maxCycles = DefaultMaxCycles
 	}
 
-	s := &System{
+	var s *System
+	if a != nil {
+		s = &a.sys
+	} else {
+		s = &System{}
+	}
+	// Whole-struct assignment: every per-run field (clocks, pending energy,
+	// telemetry, observers) restarts from its zero value exactly as a fresh
+	// System would. cycleLog deliberately restarts nil, never [:0] — the
+	// previous run's Result aliases its backing array via PowerCycleLog.
+	*s = System{
 		cfg:       cfg,
 		wl:        wl,
 		trace:     trace,
 		cap:       cp,
-		nvm:       mem.New(cfg.NVM),
+		nvm:       nv,
 		inst:      is,
 		data:      ds,
 		maxCycles: maxCycles,
+
+		dirtyScratch: prevDirty[:0],
 
 		leakCacheNJ:   energy.LeakNJPerCycle(is.params.LeakMW) + energy.LeakNJPerCycle(ds.params.LeakMW),
 		leakMemNJ:     energy.LeakNJPerCycle(cfg.NVM.LeakMW),
@@ -309,6 +419,17 @@ func RunContext(ctx context.Context, wl workload.Generator, trace *power.Trace, 
 }
 
 func (s *System) run() (Result, error) {
+	// Per-configuration loop specialization: when every observer and
+	// ablation the generic loop branches on is off AND the workload is a
+	// replay cursor over a shared trace arena, hand control to a fast loop
+	// compiled for that branch assignment (see fastloop.go). The selection
+	// happens once here; the fast loops are bit-identical to the loop below.
+	if cur, ok := s.wl.(*workload.Cursor); ok && s.canFastLoop() {
+		if s.inst.pf == nil && s.data.pf == nil {
+			return s.runFastNoPF(cur)
+		}
+		return s.runFast(cur)
+	}
 	wl := s.wl
 	completed := true
 	cancelled := false

@@ -27,9 +27,9 @@ type storeKey struct {
 }
 
 type storeEntry struct {
-	once     sync.Once
-	accesses []Access
-	err      error
+	once   sync.Once
+	stream *Stream
+	err    error
 }
 
 // NewStore returns an empty trace store.
@@ -44,17 +44,20 @@ var shared = NewStore()
 // Shared returns the process-wide trace store.
 func Shared() *Store { return shared }
 
-// Get returns a fresh replay cursor over the memoized access stream of the
-// named app at the given scale, generating (and caching) the stream on
-// first use. The replayed sequence is exactly what New(name, scale) would
-// produce; each returned Generator has its own position and may be consumed
-// concurrently with others.
-func (s *Store) Get(name string, scale float64) (Generator, error) {
+// Stream returns the shared immutable trace arena of the named app at the
+// given scale, generating (and caching) it on first use. Every caller of
+// the same (app, scale) pair receives the identical *Stream — one arena per
+// pair, shared across all sweep workers with no per-cell copying. After the
+// first call for a key this allocates nothing.
+func (s *Store) Stream(name string, scale float64) (*Stream, error) {
 	if scale <= 0 {
 		scale = 1 // mirror New's normalization so keys do not fragment
 	}
 	key := storeKey{name: name, scale: scale}
 	s.mu.Lock()
+	if s.entries == nil { // the zero Store is ready to use
+		s.entries = make(map[storeKey]*storeEntry)
+	}
 	e, ok := s.entries[key]
 	if !ok {
 		e = &storeEntry{}
@@ -76,12 +79,25 @@ func (s *Store) Get(name string, scale float64) (Generator, error) {
 			}
 			acc = append(acc, a)
 		}
-		e.accesses = acc
+		e.stream = NewStream(name, acc)
 	})
 	if e.err != nil {
 		return nil, e.err
 	}
-	return &sliceGen{name: name, accesses: e.accesses}, nil
+	return e.stream, nil
+}
+
+// Get returns a fresh replay cursor over the memoized access stream of the
+// named app at the given scale, generating (and caching) the stream on
+// first use. The replayed sequence is exactly what New(name, scale) would
+// produce; each returned Generator has its own position and may be consumed
+// concurrently with others (they share one Stream arena).
+func (s *Store) Get(name string, scale float64) (Generator, error) {
+	st, err := s.Stream(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return st.Cursor(), nil
 }
 
 // MustGet is Get for app names known to be valid.

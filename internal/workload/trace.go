@@ -136,32 +136,98 @@ func parseTraceLine(txt string) (Access, error) {
 
 // FromAccesses wraps a pre-built access slice as a replayable Generator —
 // the in-memory form of a trace file, also handy for tests and custom
-// tooling.
+// tooling. The returned generator is a *Cursor over a fresh Stream.
 func FromAccesses(name string, accesses []Access) Generator {
-	return &sliceGen{name: name, accesses: accesses}
+	return NewStream(name, accesses).Cursor()
 }
 
-type sliceGen struct {
+// Stream is an immutable, fully materialized access trace: one shared
+// read-only arena per (app, scale) that any number of concurrent replays
+// cursor over without copying. The Store hands out the same Stream to every
+// sweep worker, so the hot trace pages are shared across the whole process.
+//
+// A Stream must never be mutated after construction; every Cursor and every
+// direct Accesses() reader depends on that.
+type Stream struct {
 	name     string
 	accesses []Access
-	pos      int
+}
+
+// NewStream wraps a pre-built access slice as an immutable trace arena. The
+// caller must not modify the slice afterwards.
+func NewStream(name string, accesses []Access) *Stream {
+	return &Stream{name: name, accesses: accesses}
+}
+
+// Name returns the workload name the stream replays.
+func (s *Stream) Name() string { return s.name }
+
+// Len returns the instruction count.
+func (s *Stream) Len() int { return len(s.accesses) }
+
+// Accesses returns the shared backing slice. Read-only: callers iterate it
+// directly (the simulator's fast loops do) but must never write to it.
+func (s *Stream) Accesses() []Access { return s.accesses }
+
+// Cursor returns a fresh replay cursor positioned at the start.
+func (s *Stream) Cursor() *Cursor {
+	c := &Cursor{}
+	c.Bind(s)
+	return c
+}
+
+// Cursor is a replay position over a Stream. It implements Generator, and —
+// unlike a generator built per run — it is a plain rebindable value: the
+// simulator's arena keeps one Cursor per worker and Binds it to the next
+// cell's Stream, so steady-state runs allocate nothing for their workload.
+// Each Cursor has its own position; concurrent replays need distinct
+// Cursors but share the Stream.
+type Cursor struct {
+	stream *Stream
+	pos    int
+}
+
+// Bind points the cursor at a stream and rewinds it to the start.
+func (c *Cursor) Bind(s *Stream) {
+	c.stream = s
+	c.pos = 0
+}
+
+// Stream returns the bound stream (nil for an unbound cursor).
+func (c *Cursor) Stream() *Stream { return c.stream }
+
+// Pos returns how many accesses have been consumed.
+func (c *Cursor) Pos() int { return c.pos }
+
+// SetPos moves the replay position (clamped to [0, Len]); the simulator's
+// fast loops iterate the stream slice directly and re-synchronize the
+// cursor with it on exit.
+func (c *Cursor) SetPos(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if max := c.stream.Len(); n > max {
+		n = max
+	}
+	c.pos = n
 }
 
 // Name implements Generator.
-func (g *sliceGen) Name() string { return g.name }
+func (c *Cursor) Name() string { return c.stream.name }
 
 // Len implements Generator.
-func (g *sliceGen) Len() int { return len(g.accesses) }
+func (c *Cursor) Len() int { return len(c.stream.accesses) }
 
 // Next implements Generator.
-func (g *sliceGen) Next() (Access, bool) {
-	if g.pos >= len(g.accesses) {
+func (c *Cursor) Next() (Access, bool) {
+	acc := c.stream.accesses
+	if c.pos >= len(acc) {
 		return Access{}, false
 	}
-	a := g.accesses[g.pos]
-	g.pos++
+	a := acc[c.pos]
+	c.pos++
 	return a, true
 }
 
 // Reset implements Generator.
-func (g *sliceGen) Reset() { g.pos = 0 }
+func (c *Cursor) Reset() { c.pos = 0 }

@@ -242,6 +242,36 @@ func RunWorkloadContext(ctx context.Context, wl Workload, trace *Trace, cfg Conf
 	return nvp.RunContext(ctx, wl, trace, cfg)
 }
 
+// Arena is reusable simulation state for repeated Runs. A Run allocates its
+// caches, buffers, prefetchers, and controllers fresh every call; an Arena
+// recycles them between calls whenever the next configuration permits, so a
+// steady-state run on a stable configuration allocates nothing, and the
+// workload is read straight from the process-wide memoized stream without a
+// per-run generator. Results are bit-identical to the package-level Run
+// functions.
+//
+// An Arena is NOT safe for concurrent use: create one per goroutine (the
+// sweep harness keeps one per worker).
+type Arena struct{ a *nvp.Arena }
+
+// NewArena returns an empty arena; the first Run populates it.
+func NewArena() *Arena { return &Arena{a: nvp.NewArena()} }
+
+// Run is the package-level Run through the arena's reusable state.
+func (ar *Arena) Run(app string, scale float64, trace *Trace, cfg Config) (Result, error) {
+	return ar.RunContext(nil, app, scale, trace, cfg)
+}
+
+// RunContext is Run with cooperative cancellation; see the package-level
+// RunContext for the contract.
+func (ar *Arena) RunContext(ctx context.Context, app string, scale float64, trace *Trace, cfg Config) (Result, error) {
+	st, err := workload.Shared().Stream(app, scale)
+	if err != nil {
+		return Result{}, err
+	}
+	return ar.a.RunStreamContext(ctx, st, trace, cfg)
+}
+
 // Speedup returns how much faster b completed than a (wall-clock cycles,
 // including recharge time — the paper's performance metric).
 func Speedup(a, b Result) float64 {
