@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke lint fuzz ci clean
+.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke ipexd-smoke lint fuzz ci clean
 
 all: ci
 
@@ -71,6 +71,40 @@ resume-smoke:
 		|| { echo "resume-smoke: resumed output differs from golden"; exit 1; }; \
 	echo "resume-smoke: resumed sweep is byte-identical to the uninterrupted golden"
 
+# Service smoke: start a real ipexd, prove the miss-then-hit contract over
+# HTTP (second identical request is a cache hit, byte-identical to the fresh
+# response, and survives in the disk tier), then SIGINT it and require a
+# clean drain (exit 0).
+ipexd-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ipexd ./cmd/ipexd || exit 1; \
+	$$tmp/ipexd -listen 127.0.0.1:0 -cache-dir $$tmp/cache 2>$$tmp/log & \
+	pid=$$!; \
+	addr=""; i=0; while [ $$i -lt 100 ]; do \
+		addr=$$(sed -n 's#^ipexd listening on http://\([^ ]*\).*#\1#p' $$tmp/log); \
+		[ -n "$$addr" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "ipexd-smoke: server died at startup:"; cat $$tmp/log; exit 1; }; \
+		sleep 0.1; i=$$((i+1)); done; \
+	[ -n "$$addr" ] || { echo "ipexd-smoke: server never announced its address"; cat $$tmp/log; exit 1; }; \
+	req='{"app":"fft","scale":0.02,"config":{"ipex":"both"}}'; \
+	curl -sfS -D $$tmp/h1 -o $$tmp/b1 -X POST "http://$$addr/v1/run" -d "$$req" \
+		|| { echo "ipexd-smoke: fresh request failed"; exit 1; }; \
+	grep -qi '^X-Ipex-Cache: miss' $$tmp/h1 \
+		|| { echo "ipexd-smoke: fresh request was not a miss:"; cat $$tmp/h1; exit 1; }; \
+	curl -sfS -D $$tmp/h2 -o $$tmp/b2 -X POST "http://$$addr/v1/run" -d "$$req" \
+		|| { echo "ipexd-smoke: repeat request failed"; exit 1; }; \
+	grep -qi '^X-Ipex-Cache: hit' $$tmp/h2 \
+		|| { echo "ipexd-smoke: repeat request was not a hit:"; cat $$tmp/h2; exit 1; }; \
+	cmp -s $$tmp/b1 $$tmp/b2 \
+		|| { echo "ipexd-smoke: cache hit is not byte-identical to the fresh response"; exit 1; }; \
+	[ -n "$$(ls $$tmp/cache 2>/dev/null)" ] \
+		|| { echo "ipexd-smoke: disk tier is empty after a computed result"; exit 1; }; \
+	kill -INT $$pid; wait $$pid; status=$$?; \
+	if [ $$status -ne 0 ]; then \
+		echo "ipexd-smoke: drain exited $$status, want 0"; cat $$tmp/log; exit 1; \
+	fi; \
+	echo "ipexd-smoke: miss-then-hit byte-identical; SIGINT drained cleanly"
+
 # Short fuzzing passes over the two untrusted-input surfaces: the simulator
 # configuration validator and the harvest-trace parser. `go test -fuzz`
 # accepts one target per invocation, hence two lines.
@@ -103,8 +137,15 @@ lint: vet
 		echo "lint: net/http or expvar outside cmd/ (servers and process vars belong to the command layer; libraries stay host-agnostic):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rnE 'time\.(Now|After|Sleep)' cmd/ --include='*.go' \
+		| grep -v '_test\.go' \
+		| grep -v '^cmd/experiments/main\.go:' | grep -v '^cmd/ipexd/main\.go:'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: wall-clock use in cmd/ outside the two documented process mains (uptime, retry backoff, drain deadlines never touch simulated results):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
-ci: build lint race golden tracestat-golden resume-smoke fuzz bench-gate
+ci: build lint race golden tracestat-golden resume-smoke ipexd-smoke fuzz bench-gate
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

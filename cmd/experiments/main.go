@@ -30,6 +30,7 @@ import (
 	"testing"
 	"time"
 
+	"ipex/cmd/internal/httpd"
 	"ipex/internal/benchio"
 	"ipex/internal/experiments"
 	"ipex/internal/harness"
@@ -269,6 +270,10 @@ func main() {
 	if *metricsOut != "" || *listenAddr != "" {
 		o.Metrics = trace.NewRegistry()
 	}
+	// telemetryShutdown drains the -listen server on every exit path after
+	// the sweep: a bare http.Serve would leave the listener up through the
+	// SIGINT drain and let one stalled client pin a goroutine forever.
+	telemetryShutdown := func() {}
 	if *listenAddr != "" {
 		o.Progress = &experiments.Progress{}
 		ln, err := net.Listen("tcp", *listenAddr)
@@ -277,9 +282,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", ln.Addr())
-		handler := newTelemetryHandler(time.Now(), o.Progress, o.Metrics, sup)
+		srv := httpd.New(newTelemetryHandler(time.Now(), o.Progress, o.Metrics, sup))
+		telemetryShutdown = func() {
+			if err := httpd.Shutdown(srv, 2*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: telemetry shutdown: %v\n", err)
+			}
+		}
 		go func() {
-			if err := http.Serve(ln, handler); err != nil {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "experiments: telemetry server: %v\n", err)
 			}
 		}()
@@ -446,6 +456,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s (%.1f ns/inst, %d experiments)\n",
 			*benchJSON, rec.Hotloop.NsPerInst, len(timings))
 	}
+
+	// The sweep is over and its artifacts are flushed; the graceful drain
+	// includes the telemetry listener on every exit path below.
+	telemetryShutdown()
 
 	if cs := sup.Counters.Snapshot(); cs != (harness.CounterSnapshot{}) && (sup.Journal != nil || interrupted || cs.Retried+cs.Panics+cs.Timeouts > 0) {
 		fmt.Fprintf(os.Stderr, "supervision: %d cell(s) executed, %d replayed, %d retried, %d timeouts, %d panics, %d failed\n",

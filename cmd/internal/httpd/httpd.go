@@ -1,0 +1,58 @@
+// Package httpd is the shared HTTP-server construction for the command
+// layer (cmd/experiments -listen, cmd/ipexd). It exists because a bare
+// http.Serve has no read-header or idle timeout — one slow or stalled
+// client pins a goroutine and an open connection forever — and no shutdown
+// hook, so a graceful drain leaves the listener up. Every server in this
+// repository goes through New so those protections cannot be forgotten.
+//
+// This package lives under cmd/ deliberately: the determinism lint bans
+// net/http from internal/ (servers belong to the command layer; libraries
+// stay host-agnostic).
+package httpd
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Timeouts every server gets. ReadHeaderTimeout bounds how long a client
+// may dribble its request head; IdleTimeout reaps keep-alive connections
+// between requests. There is deliberately no WriteTimeout and no whole-body
+// ReadTimeout: a simulation request legitimately waits (queued behind the
+// worker pool) far longer than any fixed deadline, and a scrape response to
+// a slow reader is bounded by the kernel's send buffer, not worth killing.
+const (
+	ReadHeaderTimeout = 10 * time.Second
+	IdleTimeout       = 120 * time.Second
+)
+
+// New returns an http.Server for handler with the package's timeouts
+// applied. Callers serve it on their own listener (srv.Serve(ln)) and drain
+// it with Shutdown.
+func New(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// Shutdown drains srv gracefully, bounded by timeout: the listener closes
+// immediately (no new connections), in-flight requests get until the
+// deadline to finish, then remaining connections are force-closed. It
+// returns nil on a clean drain.
+func Shutdown(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		// The deadline expired with requests still in flight; cut them off
+		// rather than hang the process exit.
+		closeErr := srv.Close()
+		if err == context.DeadlineExceeded && closeErr == nil {
+			return err
+		}
+	}
+	return err
+}

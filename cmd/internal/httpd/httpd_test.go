@@ -1,0 +1,56 @@
+package httpd
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestTimeoutsConfigured pins the whole point of this package: every server
+// built here has slow-client protection, unlike a bare http.Serve.
+func TestTimeoutsConfigured(t *testing.T) {
+	srv := New(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout != ReadHeaderTimeout || srv.ReadHeaderTimeout <= 0 {
+		t.Fatalf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout != IdleTimeout || srv.IdleTimeout <= 0 {
+		t.Fatalf("IdleTimeout = %v, want %v", srv.IdleTimeout, IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatal("WriteTimeout must stay 0: a large simulation response may legitimately take long to stream")
+	}
+}
+
+// TestServeAndShutdown runs one request through a New server and drains it:
+// Shutdown returns nil and Serve exits with ErrServerClosed.
+func TestServeAndShutdown(t *testing.T) {
+	srv := New(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+
+	if err := Shutdown(srv, 5*time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}

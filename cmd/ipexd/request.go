@@ -1,0 +1,233 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ipex/internal/energy"
+	"ipex/internal/experiments"
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/prefetch"
+	"ipex/internal/workload"
+)
+
+// RunRequest is the declarative body of POST /v1/run: one simulation,
+// described entirely by value — no callbacks, no host state — so every
+// request has a complete content identity and can be served from the
+// result cache. Omitted fields take the paper's Table-1 defaults
+// (nvp.DefaultConfig). Unknown fields are rejected, not ignored: a typo'd
+// knob that silently fell back to its default would hash to the wrong
+// cell key and return a "hit" for a configuration the caller never asked
+// for.
+type RunRequest struct {
+	// App names the workload (one of the 20 benchmarks).
+	App string `json:"app"`
+	// Scale multiplies the workload's instruction count; 0 means 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// Source selects the synthetic power source (RFHome, RFOffice, solar,
+	// thermal); empty means RFHome.
+	Source string `json:"source,omitempty"`
+	// TraceSeed seeds the synthetic power trace; 0 means 1.
+	TraceSeed uint64 `json:"trace_seed,omitempty"`
+	// Config overrides parts of the default system configuration.
+	Config *ConfigRequest `json:"config,omitempty"`
+}
+
+// ConfigRequest is the declarative subset of nvp.Config a request may
+// override. Pointer fields distinguish "leave the default" from an
+// explicit false/zero.
+type ConfigRequest struct {
+	IPrefetcher string `json:"iprefetch,omitempty"` // sequential, markov, tifs, ampm, none
+	DPrefetcher string `json:"dprefetch,omitempty"` // stride, ghb, bo, ampm, none
+	Degree      int    `json:"degree,omitempty"`
+	// IPEX attaches the controller: "off", "data", or "both".
+	IPEX            string `json:"ipex,omitempty"`
+	PrefetchToCache *bool  `json:"prefetch_to_cache,omitempty"`
+	DupSuppress     *bool  `json:"dup_suppress,omitempty"`
+	Ideal           bool   `json:"ideal,omitempty"`
+	ReissueOnExit   bool   `json:"reissue_on_exit,omitempty"`
+	GateAddressGen  bool   `json:"gate_address_gen,omitempty"`
+	RecordCycles    bool   `json:"record_cycles,omitempty"`
+	Paranoid        bool   `json:"paranoid,omitempty"`
+	Profile         bool   `json:"profile,omitempty"`
+	// MaxCycles caps simulated wall-clock time; 0 keeps the default budget.
+	// The server's -cell-budget clamps it further.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+
+	ICacheSize         int `json:"icache_bytes,omitempty"`
+	DCacheSize         int `json:"dcache_bytes,omitempty"`
+	Ways               int `json:"ways,omitempty"`
+	PrefetchBufEntries int `json:"prefetch_buf_entries,omitempty"`
+
+	// NVM selects the main-memory technology (ReRAM, STTRAM, PCM) and
+	// capacity; zero values keep 16 MB ReRAM.
+	NVM      string `json:"nvm,omitempty"`
+	NVMBytes int64  `json:"nvm_bytes,omitempty"`
+
+	// CapacitanceFarads overrides the storage capacitor (default 0.47e-6).
+	CapacitanceFarads float64 `json:"capacitance_farads,omitempty"`
+}
+
+// limits are the server-side bounds a request must fit in (backstops
+// against one request monopolizing the worker pool).
+type limits struct {
+	// maxScale bounds RunRequest.Scale (0 = unbounded).
+	maxScale float64
+	// cellBudget clamps every run's MaxCycles (0 = off), exactly like
+	// cmd/experiments -cell-budget: a deterministic deadline inside
+	// simulated time, part of the cell's identity.
+	cellBudget uint64
+}
+
+// runSpec is a validated, normalized request: the effective observer-free
+// config, its content identity, and the trace coordinates.
+type runSpec struct {
+	app      string
+	scale    float64
+	source   power.Source
+	seed     uint64
+	cfg      nvp.Config
+	identity experiments.ConfigIdentity
+}
+
+// build validates the request against the server limits and derives its
+// runSpec. Every error is a client error (HTTP 400).
+func (rq RunRequest) build(lim limits) (runSpec, error) {
+	var sp runSpec
+
+	if rq.App == "" {
+		return sp, fmt.Errorf("missing app (want one of %s)", strings.Join(workload.Names(), ", "))
+	}
+	found := false
+	for _, n := range workload.Names() {
+		if n == rq.App {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return sp, fmt.Errorf("unknown app %q (want one of %s)", rq.App, strings.Join(workload.Names(), ", "))
+	}
+	sp.app = rq.App
+
+	sp.scale = rq.Scale
+	if sp.scale == 0 {
+		sp.scale = 1
+	}
+	if !(sp.scale > 0) || math.IsInf(sp.scale, 0) {
+		return sp, fmt.Errorf("scale must be a positive finite number, got %g", rq.Scale)
+	}
+	if lim.maxScale > 0 && sp.scale > lim.maxScale {
+		return sp, fmt.Errorf("scale %g exceeds this server's -max-scale %g", sp.scale, lim.maxScale)
+	}
+
+	srcName := rq.Source
+	if srcName == "" {
+		srcName = "RFHome"
+	}
+	src, err := power.ParseSource(srcName)
+	if err != nil {
+		return sp, err
+	}
+	sp.source = src
+
+	sp.seed = rq.TraceSeed
+	if sp.seed == 0 {
+		sp.seed = 1
+	}
+
+	cfg := nvp.DefaultConfig()
+	if c := rq.Config; c != nil {
+		if c.IPrefetcher != "" {
+			if _, err := prefetch.New(prefetch.Kind(c.IPrefetcher)); err != nil {
+				return sp, err
+			}
+			cfg.IPrefetcher = prefetch.Kind(c.IPrefetcher)
+		}
+		if c.DPrefetcher != "" {
+			if _, err := prefetch.New(prefetch.Kind(c.DPrefetcher)); err != nil {
+				return sp, err
+			}
+			cfg.DPrefetcher = prefetch.Kind(c.DPrefetcher)
+		}
+		if c.Degree != 0 {
+			cfg.InitialDegree = c.Degree
+		}
+		switch c.IPEX {
+		case "", "off":
+		case "data":
+			cfg = cfg.WithIPEXData()
+		case "both":
+			cfg = cfg.WithIPEX()
+		default:
+			return sp, fmt.Errorf("unknown ipex mode %q (want off, data, both)", c.IPEX)
+		}
+		if c.PrefetchToCache != nil {
+			cfg.PrefetchToCache = *c.PrefetchToCache
+		}
+		if c.DupSuppress != nil {
+			cfg.DupSuppress = *c.DupSuppress
+		}
+		cfg.Ideal = c.Ideal
+		cfg.ReissueOnExit = c.ReissueOnExit
+		cfg.GateAddressGen = c.GateAddressGen
+		cfg.RecordCycles = c.RecordCycles
+		cfg.Paranoid = c.Paranoid
+		cfg.Profile = c.Profile
+		if c.MaxCycles != 0 {
+			cfg.MaxCycles = c.MaxCycles
+		}
+		if c.ICacheSize != 0 {
+			cfg.ICacheSize = c.ICacheSize
+		}
+		if c.DCacheSize != 0 {
+			cfg.DCacheSize = c.DCacheSize
+		}
+		if c.Ways != 0 {
+			cfg.Ways = c.Ways
+		}
+		if c.PrefetchBufEntries != 0 {
+			cfg.PrefetchBufEntries = c.PrefetchBufEntries
+		}
+		if c.NVM != "" || c.NVMBytes != 0 {
+			tech := energy.ReRAM
+			switch c.NVM {
+			case "", "ReRAM":
+			case "STTRAM":
+				tech = energy.STTRAM
+			case "PCM":
+				tech = energy.PCM
+			default:
+				return sp, fmt.Errorf("unknown nvm technology %q (want ReRAM, STTRAM, PCM)", c.NVM)
+			}
+			size := c.NVMBytes
+			if size == 0 {
+				size = 16 << 20
+			}
+			cfg.NVM = energy.NVMFor(tech, size)
+		}
+		if c.CapacitanceFarads != 0 {
+			cfg.Capacitor.CapacitanceFarads = c.CapacitanceFarads
+		}
+	}
+	// The server's deterministic cycle budget clamps — and therefore enters
+	// — the cell's identity, exactly like a sweep's -cell-budget.
+	if lim.cellBudget > 0 && (cfg.MaxCycles == 0 || cfg.MaxCycles > lim.cellBudget) {
+		cfg.MaxCycles = lim.cellBudget
+	}
+	if err := cfg.Validate(); err != nil {
+		return sp, err
+	}
+	sp.cfg = cfg
+
+	// Declarative requests cannot install factories, so this only fails if
+	// the schema above ever grows one — at which point the refusal (HTTP
+	// 400, never cached) is exactly what key soundness demands.
+	sp.identity, err = experiments.NewConfigIdentity(cfg)
+	if err != nil {
+		return sp, err
+	}
+	return sp, nil
+}

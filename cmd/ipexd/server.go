@@ -1,0 +1,339 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ipex/internal/experiments"
+	"ipex/internal/harness"
+	"ipex/internal/nvp"
+	"ipex/internal/power"
+	"ipex/internal/resultstore"
+	"ipex/internal/trace"
+	"ipex/internal/workload"
+)
+
+// requestBodyLimit bounds a /v1/run body; a legitimate request is a few
+// hundred bytes.
+const requestBodyLimit = 1 << 20
+
+var (
+	// errBusy is the backpressure signal: the bounded queue is full, so the
+	// request is refused (429 + Retry-After) instead of piling up.
+	errBusy = errors.New("simulation queue is full; retry shortly")
+	// errDraining refuses work that races the graceful shutdown.
+	errDraining = errors.New("server is draining")
+)
+
+// testRunHook, when non-nil, runs at the start of every simulation on the
+// worker goroutine. Tests use it to hold a worker mid-cell and observe the
+// queue/backpressure behaviour deterministically; production never sets it.
+var testRunHook func(app string)
+
+// task is one queued simulation with its reply channel (buffered, so a
+// worker never blocks on a departed waiter).
+type task struct {
+	cell harness.Cell
+	done chan taskResult
+}
+
+type taskResult struct {
+	res nvp.Result
+	err error
+}
+
+// server is the simulation service: a content-addressed result store in
+// front of a bounded worker pool. Request flow for POST /v1/run:
+//
+//	parse → cell key → store.GetOrCompute
+//	  memory hit  → cached bytes               (X-Ipex-Cache: hit)
+//	  disk hit    → verified bytes, promoted   (X-Ipex-Cache: hit-disk)
+//	  in flight   → wait for the leader        (X-Ipex-Cache: coalesced)
+//	  miss        → enqueue on the worker pool (X-Ipex-Cache: miss)
+//
+// The queue is bounded; a full queue refuses the request with 429 and
+// Retry-After rather than queueing unboundedly — callers see backpressure,
+// not latency collapse.
+type server struct {
+	store     *resultstore.Store
+	reg       *trace.Registry
+	sup       *harness.Supervisor
+	workloads *workload.Store
+	lim       limits
+	workers   int
+
+	queue   chan task
+	qmu     sync.RWMutex
+	qclosed bool
+	wg      sync.WaitGroup
+
+	inflight atomic.Int64
+	requests *trace.Counter
+	errs     *trace.Counter
+
+	traces sync.Map // traceKey → *power.Trace
+}
+
+type traceKey struct {
+	src  power.Source
+	seed uint64
+}
+
+// newServer wires the store, registry, and supervisor together and starts
+// the worker pool: `workers` goroutines, each owning one nvp.Arena so
+// steady-state simulations allocate nothing, consuming the bounded queue.
+func newServer(store *resultstore.Store, reg *trace.Registry, sup *harness.Supervisor, lim limits, workers, queueDepth int) *server {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	s := &server{
+		store:     store,
+		reg:       reg,
+		sup:       sup,
+		workloads: workload.Shared(),
+		lim:       lim,
+		workers:   workers,
+		queue:     make(chan task, queueDepth),
+		requests:  reg.Counter("ipexd.requests"),
+		errs:      reg.Counter("ipexd.errors"),
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// One arena per worker, reused across every simulation this
+			// worker runs (same discipline as harness.Pool workers).
+			arena := nvp.NewArena()
+			for t := range s.queue {
+				res, err, _ := s.sup.RunCell(t.cell, arena)
+				t.done <- taskResult{res: res, err: err}
+			}
+		}()
+	}
+	return s
+}
+
+// enqueue hands a task to the pool without ever blocking: a full queue is
+// backpressure (errBusy), a closed one is the drain (errDraining). The
+// read-lock makes send-vs-close race-free.
+func (s *server) enqueue(t task) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.qclosed {
+		return errDraining
+	}
+	select {
+	case s.queue <- t:
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+// close drains the worker pool: no further enqueues, queued tasks finish,
+// workers exit. Call after the HTTP server has shut down (so no handler is
+// mid-enqueue).
+func (s *server) close() {
+	s.qmu.Lock()
+	if !s.qclosed {
+		s.qclosed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	s.wg.Wait()
+}
+
+// trace returns the memoized synthetic power trace for (source, seed) —
+// generation is deterministic and traces are read-only, so every request
+// for the pair shares one instance.
+func (s *server) trace(src power.Source, seed uint64) *power.Trace {
+	key := traceKey{src: src, seed: seed}
+	if v, ok := s.traces.Load(key); ok {
+		return v.(*power.Trace)
+	}
+	v, _ := s.traces.LoadOrStore(key, power.Generate(src, power.DefaultTraceSamples, seed))
+	return v.(*power.Trace)
+}
+
+// mux builds the server's routing table.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/result/", s.handleResult)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// fail counts and writes one error response. Every counted request ends in
+// exactly one bucket — a store outcome or this error counter — so the
+// /metrics sums stay exact: requests = mem_hits + disk_hits + computed +
+// coalesced + errors.
+func (s *server) fail(w http.ResponseWriter, code int, msg string) {
+	s.errs.Inc()
+	http.Error(w, msg, code)
+}
+
+// handleRun serves POST /v1/run.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Inc()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	dec := json.NewDecoder(io.LimitReader(r.Body, requestBodyLimit))
+	// Unknown fields are a client error, not a default: a typo'd knob must
+	// not silently hash to (and be served as) a different configuration.
+	dec.DisallowUnknownFields()
+	var rq RunRequest
+	if err := dec.Decode(&rq); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	sp, err := rq.build(s.lim)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tr := s.trace(sp.source, sp.seed)
+	key := experiments.CellIdentity{
+		App:       sp.app,
+		Scale:     sp.scale,
+		TraceSeed: sp.seed,
+		TraceName: tr.Name,
+		TraceLen:  len(tr.Samples),
+		Config:    sp.identity,
+	}.Key()
+
+	body, outcome, err := s.store.GetOrCompute(key, func() ([]byte, error) {
+		return s.simulate(key, sp, tr)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, errBusy):
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, errDraining):
+			s.fail(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			s.fail(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.serveBody(w, key, outcome, body)
+}
+
+// handleResult serves GET /v1/result/<key>: cache tiers only, never a
+// simulation — a cheap existence probe for a key returned earlier.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Inc()
+	key := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+	if key == "" || strings.ContainsAny(key, "/.") {
+		s.fail(w, http.StatusBadRequest, "want /v1/result/<cell key>")
+		return
+	}
+	body, outcome, ok := s.store.Get(key)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "result not cached")
+		return
+	}
+	s.serveBody(w, key, outcome, body)
+}
+
+func (s *server) serveBody(w http.ResponseWriter, key string, outcome resultstore.Outcome, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Ipex-Key", key)
+	h.Set("X-Ipex-Cache", outcome.String())
+	// A response write failure means the client went away; the result is
+	// cached regardless, so there is nothing to recover.
+	_, _ = w.Write(body)
+}
+
+// simulate runs one cell on the worker pool and serializes its result —
+// the bytes that enter the store and therefore the bytes every future hit
+// serves. Only called inside the store's singleflight, so concurrent
+// identical requests cost exactly one queue slot and one simulation.
+func (s *server) simulate(key string, sp runSpec, tr *power.Trace) ([]byte, error) {
+	t := task{
+		cell: harness.Cell{
+			Key:   key,
+			Label: sp.app,
+			Run: func(ctx context.Context, a *nvp.Arena) (nvp.Result, error) {
+				if testRunHook != nil {
+					testRunHook(sp.app)
+				}
+				st, err := s.workloads.Stream(sp.app, sp.scale)
+				if err != nil {
+					return nvp.Result{}, err
+				}
+				cfg := sp.cfg
+				cfg.Metrics = s.reg
+				res, err := a.RunStreamContext(ctx, st, tr, cfg)
+				if err == nil && cfg.Paranoid && !res.Invariants.Clean() {
+					// Worth the supervisor's bounded retries before the
+					// request fails — never cached either way.
+					err = harness.Transient(fmt.Errorf("%s: %s", sp.app, res.Invariants.Summary()))
+				}
+				return res, err
+			},
+		},
+		done: make(chan taskResult, 1),
+	}
+	if err := s.enqueue(t); err != nil {
+		return nil, err
+	}
+	out := <-t.done
+	if out.err != nil {
+		return nil, out.err
+	}
+	body, err := json.Marshal(out.res)
+	if err != nil {
+		return nil, fmt.Errorf("encoding result: %w", err)
+	}
+	return body, nil
+}
+
+// handleMetrics writes Prometheus text exposition 0.0.4: the server-level
+// gauges first, then the shared registry (request/hit/miss/coalesced/
+// evicted counters plus every simulator counter accumulated so far).
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("ipex_ipexd_inflight", "requests currently being served", float64(s.inflight.Load()))
+	gauge("ipex_ipexd_queue_depth", "simulations waiting for a worker", float64(len(s.queue)))
+	gauge("ipex_ipexd_queue_capacity", "bounded queue size (backpressure threshold)", float64(cap(s.queue)))
+	gauge("ipex_ipexd_workers", "simulation worker pool size", float64(s.workers))
+	cs := s.sup.Counters.Snapshot()
+	gauge("ipex_ipexd_cells_executed", "simulations run by the worker pool", float64(cs.Executed))
+	gauge("ipex_ipexd_cells_retried", "simulation re-runs after a transient failure", float64(cs.Retried))
+	gauge("ipex_ipexd_cell_panics", "isolated simulation panics (propagated as 500s)", float64(cs.Panics))
+	// A scrape racing a disconnect can fail mid-write; there is no one to
+	// report that to, so the error is dropped.
+	_ = s.reg.WriteProm(w)
+}

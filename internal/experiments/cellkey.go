@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"errors"
+	"fmt"
+
 	"ipex/internal/capacitor"
 	"ipex/internal/core"
 	"ipex/internal/energy"
@@ -10,19 +13,21 @@ import (
 	"ipex/internal/prefetch"
 )
 
-// cfgIdentity is the journaling identity of an nvp.Config: every field that
+// ConfigIdentity is the content identity of an nvp.Config: every field that
 // can change a simulation result, and nothing else. It exists because
 // nvp.Config itself cannot be hashed — the prefetcher factory fields are
 // funcs — and because observer attachments (Tracer, Metrics) must not
 // change a cell's identity: a re-run with tracing on replays the same
-// journaled result.
+// journaled result, and a cached result serves a request whether or not it
+// was produced under observation.
 //
-// Factories are recorded as presence booleans: a custom prefetcher has no
-// stable serializable identity, so two sweeps using different factories
-// under the same flag would collide. cmd/experiments never installs
-// factories, and library callers who do are told (Options.Sup docs) that
-// journaling custom-prefetcher sweeps is on them.
-type cfgIdentity struct {
+// Factory-built prefetchers are identified by their declared name
+// (nvp.Config.IPrefetcherID/DPrefetcherID), never by mere presence: two
+// different factories under a presence bit would collide to one key and
+// replay each other's results. A factory installed without an ID has no
+// identity at all — NewConfigIdentity refuses it, and the journal and
+// result cache treat such cells as unkeyable (they always simulate).
+type ConfigIdentity struct {
 	ICacheSize         int
 	DCacheSize         int
 	Ways               int
@@ -30,8 +35,9 @@ type cfgIdentity struct {
 	PrefetchToCache    bool
 	IPrefetcher        prefetch.Kind
 	DPrefetcher        prefetch.Kind
-	IFactory           bool
-	DFactory           bool
+	// IFactory/DFactory carry the declared factory IDs ("" = no factory).
+	IFactory           string
+	DFactory           string
 	InitialDegree      int
 	IPEXInst           bool
 	IPEXData           bool
@@ -49,8 +55,22 @@ type cfgIdentity struct {
 	Profile            bool
 }
 
-func identityOf(cfg nvp.Config) cfgIdentity {
-	return cfgIdentity{
+// ErrUnnamedFactory reports a config whose prefetcher factory carries no
+// IPrefetcherID/DPrefetcherID: such a config has no stable content identity
+// and must never be journaled or served from a result cache.
+var ErrUnnamedFactory = errors.New("prefetcher factory installed without a PrefetcherID; the config has no stable content identity")
+
+// NewConfigIdentity derives the content identity of cfg. It fails with
+// ErrUnnamedFactory when a prefetcher factory is installed without its
+// identifying nvp.Config.IPrefetcherID/DPrefetcherID.
+func NewConfigIdentity(cfg nvp.Config) (ConfigIdentity, error) {
+	if cfg.IPrefetcherFactory != nil && cfg.IPrefetcherID == "" {
+		return ConfigIdentity{}, fmt.Errorf("experiments: instruction %w", ErrUnnamedFactory)
+	}
+	if cfg.DPrefetcherFactory != nil && cfg.DPrefetcherID == "" {
+		return ConfigIdentity{}, fmt.Errorf("experiments: data %w", ErrUnnamedFactory)
+	}
+	return ConfigIdentity{
 		ICacheSize:         cfg.ICacheSize,
 		DCacheSize:         cfg.DCacheSize,
 		Ways:               cfg.Ways,
@@ -58,8 +78,8 @@ func identityOf(cfg nvp.Config) cfgIdentity {
 		PrefetchToCache:    cfg.PrefetchToCache,
 		IPrefetcher:        cfg.IPrefetcher,
 		DPrefetcher:        cfg.DPrefetcher,
-		IFactory:           cfg.IPrefetcherFactory != nil,
-		DFactory:           cfg.DPrefetcherFactory != nil,
+		IFactory:           cfg.IPrefetcherID,
+		DFactory:           cfg.DPrefetcherID,
 		InitialDegree:      cfg.InitialDegree,
 		IPEXInst:           cfg.IPEXInst,
 		IPEXData:           cfg.IPEXData,
@@ -75,38 +95,51 @@ func identityOf(cfg nvp.Config) cfgIdentity {
 		Faults:             cfg.Faults,
 		Paranoid:           cfg.Paranoid,
 		Profile:            cfg.Profile,
-	}
+	}, nil
 }
 
-// cellIdentity is the complete content identity of one sweep cell: what is
+// CellIdentity is the complete content identity of one simulation: what is
 // simulated (app at a scale), under which power trace, with which effective
 // configuration. Two cells with equal identities produce bit-identical
-// results, so a journaled result can stand in for a simulation.
-type cellIdentity struct {
+// results, so a journaled or cached result can stand in for a simulation.
+// It is the shared key schema of the sweep journal (cmd/experiments) and
+// the result cache (cmd/ipexd).
+type CellIdentity struct {
 	App       string
 	Scale     float64
 	TraceSeed uint64
 	TraceName string
 	TraceLen  int
-	Config    cfgIdentity
+	Config    ConfigIdentity
 }
+
+// Key hashes the identity into the 32-hex-digit content key used by the
+// journal and the result store.
+func (id CellIdentity) Key() string { return harness.Key(id) }
 
 // cellKey hashes the content identity of one job under the normalized
 // options. cfg must be the effective config (cell budget clamp and paranoid
-// flag already applied), minus observer attachments.
+// flag already applied), minus observer attachments. A config with no
+// stable identity (unnamed prefetcher factory) returns "", which the
+// harness treats as unkeyable: the cell always simulates and is never
+// journaled or replayed.
 func cellKey(o Options, j job, cfg nvp.Config) string {
+	ci, err := NewConfigIdentity(cfg)
+	if err != nil {
+		return ""
+	}
 	name, n := "", 0
 	if j.tr != nil {
 		name, n = j.tr.Name, len(j.tr.Samples)
 	}
-	return harness.Key(cellIdentity{
+	return CellIdentity{
 		App:       j.app,
 		Scale:     o.Scale,
 		TraceSeed: o.TraceSeed,
 		TraceName: name,
 		TraceLen:  n,
-		Config:    identityOf(cfg),
-	})
+		Config:    ci,
+	}.Key()
 }
 
 // SweepIdentity describes a whole sweep invocation for the journal header:

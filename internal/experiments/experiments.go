@@ -80,9 +80,10 @@ type Options struct {
 	// panic-isolated by the zero supervisor).
 	//
 	// Cell identities hash the effective nvp.Config; caller-installed
-	// prefetcher factories only contribute a presence bit, so journaling a
-	// sweep that swaps factory implementations under one flag is the
-	// caller's responsibility to avoid.
+	// prefetcher factories contribute their declared
+	// IPrefetcherID/DPrefetcherID names. A factory installed without an
+	// ID has no stable identity, so its cells are never journaled or
+	// replayed — they simulate every time.
 	Sup *harness.Supervisor
 	// CellBudget, when > 0, clamps every cell's nvp.Config.MaxCycles to at
 	// most this many simulated cycles — the deterministic per-cell

@@ -153,6 +153,14 @@ type Supervisor struct {
 	// takes, but deterministic. It exists for the resume round-trip tests
 	// and `make resume-smoke`.
 	StopAfter uint64
+	// PropagatePanics returns an isolated cell panic to the caller as its
+	// *PanicError instead of soft-failing the cell into a zero result. A
+	// sweep wants the soft-fail (one poisoned cell costs one skipped app,
+	// not the whole run); a server wants the error (a 500 response), since
+	// a zero result must never be mistaken for — or cached as — a
+	// simulation. The panic is still recovered, counted, and journaled
+	// either way.
+	PropagatePanics bool
 
 	// Counters tracks supervision outcomes for telemetry.
 	Counters Counters
@@ -211,6 +219,9 @@ func (s *Supervisor) RunCell(c Cell, a *nvp.Arena) (nvp.Result, error, bool) {
 			s.count(func(cs *Counters) { cs.Panics.Add(1); cs.Failures.Add(1) })
 			s.journal(Entry{Kind: KindFail, Key: c.Key, App: c.Label,
 				Attempts: attempts, Error: pe.Error(), Stack: pe.Stack})
+			if s != nil && s.PropagatePanics {
+				return nvp.Result{App: c.Label}, pe, false
+			}
 			// Isolate: fail only this cell. A zero result with
 			// Completed=false feeds the sweep's soft-fail path, so the
 			// surviving cells still render (with a skipped note).

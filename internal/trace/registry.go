@@ -76,6 +76,16 @@ func (g *Gauge) Add(f float64) {
 	}
 }
 
+// Set replaces the value (for level-style gauges — in-flight requests,
+// queue depth — where the current level, not an accumulated sum, is the
+// measurement). Nil-receiver safe.
+func (g *Gauge) Set(f float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(f))
+}
+
 // Load returns the accumulated value.
 func (g *Gauge) Load() float64 {
 	if g == nil {
