@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke ipexd-smoke lint fuzz ci clean
+.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke ipexd-smoke dist-smoke lint fuzz ci clean
 
 all: ci
 
@@ -21,10 +21,11 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the crash-safety layer (worker pool, supervisor,
-# journal, cell plumbing). `make race` covers these too; this is the quick
-# iteration loop while touching the harness.
+# journal, cell plumbing) and the distributed executor built on it. `make
+# race` covers these too; this is the quick iteration loop while touching
+# the harness.
 race-harness:
-	$(GO) test -race -count=2 ./internal/harness ./internal/experiments
+	$(GO) test -race -count=2 ./internal/harness ./internal/experiments ./internal/dist
 
 # Regenerate the committed hot-loop record: the Fig10-class sweep benchmark
 # plus the raw simulator-throughput probe, which writes $(BENCH_JSON) via
@@ -105,13 +106,58 @@ ipexd-smoke:
 	fi; \
 	echo "ipexd-smoke: miss-then-hit byte-identical; SIGINT drained cleanly"
 
-# Short fuzzing passes over the two untrusted-input surfaces: the simulator
-# configuration validator and the harvest-trace parser. `go test -fuzz`
-# accepts one target per invocation, hence two lines.
+# Distributed smoke: a real coordinator sharding a sweep over two real
+# worker processes, one of which is SIGKILLed mid-sweep. The coordinator
+# must reshard the dead worker's cells, finish, and print output
+# byte-identical to the serial golden — and a -resume of the merged journal
+# must re-execute zero cells.
+dist-smoke:
+	@tmp=$$(mktemp -d); w1=; w2=; \
+	trap 'kill -9 $$w1 $$w2 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments || exit 1; \
+	args="-exp fig11 -scale 0.02 -apps fft,gsme -json"; \
+	$$tmp/experiments $$args >$$tmp/golden.json || exit 1; \
+	$$tmp/experiments $$args -worker -listen 127.0.0.1:0 2>$$tmp/w1.log & w1=$$!; \
+	$$tmp/experiments $$args -worker -listen 127.0.0.1:0 2>$$tmp/w2.log & w2=$$!; \
+	a1=""; a2=""; i=0; while [ $$i -lt 100 ]; do \
+		a1=$$(sed -n 's#^worker listening on \(http://[^ ]*\).*#\1#p' $$tmp/w1.log); \
+		a2=$$(sed -n 's#^worker listening on \(http://[^ ]*\).*#\1#p' $$tmp/w2.log); \
+		[ -n "$$a1" ] && [ -n "$$a2" ] && break; \
+		sleep 0.1; i=$$((i+1)); done; \
+	[ -n "$$a1" ] && [ -n "$$a2" ] \
+		|| { echo "dist-smoke: workers never announced their addresses"; cat $$tmp/w1.log $$tmp/w2.log; exit 1; }; \
+	$$tmp/experiments $$args -coordinator "$$a1,$$a2" -journal $$tmp/merged.jsonl \
+		-dist-poll 25ms -dist-timeout 500ms -dist-retries 2 \
+		>$$tmp/dist.json 2>$$tmp/coord.log & cpid=$$!; \
+	i=0; while [ $$i -lt 200 ]; do \
+		n=$$(wc -l 2>/dev/null <$$tmp/merged.jsonl) || n=0; \
+		[ "$$n" -ge 2 ] && break; \
+		kill -0 $$cpid 2>/dev/null || break; \
+		sleep 0.05; i=$$((i+1)); done; \
+	kill -9 $$w1 2>/dev/null; \
+	wait $$cpid; status=$$?; \
+	if [ $$status -ne 0 ]; then \
+		echo "dist-smoke: coordinator exited $$status"; cat $$tmp/coord.log; exit 1; \
+	fi; \
+	diff -u $$tmp/golden.json $$tmp/dist.json \
+		|| { echo "dist-smoke: distributed output differs from serial golden"; cat $$tmp/coord.log; exit 1; }; \
+	$$tmp/experiments $$args -journal $$tmp/merged.jsonl -resume \
+		>$$tmp/resumed.json 2>$$tmp/resume.log || { cat $$tmp/resume.log; exit 1; }; \
+	diff -u $$tmp/golden.json $$tmp/resumed.json \
+		|| { echo "dist-smoke: resume of the merged journal differs from golden"; exit 1; }; \
+	grep -q 'supervision: 0 cell(s) executed' $$tmp/resume.log \
+		|| { echo "dist-smoke: resume re-executed cells the fleet completed:"; cat $$tmp/resume.log; exit 1; }; \
+	echo "dist-smoke: fleet survived a SIGKILL; merged output and resume byte-identical to serial"
+
+# Short fuzzing passes over the untrusted-input surfaces: the simulator
+# configuration validator, the harvest-trace parser, and the journal line
+# parser behind -resume and the distributed segment merge. `go test -fuzz`
+# accepts one target per invocation, hence one line each.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) ./internal/nvp/
 	$(GO) test -run=NONE -fuzz=FuzzHarvestTraceParse -fuzztime=$(FUZZTIME) ./internal/power/
+	$(GO) test -run=NONE -fuzz=FuzzJournalLine -fuzztime=$(FUZZTIME) ./internal/harness/
 
 # Determinism lint: simulator internals must not read the wall clock (Now,
 # After, or Sleep) or the global math/rand stream — both would break
@@ -132,9 +178,10 @@ lint: vet
 		echo "lint: math/rand import in internal/ (use the seeded PRNGs in internal/power):"; \
 		echo "$$bad"; exit 1; \
 	fi
-	@bad=$$(grep -rn '"net/http"\|"expvar"' internal/ *.go --include='*.go'); \
+	@bad=$$(grep -rn '"net/http"\|"expvar"' internal/ *.go --include='*.go' \
+		| grep -v '^internal/dist/'); \
 	if [ -n "$$bad" ]; then \
-		echo "lint: net/http or expvar outside cmd/ (servers and process vars belong to the command layer; libraries stay host-agnostic):"; \
+		echo "lint: net/http or expvar outside cmd/ and internal/dist (servers and process vars belong to the command layer; the dist executor is the one library whose job is the wire):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@bad=$$(grep -rnE 'time\.(Now|After|Sleep)' cmd/ --include='*.go' \
@@ -145,7 +192,7 @@ lint: vet
 		echo "$$bad"; exit 1; \
 	fi
 
-ci: build lint race golden tracestat-golden resume-smoke ipexd-smoke fuzz bench-gate
+ci: build lint race golden tracestat-golden resume-smoke ipexd-smoke dist-smoke fuzz bench-gate
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

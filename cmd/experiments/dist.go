@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ipex/cmd/internal/httpd"
+	"ipex/internal/dist"
+	"ipex/internal/experiments"
+	"ipex/internal/harness"
+)
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runWorker is the -worker main loop: serve the dist protocol on
+// listenAddr, and run the sweep definition repeatedly with the worker's
+// shard filter — one enumeration pass, then execution passes over whatever
+// the coordinator assigns. The worker's rendered output is discarded
+// (skipped cells return placeholders); the journal entries streamed to the
+// coordinator are the product. Returns the process exit code; a SIGINT or
+// SIGTERM drain is the normal way to stop a worker (exit 0).
+func runWorker(o experiments.Options, sup *harness.Supervisor, ids []string, sweepKey, listenAddr string, segment *harness.Journal, drainCtx context.Context) int {
+	w := dist.NewWorker(sweepKey)
+	sup.Skip = w.Skip
+	if segment != nil {
+		// -journal on a worker keeps a durable local segment next to the
+		// coordinator-facing log; a dead coordinator can later merge it
+		// with MergeSegments semantics instead of re-running the shard.
+		sup.Journal = dist.Tee(w.Sink(), segment)
+	} else {
+		sup.Journal = w.Sink()
+	}
+
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -listen: %v\n", err)
+		return 1
+	}
+	// Scripts (make dist-smoke) parse this line for the bound port.
+	fmt.Fprintf(os.Stderr, "worker listening on http://%s\n", ln.Addr())
+	srv := httpd.New(dist.NewHandler(w, sup))
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "experiments: worker server: %v\n", err)
+		}
+	}()
+
+	pass := func(ctx context.Context) {
+		po := o
+		po.Ctx = ctx
+		for _, id := range ids {
+			if ctx.Err() != nil {
+				return
+			}
+			po.Cells.SetLabel(id)
+			if _, err := registry[id](po); err != nil {
+				if errors.Is(err, harness.ErrInterrupted) {
+					return
+				}
+				// A failing experiment poisons only its own cells; the
+				// coordinator re-shards or simulates them locally.
+				fmt.Fprintf(os.Stderr, "experiments: worker: %s: %v\n", id, err)
+			}
+		}
+	}
+	werr := w.Run(drainCtx, pass)
+
+	if err := httpd.Shutdown(srv, 2*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: worker shutdown: %v\n", err)
+	}
+	if segment != nil {
+		segment.Close()
+	}
+	st := w.Status()
+	cs := sup.Counters.Snapshot()
+	fmt.Fprintf(os.Stderr, "worker drained: %d/%d assigned cell(s) done over %d pass(es); %d executed, %d skipped\n",
+		st.Done, st.Assigned, st.Passes, cs.Executed, cs.Skipped)
+	if werr != nil && !errors.Is(werr, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "experiments: worker: %v\n", werr)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// workerProc is a real -worker subprocess plus its captured stderr.
+type workerProc struct {
+	cmd  *exec.Cmd
+	addr string
+	mu   sync.Mutex
+	errb bytes.Buffer
+}
+
+func (w *workerProc) stderr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.errb.String()
+}
+
+// startWorkerProc launches the experiments binary in -worker mode and
+// waits for its "worker listening on" announcement.
+func startWorkerProc(t *testing.T, base []string) *workerProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append(base, "-worker", "-listen", "127.0.0.1:0")...)
+	cmd.Env = append(os.Environ(), "IPEX_EXPERIMENTS_MAIN=1")
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &workerProc{cmd: cmd}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			w.mu.Lock()
+			fmt.Fprintln(&w.errb, line)
+			w.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "worker listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	select {
+	case w.addr = <-addrc:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("worker never announced its address; stderr:\n%s", w.stderr())
+	}
+	return w
+}
+
+// stalledListener accepts connections and swallows bytes without ever
+// responding: the network-partition chaos case.
+func stalledListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	return "http://" + ln.Addr().String()
+}
+
+// waitForJournalLines blocks until path holds at least n newline-terminated
+// lines (header included).
+func waitForJournalLines(t *testing.T, path string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		b, _ := os.ReadFile(path)
+		if bytes.Count(b, []byte("\n")) >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal %s never reached %d lines", path, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDistributedChaosSubprocess is the fleet chaos gate: a sweep sharded
+// across two real workers and one partitioned (stalled) address, with one
+// worker SIGKILLed mid-sweep, must still produce stdout byte-identical to
+// the serial run — and the merged journal must then -resume with zero
+// re-executed cells.
+func TestDistributedChaosSubprocess(t *testing.T) {
+	base := []string{"-exp", "fig11", "-scale", "0.02", "-apps", "fft,gsme", "-json"}
+	golden, _, code := runMain(t, base...)
+	if code != 0 {
+		t.Fatalf("golden run exited %d", code)
+	}
+
+	w1 := startWorkerProc(t, base)
+	w2 := startWorkerProc(t, base)
+	stalled := stalledListener(t)
+
+	j := filepath.Join(t.TempDir(), "merged.jsonl")
+	coordArgs := append(base,
+		"-coordinator", w1.addr+","+w2.addr+","+stalled,
+		"-journal", j,
+		"-dist-poll", "25ms", "-dist-timeout", "300ms", "-dist-retries", "2")
+	coord := exec.Command(os.Args[0], coordArgs...)
+	coord.Env = append(os.Environ(), "IPEX_EXPERIMENTS_MAIN=1")
+	var out, errb bytes.Buffer
+	coord.Stdout, coord.Stderr = &out, &errb
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL one worker as soon as the fleet has journaled anything —
+	// a genuine kill -9 mid-sweep, no drain, no goodbye.
+	waitForJournalLines(t, j, 2)
+	if err := w2.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\nstderr:\n%s", err, errb.String())
+	}
+	if out.String() != golden {
+		t.Fatalf("distributed stdout differs from serial golden:\n got %s\nwant %s\ncoordinator stderr:\n%s",
+			out.String(), golden, errb.String())
+	}
+	// The stalled address must have been declared dead, not waited on
+	// forever; the SIGKILLed worker's shard must have moved.
+	if s := errb.String(); !strings.Contains(s, "declared dead") {
+		t.Errorf("no worker was declared dead despite a SIGKILL and a stall:\n%s", s)
+	}
+
+	// Fleet-wide resume: the merged journal replays every cell; nothing
+	// that completed anywhere may re-execute.
+	resumed, errOut, code := runMain(t, append(base, "-journal", j, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exited %d\nstderr:\n%s", code, errOut)
+	}
+	if resumed != golden {
+		t.Fatalf("resume of the merged journal differs from golden:\n got %s\nwant %s", resumed, golden)
+	}
+	if !strings.Contains(errOut, "supervision: 0 cell(s) executed") {
+		t.Fatalf("resume re-executed cells the fleet already completed:\n%s", errOut)
+	}
+}
+
+// TestCoordinatorSIGINTResume: SIGINT on the coordinator mid-fleet must
+// drain to exit 130 with a resumable merged journal, and the resume must
+// replay every merged cell (zero re-executions of completed cells) and
+// match the serial golden byte for byte.
+func TestCoordinatorSIGINTResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess SIGINT test needs a multi-second sweep")
+	}
+	base := []string{"-exp", "fig11", "-scale", "10", "-apps", "fft,gsme", "-parallelism", "1", "-json"}
+	golden, _, code := runMain(t, base...)
+	if code != 0 {
+		t.Fatalf("golden run exited %d", code)
+	}
+
+	w1 := startWorkerProc(t, base)
+
+	j := filepath.Join(t.TempDir(), "merged.jsonl")
+	coordArgs := append(base, "-coordinator", w1.addr, "-journal", j, "-dist-poll", "25ms")
+	coord := exec.Command(os.Args[0], coordArgs...)
+	coord.Env = append(os.Environ(), "IPEX_EXPERIMENTS_MAIN=1")
+	var out, errb bytes.Buffer
+	coord.Stdout, coord.Stderr = &out, &errb
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt once at least two cells are merged — mid-fleet, with the
+	// worker still crunching.
+	waitForJournalLines(t, j, 3)
+	if err := coord.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := coord.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+		t.Fatalf("SIGINT coordinator: err=%v\nstderr:\n%s", err, errb.String())
+	}
+	if s := errb.String(); !strings.Contains(s, "resumable") {
+		t.Fatalf("coordinator drain did not leave a resumable journal:\n%s", s)
+	}
+
+	// Resume locally (the fleet is gone). Journaled cells replay; the rest
+	// simulate — and the output still matches the serial run exactly.
+	resumed, errOut, code := runMain(t, append(base, "-journal", j, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exited %d\nstderr:\n%s", code, errOut)
+	}
+	if resumed != golden {
+		t.Fatalf("resume after coordinator SIGINT differs from golden:\n got %s\nwant %s", resumed, golden)
+	}
+	// "N journaled cell(s) will replay" + supervision "N replayed" proves
+	// zero re-execution of completed cells.
+	idx := strings.Index(errOut, "resuming")
+	if idx < 0 {
+		t.Fatalf("resume announcement missing:\n%s", errOut)
+	}
+	var n int
+	if _, serr := fmt.Sscanf(errOut[idx:], "resuming %s %d journaled", new(string), &n); serr != nil || n < 2 {
+		t.Fatalf("resume announced %d journaled cells (err %v):\n%s", n, serr, errOut)
+	}
+	if !strings.Contains(errOut, fmt.Sprintf("%d replayed", n)) {
+		t.Fatalf("resume did not replay all %d journaled cells:\n%s", n, errOut)
+	}
+}
+
+// TestDistFlagValidation pins the flag contract: the dist modes refuse
+// nonsensical combinations with a clear one-line error.
+func TestDistFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-exp", "fig11", "-worker"}, "-worker needs -listen"},
+		{[]string{"-exp", "fig11", "-worker", "-listen", ":0", "-coordinator", "http://x"}, "mutually exclusive"},
+		{[]string{"-exp", "fig11", "-worker", "-listen", ":0", "-resume", "-journal", "x"}, "coordinator-side"},
+		{[]string{"-exp", "fig11", "-coordinator", "http://x"}, "-coordinator needs -journal"},
+	}
+	for _, c := range cases {
+		_, errOut, code := runMain(t, c.args...)
+		if code != 1 || !strings.Contains(errOut, c.want) {
+			t.Errorf("%v: exit %d, stderr %q; want exit 1 mentioning %q", c.args, code, errOut, c.want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"ipex/cmd/internal/httpd"
 	"ipex/internal/benchio"
+	"ipex/internal/dist"
 	"ipex/internal/experiments"
 	"ipex/internal/harness"
 	"ipex/internal/nvp"
@@ -129,6 +130,13 @@ func main() {
 		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock backstop per cell: a run stuck past this is cancelled at its next power-cycle boundary and retried (0 = off; never affects results)")
 		cellBudget  = flag.Uint64("cell-budget", 0, "deterministic per-cell deadline in simulated cycles: clamps each cell's MaxCycles (0 = off)")
 		stopAfter   = flag.Uint64("interrupt-after", 0, "deterministically drain the sweep after admitting N cells, as if interrupted (for resume tests)")
+
+		worker       = flag.Bool("worker", false, "run as a distributed sweep worker: serve shard assignments on -listen, execute only assigned cells, stream journal entries to the coordinator (see EXPERIMENTS.md)")
+		coordinator  = flag.String("coordinator", "", "comma-separated worker base URLs (http://host:port); shard the sweep across them and merge their journal streams into -journal")
+		distPoll     = flag.Duration("dist-poll", 200*time.Millisecond, "coordinator health-check and journal-pull interval")
+		distTimeout  = flag.Duration("dist-timeout", 5*time.Second, "per-request deadline for coordinator→worker calls")
+		distRetries  = flag.Int("dist-retries", 3, "consecutive failed health checks before a worker is declared dead and its shard re-assigned to survivors")
+		distStealMin = flag.Int("dist-steal-min", 4, "minimum remaining cells a straggler must hold before an idle worker steals the tail half of them")
 	)
 	flag.Parse()
 
@@ -162,6 +170,22 @@ func main() {
 	}
 	if *resume && *journalPath == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume needs -journal <file> (the journal to replay)")
+		os.Exit(1)
+	}
+	if *worker && *coordinator != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -worker and -coordinator are mutually exclusive (a process is one or the other)")
+		os.Exit(1)
+	}
+	if *worker && *listenAddr == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -worker needs -listen <addr> (the coordinator connects there)")
+		os.Exit(1)
+	}
+	if *worker && *resume {
+		fmt.Fprintln(os.Stderr, "experiments: -resume is coordinator-side; a worker holds no authoritative journal (its -journal, if any, is a local segment)")
+		os.Exit(1)
+	}
+	if *coordinator != "" && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -coordinator needs -journal <file> (the authoritative merged journal)")
 		os.Exit(1)
 	}
 
@@ -270,30 +294,6 @@ func main() {
 	if *metricsOut != "" || *listenAddr != "" {
 		o.Metrics = trace.NewRegistry()
 	}
-	// telemetryShutdown drains the -listen server on every exit path after
-	// the sweep: a bare http.Serve would leave the listener up through the
-	// SIGINT drain and let one stalled client pin a goroutine forever.
-	telemetryShutdown := func() {}
-	if *listenAddr != "" {
-		o.Progress = &experiments.Progress{}
-		ln, err := net.Listen("tcp", *listenAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: -listen: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", ln.Addr())
-		srv := httpd.New(newTelemetryHandler(time.Now(), o.Progress, o.Metrics, sup))
-		telemetryShutdown = func() {
-			if err := httpd.Shutdown(srv, 2*time.Second); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: telemetry shutdown: %v\n", err)
-			}
-		}
-		go func() {
-			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintf(os.Stderr, "experiments: telemetry server: %v\n", err)
-			}
-		}()
-	}
 
 	var ids []string
 	switch {
@@ -310,22 +310,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The sweep hash covers everything that changes any cell's identity; a
+	// -resume against a journal hashed from a different command line is
+	// rejected before a single cell runs, and a worker whose command line
+	// hashes differently from its coordinator's rejects every assignment.
+	appsList := o.Apps
+	if len(appsList) == 0 {
+		appsList = workload.Names()
+	}
+	sweepKey := harness.Key(experiments.SweepIdentity{
+		Experiments: ids,
+		Scale:       *scale,
+		Apps:        appsList,
+		TraceSeed:   *seed,
+		Paranoid:    *paranoid,
+		CellBudget:  *cellBudget,
+	})
+
+	// journal is the durable journal of this process: authoritative for a
+	// serial or coordinator run, a local segment for a worker. sup.Journal
+	// may wrap it (worker mode tees into the coordinator-facing log).
+	var journal *harness.Journal
 	if *journalPath != "" {
-		appsList := o.Apps
-		if len(appsList) == 0 {
-			appsList = workload.Names()
-		}
-		// The sweep hash covers everything that changes any cell's identity;
-		// a -resume against a journal hashed from a different command line is
-		// rejected before a single cell runs.
-		sweepKey := harness.Key(experiments.SweepIdentity{
-			Experiments: ids,
-			Scale:       *scale,
-			Apps:        appsList,
-			TraceSeed:   *seed,
-			Paranoid:    *paranoid,
-			CellBudget:  *cellBudget,
-		})
 		if *resume {
 			j, replay, warns, err := harness.ResumeJournal(*journalPath, sweepKey)
 			if err != nil {
@@ -342,16 +348,87 @@ func main() {
 				}
 			}
 			fmt.Fprintf(os.Stderr, "resuming %s: %d journaled cell(s) will replay without re-simulating\n", *journalPath, replayable)
-			sup.Journal, sup.Replay = j, replay
+			journal, sup.Replay = j, replay
 		} else {
 			j, err := harness.CreateJournal(*journalPath, sweepKey)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				os.Exit(1)
 			}
-			sup.Journal = j
+			journal = j
 		}
-		defer sup.Journal.Close()
+		sup.Journal = journal
+		defer journal.Close()
+	}
+
+	// Coordinator mode: shard the sweep across the fleet and merge worker
+	// journal streams into the authoritative journal before rendering.
+	var coord *dist.Coordinator
+	if *coordinator != "" {
+		merger := dist.NewMerger(journal, sup.Replay)
+		// The rendering pass below replays everything the fleet computed;
+		// the merger extends the same map the resume path seeded.
+		sup.Replay = merger.Replay()
+		coord = dist.NewCoordinator(dist.Options{
+			Workers:     splitList(*coordinator),
+			Sweep:       sweepKey,
+			Merger:      merger,
+			Poll:        *distPoll,
+			Timeout:     *distTimeout,
+			MaxFailures: *distRetries,
+			StealMin:    *distStealMin,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		})
+	}
+
+	// telemetryShutdown drains the -listen server on every exit path after
+	// the sweep: a bare http.Serve would leave the listener up through the
+	// SIGINT drain and let one stalled client pin a goroutine forever.
+	// (A -worker process serves the dist protocol on -listen instead.)
+	telemetryShutdown := func() {}
+	if *listenAddr != "" && !*worker {
+		o.Progress = &experiments.Progress{}
+		ln, err := net.Listen("tcp", *listenAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", ln.Addr())
+		srv := httpd.New(newTelemetryHandlerDist(time.Now(), o.Progress, o.Metrics, sup, coord))
+		telemetryShutdown = func() {
+			if err := httpd.Shutdown(srv, 2*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: telemetry shutdown: %v\n", err)
+			}
+		}
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "experiments: telemetry server: %v\n", err)
+			}
+		}()
+	}
+
+	if *worker {
+		os.Exit(runWorker(o, sup, ids, sweepKey, *listenAddr, journal, drainCtx))
+	}
+
+	if coord != nil {
+		fmt.Fprintf(os.Stderr, "coordinating %d worker(s) for sweep %s\n", len(splitList(*coordinator)), sweepKey)
+		switch err := coord.Run(drainCtx); {
+		case err == nil:
+			s := coord.Snapshot()
+			fmt.Fprintf(os.Stderr, "fleet complete: %d cell(s) merged, %d duplicate(s) dropped, %d range(s)/key(s) re-sharded, %d cell(s) stolen, %d worker death(s)\n",
+				s.Merged, s.Duplicates, s.Resharded, s.Stolen, s.DeadWorkers)
+		case errors.Is(err, context.Canceled):
+			// SIGINT drain: the rendering loop below sees the cancelled
+			// context immediately and exits 130 with a resumable journal.
+			fmt.Fprintln(os.Stderr, "experiments: coordinator interrupted; the merged journal is resumable")
+		default:
+			// ErrNoWorkers or a broken fleet: the sweep is not lost — the
+			// rendering pass replays whatever merged and simulates the rest.
+			fmt.Fprintf(os.Stderr, "experiments: %v; continuing with local execution\n", err)
+		}
 	}
 
 	// §6.1's overhead analysis is pure arithmetic; print it with -all.
@@ -461,17 +538,17 @@ func main() {
 	// includes the telemetry listener on every exit path below.
 	telemetryShutdown()
 
-	if cs := sup.Counters.Snapshot(); cs != (harness.CounterSnapshot{}) && (sup.Journal != nil || interrupted || cs.Retried+cs.Panics+cs.Timeouts > 0) {
+	if cs := sup.Counters.Snapshot(); cs != (harness.CounterSnapshot{}) && (journal != nil || interrupted || cs.Retried+cs.Panics+cs.Timeouts > 0) {
 		fmt.Fprintf(os.Stderr, "supervision: %d cell(s) executed, %d replayed, %d retried, %d timeouts, %d panics, %d failed\n",
 			cs.Executed, cs.Replayed, cs.Retried, cs.Timeouts, cs.Panics, cs.Failures)
 	}
 	if interrupted {
-		if sup.Journal != nil {
-			fmt.Fprintf(os.Stderr, "experiments: interrupted; journal %s is resumable — rerun the same command line with -resume\n", sup.Journal.Path())
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; journal %s is resumable — rerun the same command line with -resume\n", journal.Path())
 		} else {
 			fmt.Fprintln(os.Stderr, "experiments: interrupted; rerun with -journal <file> to make sweeps resumable")
 		}
-		sup.Journal.Close()
+		journal.Close()
 		os.Exit(130)
 	}
 

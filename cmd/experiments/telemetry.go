@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ipex/internal/dist"
 	"ipex/internal/experiments"
 	"ipex/internal/harness"
 	"ipex/internal/trace"
@@ -23,6 +24,7 @@ type telemetry struct {
 	prog  *experiments.Progress
 	reg   *trace.Registry
 	sup   *harness.Supervisor
+	coord *dist.Coordinator
 }
 
 // counters reads the supervision counters (zero when no supervisor).
@@ -43,7 +45,14 @@ var (
 // newTelemetryHandler builds the HTTP handler for -listen. sup may be nil
 // (unsupervised sweep); the supervision gauges then read zero.
 func newTelemetryHandler(start time.Time, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor) http.Handler {
-	t := &telemetry{start: start, prog: prog, reg: reg, sup: sup}
+	return newTelemetryHandlerDist(start, prog, reg, sup, nil)
+}
+
+// newTelemetryHandlerDist additionally exports fleet gauges when the sweep
+// runs under a distributed coordinator (nil otherwise): merge/dedup
+// totals, re-shard and steal counts, and per-worker liveness.
+func newTelemetryHandlerDist(start time.Time, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor, coord *dist.Coordinator) http.Handler {
+	t := &telemetry{start: start, prog: prog, reg: reg, sup: sup, coord: coord}
 	curTelemetry.Store(t)
 	expvarOnce.Do(func() {
 		expvar.Publish("ipex_sweep", expvar.Func(func() any {
@@ -101,6 +110,28 @@ func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("ipex_sweep_cell_timeouts", "wall-clock backstop expiries", float64(cs.Timeouts))
 	gauge("ipex_sweep_cell_panics", "isolated cell panics (journaled, soft-failed)", float64(cs.Panics))
 	gauge("ipex_sweep_cell_failures", "cells journaled as failed (panics + exhausted retries)", float64(cs.Failures))
+	// Fleet gauges: only present when this process coordinates workers.
+	if t.coord != nil {
+		s := t.coord.Snapshot()
+		gauge("ipex_dist_merged_cells", "worker journal entries merged into the authoritative journal", float64(s.Merged))
+		gauge("ipex_dist_duplicate_cells", "duplicate worker entries dropped at merge (double-assigned or stolen cells)", float64(s.Duplicates))
+		gauge("ipex_dist_resharded", "ranges and keys re-assigned from dead workers to survivors", float64(s.Resharded))
+		gauge("ipex_dist_stolen_cells", "straggler cells stolen for idle workers", float64(s.Stolen))
+		gauge("ipex_dist_dead_workers", "workers declared dead after repeated failed health checks", float64(s.DeadWorkers))
+		live := 0
+		for _, ws := range s.Workers {
+			up := 1.0
+			if ws.Dead {
+				up = 0
+			} else {
+				live++
+			}
+			fmt.Fprintf(w, "ipex_dist_worker_up{worker=%q} %g\n", ws.Addr, up)
+			fmt.Fprintf(w, "ipex_dist_worker_done{worker=%q} %d\n", ws.Addr, ws.Done)
+			fmt.Fprintf(w, "ipex_dist_worker_remaining{worker=%q} %d\n", ws.Addr, ws.Remaining)
+		}
+		gauge("ipex_dist_live_workers", "workers currently believed alive", float64(live))
+	}
 	// A scrape racing a disconnect can fail mid-write; there is no one to
 	// report that to, so the error is dropped.
 	_ = t.reg.WriteProm(w)

@@ -44,6 +44,7 @@ func main() {
 		listenAddr   = flag.String("listen", ":8375", "address to serve on")
 		cacheDir     = flag.String("cache-dir", "", "disk tier of the result cache (empty = in-memory only; results do not survive restarts)")
 		cacheEntries = flag.Int("cache-entries", 4096, "in-memory result-cache capacity (bodies); evicted entries remain on the disk tier")
+		cacheMaxB    = flag.Int64("cache-max-bytes", 0, "disk-tier byte budget, enforced once at startup by evicting oldest results first (0 = unbounded)")
 		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = NumCPU)")
 		queueDepth   = flag.Int("queue", 64, "bounded simulation queue depth; a full queue answers 429 + Retry-After")
 		maxScale     = flag.Float64("max-scale", 1.0, "largest accepted workload scale (0 = unbounded)")
@@ -70,6 +71,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ipexd: -max-scale must be >= 0, got %g\n", *maxScale)
 		os.Exit(1)
 	}
+	if *cacheMaxB < 0 {
+		fmt.Fprintf(os.Stderr, "ipexd: -cache-max-bytes must be >= 0, got %d\n", *cacheMaxB)
+		os.Exit(1)
+	}
 	nWorkers := *workers
 	if nWorkers == 0 {
 		nWorkers = runtime.NumCPU()
@@ -80,6 +85,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ipexd: %v\n", err)
 		os.Exit(1)
+	}
+	if *cacheMaxB > 0 {
+		evicted, freed, err := store.EvictDiskOver(*cacheMaxB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipexd: cache eviction: %v\n", err)
+			os.Exit(1)
+		}
+		if evicted > 0 {
+			fmt.Fprintf(os.Stderr, "ipexd: disk cache over %d bytes; evicted %d oldest result(s) (%d bytes)\n",
+				*cacheMaxB, evicted, freed)
+		}
 	}
 	sup := &harness.Supervisor{
 		MaxRetries:  *maxRetries,

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +34,16 @@ var (
 	// errDraining refuses work that races the graceful shutdown.
 	errDraining = errors.New("server is draining")
 )
+
+// retryAfterSecs picks the Retry-After delay for a 429: 1–4 seconds, seeded
+// by the cell key so a given request always hears the same delay (replayable
+// under test) while different requests spread out instead of stampeding back
+// in lockstep when the queue frees up.
+func retryAfterSecs(key string) string {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return strconv.Itoa(1 + int(h.Sum32()%4))
+}
 
 // testRunHook, when non-nil, runs at the start of every simulation on the
 // worker goroutine. Tests use it to hold a worker mid-cell and observe the
@@ -229,7 +241,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, errBusy):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSecs(key))
 			s.fail(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, errDraining):
 			s.fail(w, http.StatusServiceUnavailable, err.Error())

@@ -386,3 +386,26 @@ func TestConfigAffectsKey(t *testing.T) {
 	readAll(t, base)
 	readAll(t, ipex)
 }
+
+// TestRetryAfterJitter pins the 429 backoff contract: the Retry-After delay
+// is deterministic per key (same request, same answer — replayable), stays
+// inside [1,4] seconds, and spreads across keys so refused clients do not
+// stampede back in lockstep.
+func TestRetryAfterJitter(t *testing.T) {
+	distinct := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		key := harness.Key(i)
+		ra := retryAfterSecs(key)
+		if got := retryAfterSecs(key); got != ra {
+			t.Fatalf("retryAfterSecs(%q) flapped: %s then %s", key, ra, got)
+		}
+		n, err := strconv.Atoi(ra)
+		if err != nil || n < 1 || n > 4 {
+			t.Fatalf("retryAfterSecs(%q) = %q, want an integer in [1,4]", key, ra)
+		}
+		distinct[ra] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("64 keys produced %d distinct delays; jitter is not jittering", len(distinct))
+	}
+}

@@ -1,0 +1,28 @@
+package dist
+
+import (
+	"context"
+	"time"
+)
+
+// This file is the package's only wall-clock touchpoint, mirroring
+// internal/harness/watchdog.go: distributed execution needs real time for
+// health-check pacing, but nothing that feeds a simulated result may ever
+// observe it. The determinism lint pins wall-clock use in internal/ to
+// exactly these two files.
+
+// sleepCtx suspends for d or until ctx is cancelled, returning ctx's error
+// in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,539 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ipex/internal/harness"
+)
+
+// ErrNoWorkers reports that every worker is dead or unreachable; the
+// caller falls back to local execution (the merged journal so far is
+// intact and replayable).
+var ErrNoWorkers = errors.New("dist: every worker is dead or unreachable")
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers are the base URLs of the worker processes
+	// (e.g. http://127.0.0.1:8421).
+	Workers []string
+	// Sweep is the content hash of the sweep definition; workers hashing
+	// differently are rejected as fatally misconfigured.
+	Sweep string
+	// Merger receives every pulled journal entry.
+	Merger *Merger
+	// Poll is the health-check/pull interval (default 200ms). Timeout is
+	// the per-request deadline (default 5s). MaxFailures is how many
+	// consecutive failed syncs a worker survives before being declared
+	// dead and re-sharded (default 3); between failures the coordinator
+	// backs off exponentially in units of Poll (harness.BackoffDelay).
+	Poll        time.Duration
+	Timeout     time.Duration
+	MaxFailures int
+	// StealMin is the minimum remaining-cell count a straggler must have
+	// before an idle worker steals from it; the thief takes the tail half
+	// of the straggler's remaining list (default 4).
+	StealMin int
+	// Logf, when set, receives human-readable progress and failure notes.
+	Logf func(format string, a ...any)
+}
+
+// workerState is the coordinator's view of one worker. All fields are
+// guarded by Coordinator.mu; HTTP calls never hold the lock.
+type workerState struct {
+	addr    string
+	ranges  []KeyRange // everything ever assigned (delivered or not)
+	keys    []string
+	gen     int64       // generation of the last acknowledged assignment
+	pending *Assignment // queued work not yet acknowledged
+	seq     int         // journal entries merged so far
+	fails   int         // consecutive sync failures
+	skip    int         // polls to skip (backoff)
+	dead    bool
+	everUp  bool
+	last    Status
+}
+
+// Coordinator drives a fleet of workers through one sweep: it shards the
+// key space, pushes assignments, polls health, pulls and merges journal
+// streams, re-shards dead workers' cells, and steals from stragglers for
+// idle workers. Run returns nil when every live worker is complete and
+// fully drained; the caller then renders locally from the merged replay
+// map (which also covers any cells the fleet never finished).
+type Coordinator struct {
+	o      Options
+	client *http.Client
+
+	mu        sync.Mutex
+	workers   []*workerState
+	gen       int64
+	stolen    map[string]bool
+	resharded uint64
+	stolenN   uint64
+	deadN     uint64
+}
+
+// NewCoordinator applies defaults and builds the fleet's initial shard
+// map: the 128-bit key space split into one equal range per worker.
+func NewCoordinator(o Options) *Coordinator {
+	if o.Poll <= 0 {
+		o.Poll = 200 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 3
+	}
+	if o.StealMin <= 0 {
+		o.StealMin = 4
+	}
+	c := &Coordinator{
+		o:      o,
+		client: &http.Client{Timeout: o.Timeout},
+		stolen: make(map[string]bool),
+	}
+	if n := len(o.Workers); n > 0 {
+		for i, r := range Split(n) {
+			ws := &workerState{addr: o.Workers[i]}
+			c.workers = append(c.workers, ws)
+			c.queueLocked(ws, []KeyRange{r}, nil)
+		}
+	}
+	return c
+}
+
+// Run executes the fleet loop until the sweep's assigned work is done
+// (nil), the fleet dies (ErrNoWorkers), or ctx is cancelled (its error;
+// the merged journal stays resumable in every case).
+func (c *Coordinator) Run(ctx context.Context) error {
+	if len(c.workers) == 0 {
+		return ErrNoWorkers
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, ws := range c.workers {
+			c.mu.Lock()
+			skip := ws.dead || ws.skip > 0
+			if ws.skip > 0 {
+				ws.skip--
+			}
+			c.mu.Unlock()
+			if skip {
+				continue
+			}
+			if err := c.sync(ctx, ws); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				c.noteFailure(ws, err)
+			} else {
+				c.mu.Lock()
+				ws.fails = 0
+				c.mu.Unlock()
+			}
+		}
+		live, done := c.progress()
+		if live == 0 {
+			return ErrNoWorkers
+		}
+		if done {
+			return nil
+		}
+		c.maybeSteal(ctx)
+		if err := sleepCtx(ctx, c.o.Poll); err != nil {
+			return err
+		}
+	}
+}
+
+// queueLocked records new responsibility for ws and folds it into the
+// pending assignment (creating one if none is queued). Caller holds c.mu
+// or has exclusive access (constructor).
+func (c *Coordinator) queueLocked(ws *workerState, ranges []KeyRange, keys []string) {
+	ws.ranges = append(ws.ranges, ranges...)
+	ws.keys = append(ws.keys, keys...)
+	c.gen++
+	if ws.pending == nil {
+		ws.pending = &Assignment{Schema: ProtoSchema, Sweep: c.o.Sweep}
+	}
+	ws.pending.Gen = c.gen
+	ws.pending.Ranges = append(ws.pending.Ranges, ranges...)
+	ws.pending.Keys = append(ws.pending.Keys, keys...)
+}
+
+// sync performs one round-trip with a worker: deliver the pending
+// assignment (or just poll status), then pull any journal entries the
+// coordinator has not merged yet.
+func (c *Coordinator) sync(ctx context.Context, ws *workerState) error {
+	c.mu.Lock()
+	var a *Assignment
+	if ws.pending != nil {
+		cp := *ws.pending
+		// The Done list is computed at send time over the worker's whole
+		// assignment so a re-delivered or extended assignment also teaches
+		// it which of its cells others have finished meanwhile.
+		cp.Done = c.o.Merger.DoneWithin(ws.ranges, ws.keys)
+		a = &cp
+	}
+	addr, seq := ws.addr, ws.seq
+	c.mu.Unlock()
+
+	var st Status
+	var err error
+	if a != nil {
+		st, err = c.postAssign(ctx, addr, *a)
+		if err == nil {
+			c.mu.Lock()
+			if ws.pending != nil && ws.pending.Gen == a.Gen {
+				ws.pending = nil
+				ws.gen = a.Gen
+			}
+			c.mu.Unlock()
+		}
+	} else {
+		st, err = c.getStatus(ctx, addr)
+	}
+	if err != nil {
+		return err
+	}
+	if verr := validate("status", st.Schema, st.Sweep, c.o.Sweep); verr != nil {
+		return &fatalError{verr.Error()}
+	}
+	c.mu.Lock()
+	ws.last = st
+	ws.everUp = true
+	c.mu.Unlock()
+	if st.Seq > seq {
+		next, perr := c.pullJournal(ctx, addr, seq)
+		if perr != nil {
+			return perr
+		}
+		c.mu.Lock()
+		if next > ws.seq {
+			ws.seq = next
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// noteFailure counts a failed sync against the worker: fatal errors
+// (protocol/sweep conflicts) kill it immediately, repeated transient ones
+// kill it after MaxFailures with exponential backoff in between. Death
+// re-shards everything it was responsible for across the survivors.
+func (c *Coordinator) noteFailure(ws *workerState, err error) {
+	var fe *fatalError
+	fatal := errors.As(err, &fe)
+	c.mu.Lock()
+	ws.fails++
+	if !fatal && ws.fails <= c.o.MaxFailures {
+		ws.skip = backoffPolls(ws.fails)
+		c.mu.Unlock()
+		c.logf("dist: worker %s sync failed (%d/%d): %v", ws.addr, ws.fails, c.o.MaxFailures, err)
+		return
+	}
+	ws.dead = true
+	c.deadN++
+	ranges := ws.ranges
+	keys := ws.keys
+	var live []*workerState
+	for _, other := range c.workers {
+		if !other.dead {
+			live = append(live, other)
+		}
+	}
+	moved := 0
+	if len(live) > 0 {
+		i := 0
+		rb := make([][]KeyRange, len(live))
+		kb := make([][]string, len(live))
+		for _, r := range ranges {
+			rb[i%len(live)] = append(rb[i%len(live)], r)
+			i++
+		}
+		for _, k := range keys {
+			kb[i%len(live)] = append(kb[i%len(live)], k)
+			i++
+		}
+		for j, other := range live {
+			if len(rb[j]) > 0 || len(kb[j]) > 0 {
+				c.queueLocked(other, rb[j], kb[j])
+			}
+		}
+		moved = len(ranges) + len(keys)
+		c.resharded += uint64(moved)
+	}
+	c.mu.Unlock()
+	c.logf("dist: worker %s declared dead (%v); re-sharded %d ranges/keys across %d survivors",
+		ws.addr, err, moved, len(live))
+}
+
+// progress reports how many workers are live and whether the fleet is
+// completely done: every live worker acknowledged its latest assignment,
+// reports Complete, and its journal is fully merged.
+func (c *Coordinator) progress() (live int, done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	done = true
+	for _, ws := range c.workers {
+		if ws.dead {
+			continue
+		}
+		live++
+		if ws.pending != nil || !ws.everUp || ws.last.Gen != ws.gen ||
+			!ws.last.Complete() || ws.seq < ws.last.Seq {
+			done = false
+		}
+	}
+	if live == 0 {
+		done = false
+	}
+	return live, done
+}
+
+// maybeSteal moves the tail half of the worst straggler's remaining cells
+// to an idle (complete) worker, at most one steal per poll tick. Nothing
+// is revoked from the straggler: if it gets there first, the duplicate
+// merges away.
+func (c *Coordinator) maybeSteal(ctx context.Context) {
+	c.mu.Lock()
+	var idle, straggler *workerState
+	for _, ws := range c.workers {
+		if ws.dead || !ws.everUp || ws.pending != nil || ws.last.Gen != ws.gen {
+			continue
+		}
+		if ws.last.Complete() {
+			if idle == nil {
+				idle = ws
+			}
+		} else if ws.last.Remaining >= c.o.StealMin {
+			if straggler == nil || ws.last.Remaining > straggler.last.Remaining {
+				straggler = ws
+			}
+		}
+	}
+	c.mu.Unlock()
+	if idle == nil || straggler == nil || idle == straggler {
+		return
+	}
+	keys, err := c.getRemaining(ctx, straggler.addr)
+	if err != nil {
+		return // transient; the regular sync path counts its failures
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var fresh []string
+	for _, k := range keys {
+		if !c.stolen[k] {
+			fresh = append(fresh, k)
+		}
+	}
+	if len(fresh) < c.o.StealMin {
+		return
+	}
+	tail := fresh[len(fresh)-len(fresh)/2:]
+	for _, k := range tail {
+		c.stolen[k] = true
+	}
+	c.queueLocked(idle, nil, tail)
+	c.stolenN += uint64(len(tail))
+	c.logf("dist: stole %d cells from straggler %s for %s", len(tail), straggler.addr, idle.addr)
+}
+
+// WorkerSnapshot and Snapshot expose fleet state for telemetry.
+type WorkerSnapshot struct {
+	Addr      string `json:"addr"`
+	Dead      bool   `json:"dead"`
+	Assigned  int    `json:"assigned"`
+	Done      int    `json:"done"`
+	Remaining int    `json:"remaining"`
+	Seq       int    `json:"seq"`
+	Fails     int    `json:"fails"`
+}
+
+type Snapshot struct {
+	Merged      uint64           `json:"merged"`
+	Duplicates  uint64           `json:"duplicates"`
+	Resharded   uint64           `json:"resharded"`
+	Stolen      uint64           `json:"stolen"`
+	DeadWorkers uint64           `json:"dead_workers"`
+	Workers     []WorkerSnapshot `json:"workers"`
+}
+
+func (c *Coordinator) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Resharded:   c.resharded,
+		Stolen:      c.stolenN,
+		DeadWorkers: c.deadN,
+	}
+	if c.o.Merger != nil {
+		s.Merged = c.o.Merger.Merged()
+		s.Duplicates = c.o.Merger.Duplicates()
+	}
+	for _, ws := range c.workers {
+		s.Workers = append(s.Workers, WorkerSnapshot{
+			Addr:      ws.addr,
+			Dead:      ws.dead,
+			Assigned:  ws.last.Assigned,
+			Done:      ws.last.Done,
+			Remaining: ws.last.Remaining,
+			Seq:       ws.seq,
+			Fails:     ws.fails,
+		})
+	}
+	return s
+}
+
+// fatalError marks a sync failure that retrying cannot fix (protocol or
+// sweep mismatch): the worker is declared dead on the first occurrence.
+type fatalError struct{ msg string }
+
+func (e *fatalError) Error() string { return e.msg }
+
+// backoffPolls converts consecutive-failure count into poll ticks to skip
+// using the harness's exponential schedule with the poll interval as base.
+func backoffPolls(fails int) int {
+	d := harness.BackoffDelay(time.Duration(1), fails)
+	return int(d) // 1, 2, 4, ... ticks, capped at 32 by BackoffDelay
+}
+
+func (c *Coordinator) logf(format string, a ...any) {
+	if c.o.Logf != nil {
+		c.o.Logf(format, a...)
+	}
+}
+
+// --- HTTP client helpers (deadline = Options.Timeout via c.client) ---
+
+func (c *Coordinator) postAssign(ctx context.Context, addr string, a Assignment) (Status, error) {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return Status{}, fmt.Errorf("dist: encoding assignment: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+PathAssign, bytes.NewReader(body))
+	if err != nil {
+		return Status{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return Status{}, &fatalError{fmt.Sprintf("worker %s rejected assignment: %s", addr, bytes.TrimSpace(msg))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("dist: worker %s: assign returned %s", addr, resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("dist: worker %s: bad assign response: %w", addr, err)
+	}
+	return st, nil
+}
+
+func (c *Coordinator) getStatus(ctx context.Context, addr string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+PathStatus, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("dist: worker %s: status returned %s", addr, resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("dist: worker %s: bad status body: %w", addr, err)
+	}
+	return st, nil
+}
+
+func (c *Coordinator) getRemaining(ctx context.Context, addr string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+PathRemaining, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: worker %s: remaining returned %s", addr, resp.Status)
+	}
+	var rk RemainingKeys
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<26)).Decode(&rk); err != nil {
+		return nil, fmt.Errorf("dist: worker %s: bad remaining body: %w", addr, err)
+	}
+	return rk.Keys, nil
+}
+
+// pullJournal streams entries from seq on, merging each; it returns the
+// next sequence number to pull from. A worker serving a different sweep's
+// journal is a fatal conflict.
+func (c *Coordinator) pullJournal(ctx context.Context, addr string, seq int) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+PathJournal+"?since="+strconv.Itoa(seq), nil)
+	if err != nil {
+		return seq, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return seq, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return seq, fmt.Errorf("dist: worker %s: journal returned %s", addr, resp.Status)
+	}
+	if sw := resp.Header.Get(HeaderSweep); sw != "" && sw != c.o.Sweep {
+		return seq, &fatalError{fmt.Sprintf("worker %s streams journal for sweep %s, expected %s", addr, sw, c.o.Sweep)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	merged := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		e, perr := harness.ParseLine(raw)
+		if perr != nil {
+			// The in-memory log cannot corrupt; a bad line means the stream
+			// itself broke mid-transfer. Keep what merged and re-pull.
+			return seq + merged, fmt.Errorf("dist: worker %s: corrupt journal stream: %v", addr, perr)
+		}
+		if _, merr := c.o.Merger.Merge(e); merr != nil {
+			c.logf("%v", merr)
+		}
+		merged++
+	}
+	if serr := sc.Err(); serr != nil {
+		return seq + merged, fmt.Errorf("dist: worker %s: journal stream: %w", addr, serr)
+	}
+	next := seq + merged
+	if h := resp.Header.Get(HeaderNext); h != "" {
+		if n, nerr := strconv.Atoi(h); nerr == nil && n >= seq && n <= seq+merged {
+			next = n
+		}
+	}
+	return next, nil
+}

@@ -1,0 +1,135 @@
+// Package dist is the fault-tolerant distributed sweep executor built on
+// the crash-safe harness: a coordinator shards a sweep's cells by their
+// content-hash key range across N worker processes, workers execute only
+// their shard and stream ipex-journal/v1 entries back over HTTP, and the
+// coordinator folds every stream into the single authoritative journal
+// with later-entry-wins merge — so `-resume` works across the whole fleet
+// exactly as it does for a serial sweep.
+//
+// The failure discipline mirrors the simulated domain: like the
+// intermittent device the simulator models, any participant may die at any
+// instant, and correctness must not depend on it surviving. Every cell is
+// idempotent (content-hash keyed, deterministic result), so the only
+// obligations are to never lose a journaled entry and to never serve a
+// result under the wrong key. Concretely:
+//
+//   - A dead worker's unfinished shard is re-assigned to survivors after
+//     bounded health-check failures (deadline per request, exponential
+//     backoff between retries, reusing harness.BackoffDelay).
+//   - A straggler's enumerated-but-unstarted cells can be stolen by idle
+//     workers; double execution is harmless because duplicate keys merge
+//     to bit-identical entries.
+//   - If no worker is reachable (or the whole fleet dies) the sweep
+//     degrades to local execution: the coordinator's final rendering pass
+//     replays every merged cell and simulates whatever is missing, so the
+//     distributed layer is an offload optimization with a local
+//     correctness backstop — merged output is byte-identical to a serial
+//     run by construction.
+//   - SIGINT on the coordinator drains gracefully and leaves the
+//     authoritative journal resumable; completed cells are never
+//     re-executed on resume.
+//
+// The package is HTTP-facing by design (the one sanctioned exception to
+// the no-net/http-in-internal lint), but all wall-clock use is confined to
+// clock.go — health-check deadlines and retry spacing only, never
+// anything that feeds a simulated result.
+package dist
+
+import (
+	"fmt"
+
+	"ipex/internal/harness"
+)
+
+// ProtoSchema identifies the coordinator↔worker wire protocol; bump on
+// incompatible change. Both sides reject a peer speaking a different
+// schema rather than guessing at field meanings.
+const ProtoSchema = "ipex-dist/v1"
+
+// Wire paths served by a worker (see Server) and called by the
+// coordinator's client.
+const (
+	PathAssign    = "/dist/v1/assign"
+	PathStatus    = "/dist/v1/status"
+	PathJournal   = "/dist/v1/journal"
+	PathRemaining = "/dist/v1/remaining"
+)
+
+// Assignment is the coordinator→worker work order: key ranges and/or
+// explicit keys the worker becomes responsible for, plus the keys within
+// them that are already merged (the worker skips those). Assignments are
+// cumulative — a re-shard or steal adds to the worker's responsibility;
+// nothing is ever revoked, because executing a cell twice is harmless and
+// revocation protocols are where distributed executors grow their subtle
+// bugs.
+type Assignment struct {
+	Schema string `json:"schema"`
+	// Sweep is the content hash of the sweep definition. A worker whose
+	// own command line hashes differently rejects the assignment outright:
+	// its cells belong to a different experiment.
+	Sweep string `json:"sweep"`
+	// Gen is the coordinator's assignment generation for this worker,
+	// strictly increasing; the worker ignores stale generations (a retried
+	// POST that raced a newer one).
+	Gen int64 `json:"gen"`
+	// Ranges assigns contiguous key ranges; Keys assigns explicit cells
+	// (re-sharded remainders, stolen stragglers).
+	Ranges []KeyRange `json:"ranges,omitempty"`
+	Keys   []string   `json:"keys,omitempty"`
+	// Done lists keys inside the assignment that are already merged into
+	// the authoritative journal; the worker marks them done unexecuted.
+	Done []string `json:"done,omitempty"`
+}
+
+// Status is the worker→coordinator health and progress report.
+type Status struct {
+	Schema string `json:"schema"`
+	Sweep  string `json:"sweep"`
+	// Gen echoes the highest assignment generation applied so far.
+	Gen int64 `json:"gen"`
+	// Enumerated reports that the worker has completed its enumeration
+	// pass and therefore knows the sweep's full cell universe; Universe is
+	// that count (unique cell keys).
+	Enumerated bool `json:"enumerated"`
+	Universe   int  `json:"universe"`
+	// Assigned/Done/Remaining count unique enumerated keys under the
+	// worker's assignment (Remaining = Assigned - Done).
+	Assigned  int `json:"assigned"`
+	Done      int `json:"done"`
+	Remaining int `json:"remaining"`
+	// Seq is the length of the worker's journal entry log; the coordinator
+	// pulls entries it has not merged yet with /dist/v1/journal?since=N.
+	Seq int `json:"seq"`
+	// Passes counts completed execution passes (diagnostics only).
+	Passes int64 `json:"passes"`
+}
+
+// Complete reports whether this status describes a worker with nothing
+// left to do: it knows the universe, every assigned cell is journaled, and
+// the coordinator has nothing more to pull once it reaches Seq.
+func (st Status) Complete() bool {
+	return st.Enumerated && st.Remaining == 0
+}
+
+// RemainingKeys is the /dist/v1/remaining response body: the worker's
+// enumerated, assigned, not-yet-done cell keys in enumeration order. The
+// coordinator steals from the tail — the head is what the straggler's own
+// pool dispatches next.
+type RemainingKeys struct {
+	Keys []string `json:"keys"`
+}
+
+// validate rejects a wire message from a different protocol or sweep.
+func validate(kind, schema, sweep, wantSweep string) error {
+	if schema != ProtoSchema {
+		return fmt.Errorf("dist: %s speaks %q, this binary speaks %q", kind, schema, ProtoSchema)
+	}
+	if sweep != wantSweep {
+		return fmt.Errorf("dist: %s is for sweep %s, this process runs sweep %s (command lines differ)", kind, sweep, wantSweep)
+	}
+	return nil
+}
+
+// interface conformance: the worker's in-memory entry log is a journal
+// sink, so a Supervisor streams into it exactly as it would into a file.
+var _ harness.Sink = (*Log)(nil)

@@ -1,0 +1,396 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"ipex/internal/harness"
+	"ipex/internal/nvp"
+)
+
+// The chaos tests run a synthetic sweep — nCells deterministic cells with
+// content-hash keys, exactly like experiment cells — through real Workers
+// served over real HTTP, and a real Coordinator, then compare the merged
+// replay map against the serial expectation. Byte-identity of the final
+// artifacts follows from this map being exact: the rendering pass replays
+// it verbatim.
+const nCells = 40
+
+type syntheticSweep struct {
+	keys    []string
+	labels  []string
+	results map[string]nvp.Result
+}
+
+func newSweep() *syntheticSweep {
+	s := &syntheticSweep{results: make(map[string]nvp.Result)}
+	for i := 0; i < nCells; i++ {
+		label := fmt.Sprintf("cell%02d", i)
+		key := harness.Key(struct {
+			Cell  int
+			Label string
+		}{i, label})
+		s.keys = append(s.keys, key)
+		s.labels = append(s.labels, label)
+		s.results[key] = nvp.Result{
+			App: label, Completed: true,
+			Insts: uint64(100 + i), Cycles: uint64(1000 + 7*i),
+			OnCycles: uint64(600 + 3*i), OffCycles: uint64(400 + 4*i),
+		}
+	}
+	return s
+}
+
+// checkMerged requires the replay map to hold every cell with its exact
+// serial result — the package-level form of the byte-identity guarantee.
+func (s *syntheticSweep) checkMerged(t *testing.T, replay map[string]*harness.Entry) {
+	t.Helper()
+	for i, k := range s.keys {
+		e := replay[k]
+		if e == nil {
+			t.Fatalf("cell %s (%s) missing from merged replay", s.labels[i], k)
+		}
+		if e.Kind != harness.KindCell || e.Result == nil {
+			t.Fatalf("cell %s merged as %s", s.labels[i], e.Kind)
+		}
+		if !reflect.DeepEqual(*e.Result, s.results[k]) {
+			t.Fatalf("cell %s merged result %+v, want %+v", s.labels[i], *e.Result, s.results[k])
+		}
+	}
+}
+
+// testWorker is one in-process worker: state machine, supervisor, HTTP
+// server, and pass loop, wired exactly as cmd/experiments -worker wires
+// them. body, when set, runs inside each executed cell (chaos hooks).
+type testWorker struct {
+	w      *Worker
+	sup    *harness.Supervisor
+	srv    *httptest.Server
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func startWorker(t *testing.T, s *syntheticSweep, sweep string, body func(key string)) *testWorker {
+	t.Helper()
+	w := NewWorker(sweep)
+	sup := &harness.Supervisor{Journal: w.Sink()}
+	sup.Skip = w.Skip
+	pass := func(ctx context.Context) {
+		for i, k := range s.keys {
+			if ctx.Err() != nil {
+				return
+			}
+			k := k
+			res := s.results[k]
+			sup.RunCell(harness.Cell{
+				Key:   k,
+				Label: s.labels[i],
+				Run: func(ctx context.Context, a *nvp.Arena) (nvp.Result, error) {
+					if body != nil {
+						body(k)
+					}
+					return res, nil
+				},
+			}, nil)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx, pass)
+	}()
+	srv := httptest.NewServer(NewHandler(w, sup))
+	tw := &testWorker{w: w, sup: sup, srv: srv, cancel: cancel, done: done}
+	t.Cleanup(tw.stop)
+	return tw
+}
+
+func (tw *testWorker) stop() {
+	tw.srv.Close()
+	tw.cancel()
+	<-tw.done
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func coordOptions(addrs []string, sweep string, m *Merger) Options {
+	return Options{
+		Workers:     addrs,
+		Sweep:       sweep,
+		Merger:      m,
+		Poll:        5 * time.Millisecond,
+		Timeout:     2 * time.Second,
+		MaxFailures: 2,
+		StealMin:    2,
+	}
+}
+
+// TestFleetCompletes: two healthy workers split the sweep and the merged
+// replay matches the serial run exactly, with work on both sides.
+func TestFleetCompletes(t *testing.T) {
+	s := newSweep()
+	sweep := harness.Key("fleet-sweep")
+	w1 := startWorker(t, s, sweep, nil)
+	w2 := startWorker(t, s, sweep, nil)
+
+	m := NewMerger(nil, nil)
+	coord := NewCoordinator(coordOptions([]string{w1.srv.URL, w2.srv.URL}, sweep, m))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := coord.Run(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	s.checkMerged(t, m.Replay())
+	snap := coord.Snapshot()
+	if snap.Merged != nCells {
+		t.Errorf("merged %d entries, want %d", snap.Merged, nCells)
+	}
+	for _, ws := range snap.Workers {
+		if ws.Done == 0 {
+			t.Errorf("worker %s did no cells; hash-range sharding should split a %d-cell sweep", ws.Addr, nCells)
+		}
+	}
+}
+
+// TestWorkerDeathResharded: one worker's cells wedge and its process dies
+// mid-sweep (server torn down); the coordinator must declare it dead after
+// bounded health-check failures, re-shard its range to the survivor, and
+// still produce the exact serial result set.
+func TestWorkerDeathResharded(t *testing.T) {
+	s := newSweep()
+	sweep := harness.Key("death-sweep")
+	w1 := startWorker(t, s, sweep, nil)
+	gate := make(chan struct{})
+	defer close(gate)
+	w2 := startWorker(t, s, sweep, func(string) { <-gate }) // wedged mid-cell, like a kill -9 victim
+
+	m := NewMerger(nil, nil)
+	coord := NewCoordinator(coordOptions([]string{w1.srv.URL, w2.srv.URL}, sweep, m))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- coord.Run(ctx) }()
+
+	// Let the doomed worker receive its shard first — death mid-sweep, not
+	// before it.
+	waitFor(t, 30*time.Second, "worker 2 to ack its shard", func() bool {
+		snap := coord.Snapshot()
+		return len(snap.Workers) == 2 && snap.Workers[1].Assigned > 0
+	})
+	w2.srv.Close()
+
+	if err := <-errc; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	s.checkMerged(t, m.Replay())
+	snap := coord.Snapshot()
+	if snap.DeadWorkers != 1 {
+		t.Errorf("dead workers = %d, want 1", snap.DeadWorkers)
+	}
+	if snap.Resharded == 0 {
+		t.Error("no ranges re-sharded after a worker death")
+	}
+}
+
+// TestStalledWorkerTimesOut: a partitioned worker — accepts connections,
+// never answers — must be cut off by the request deadline and declared
+// dead, not hang the fleet.
+func TestStalledWorkerTimesOut(t *testing.T) {
+	s := newSweep()
+	sweep := harness.Key("stall-sweep")
+	w1 := startWorker(t, s, sweep, nil)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c) // swallow the request, never respond
+		}
+	}()
+
+	m := NewMerger(nil, nil)
+	o := coordOptions([]string{w1.srv.URL, "http://" + ln.Addr().String()}, sweep, m)
+	o.Timeout = 100 * time.Millisecond
+	coord := NewCoordinator(o)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := coord.Run(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	s.checkMerged(t, m.Replay())
+	if snap := coord.Snapshot(); snap.DeadWorkers != 1 {
+		t.Errorf("dead workers = %d, want 1 (the stalled one)", snap.DeadWorkers)
+	}
+}
+
+// TestDoubleAssignDedup: both workers are (wrongly) assigned the whole key
+// space; every cell executes twice, and the merge must keep exactly one
+// bit-identical entry per cell.
+func TestDoubleAssignDedup(t *testing.T) {
+	s := newSweep()
+	sweep := harness.Key("double-sweep")
+	w1 := startWorker(t, s, sweep, nil)
+	w2 := startWorker(t, s, sweep, nil)
+
+	full := Assignment{Schema: ProtoSchema, Sweep: sweep, Gen: 1, Ranges: Split(1)}
+	if err := w1.w.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.w.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	for _, tw := range []*testWorker{w1, w2} {
+		tw := tw
+		waitFor(t, 30*time.Second, "worker to finish the full sweep", func() bool {
+			return tw.w.Status().Complete()
+		})
+	}
+
+	m := NewMerger(nil, nil)
+	for _, tw := range []*testWorker{w1, w2} {
+		entries, _ := tw.w.Log().Since(0)
+		for _, e := range entries {
+			if _, err := m.Merge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.checkMerged(t, m.Replay())
+	if m.Merged() != nCells || m.Duplicates() != nCells {
+		t.Errorf("merged/dups = %d/%d, want %d/%d", m.Merged(), m.Duplicates(), nCells, nCells)
+	}
+}
+
+// TestWorkStealing: one worker wedges mid-shard; once the other is idle,
+// the coordinator steals the straggler's tail. After the wedge clears the
+// sweep completes with the exact serial results, stolen duplicates and all.
+func TestWorkStealing(t *testing.T) {
+	s := newSweep()
+	sweep := harness.Key("steal-sweep")
+	w1 := startWorker(t, s, sweep, nil)
+	gate := make(chan struct{})
+	var gateClosed bool
+	defer func() {
+		if !gateClosed {
+			close(gate)
+		}
+	}()
+	w2 := startWorker(t, s, sweep, func(string) { <-gate })
+
+	m := NewMerger(nil, nil)
+	coord := NewCoordinator(coordOptions([]string{w1.srv.URL, w2.srv.URL}, sweep, m))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- coord.Run(ctx) }()
+
+	waitFor(t, 30*time.Second, "a steal from the straggler", func() bool {
+		return coord.Snapshot().Stolen > 0
+	})
+	close(gate)
+	gateClosed = true
+
+	if err := <-errc; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	s.checkMerged(t, m.Replay())
+	if snap := coord.Snapshot(); snap.Stolen == 0 {
+		t.Error("no cells stolen")
+	}
+}
+
+// TestNoWorkers: an unreachable fleet degrades cleanly — ErrNoWorkers,
+// nothing merged, nothing hung — so the caller can fall back to local
+// execution.
+func TestNoWorkers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "http://" + ln.Addr().String()
+	ln.Close() // nothing listens there any more
+
+	m := NewMerger(nil, nil)
+	o := coordOptions([]string{addr}, harness.Key("ghost-sweep"), m)
+	coord := NewCoordinator(o)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Run(ctx); err != ErrNoWorkers {
+		t.Fatalf("Run = %v, want ErrNoWorkers", err)
+	}
+
+	if err := NewCoordinator(Options{Sweep: "s", Merger: m}).Run(context.Background()); err != ErrNoWorkers {
+		t.Fatalf("empty fleet: Run = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestSweepMismatchIsFatal: a worker started with a different command line
+// (different sweep hash) must be rejected on first contact, not retried
+// into the fleet.
+func TestSweepMismatchIsFatal(t *testing.T) {
+	s := newSweep()
+	w1 := startWorker(t, s, harness.Key("sweep-A"), nil)
+
+	m := NewMerger(nil, nil)
+	coord := NewCoordinator(coordOptions([]string{w1.srv.URL}, harness.Key("sweep-B"), m))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Run(ctx); err != ErrNoWorkers {
+		t.Fatalf("Run = %v, want ErrNoWorkers after the mismatch kills the only worker", err)
+	}
+	if snap := coord.Snapshot(); snap.DeadWorkers != 1 {
+		t.Errorf("dead workers = %d, want 1", snap.DeadWorkers)
+	}
+	if m.Merged() != 0 {
+		t.Errorf("merged %d entries from a mismatched sweep, want 0", m.Merged())
+	}
+}
+
+// TestWorkerJournalEndpointPaging: the journal stream resumes exactly at
+// `since`, entry-aligned.
+func TestWorkerJournalEndpointPaging(t *testing.T) {
+	s := newSweep()
+	sweep := harness.Key("page-sweep")
+	w1 := startWorker(t, s, sweep, nil)
+	if err := w1.w.Apply(Assignment{Schema: ProtoSchema, Sweep: sweep, Gen: 1, Ranges: Split(1)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "full sweep", func() bool { return w1.w.Status().Complete() })
+
+	m := NewMerger(nil, nil)
+	c := NewCoordinator(coordOptions([]string{w1.srv.URL}, sweep, m))
+	half := nCells / 2
+	next, err := c.pullJournal(context.Background(), w1.srv.URL, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != nCells {
+		t.Fatalf("next = %d, want %d", next, nCells)
+	}
+	if got := int(m.Merged()); got != nCells-half {
+		t.Fatalf("merged %d entries from since=%d, want %d", got, half, nCells-half)
+	}
+}

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"sync"
+
+	"ipex/internal/harness"
+)
+
+// Log is a worker's in-memory, append-only journal entry log: the
+// Supervisor streams finished cells into it (it is a harness.Sink), and
+// the coordinator drains it over HTTP with Since. Entries are kept for the
+// worker's lifetime — a sweep's entry set is far smaller than the
+// simulation state that produced it, and keeping everything lets a
+// coordinator that lost its own progress (restart, partition heal)
+// re-pull from zero.
+type Log struct {
+	mu      sync.Mutex
+	entries []harness.Entry
+}
+
+// Append records one entry. Implements harness.Sink; never fails.
+func (l *Log) Append(e harness.Entry) error {
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of entries appended so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Since returns a copy of the entries from sequence number n (0-based) on,
+// and the next sequence number. Out-of-range n yields an empty batch.
+func (l *Log) Since(n int) ([]harness.Entry, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(l.entries) {
+		return nil, len(l.entries)
+	}
+	out := make([]harness.Entry, len(l.entries)-n)
+	copy(out, l.entries[n:])
+	return out, len(l.entries)
+}
+
+// Tee fans one journal stream out to several sinks (the worker's in-memory
+// log plus, optionally, its own durable segment file). The first error
+// wins but every sink still sees the entry — a failing local file must not
+// stop entries from reaching the coordinator.
+func Tee(sinks ...harness.Sink) harness.Sink {
+	return teeSink(sinks)
+}
+
+type teeSink []harness.Sink
+
+func (t teeSink) Append(e harness.Entry) error {
+	var first error
+	for _, s := range t {
+		if s == nil {
+			continue
+		}
+		if err := s.Append(e); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

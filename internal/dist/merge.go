@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+
+	"ipex/internal/harness"
+)
+
+// Merger folds journal entries from many sources — worker HTTP streams,
+// worker-local segment files, a resumed coordinator journal — into the one
+// authoritative journal and its replay map. The merge discipline is
+// per-key, success-wins:
+//
+//   - The first KindCell entry for a key is appended to the authoritative
+//     journal and installed in the replay map. Later KindCell entries for
+//     the same key are duplicates (double-assigned or stolen cells execute
+//     more than once); cells are deterministic, so the bodies are
+//     bit-identical and the duplicate is simply dropped — the journal
+//     stays free of redundant lines.
+//   - A KindCell entry replaces a previously merged KindFail for its key
+//     (a cell that failed on one worker and succeeded elsewhere, or
+//     succeeded on retry): that is the "later entry wins" rule the serial
+//     journal already applies to retried cells, and the append preserves
+//     it for a future resume, where the file is replayed in order.
+//   - A KindFail never displaces a KindCell: a success, once durable, is
+//     final.
+//
+// All methods are safe for concurrent use.
+type Merger struct {
+	mu      sync.Mutex
+	journal harness.Sink
+	replay  map[string]*harness.Entry
+	merged  uint64
+	dups    uint64
+}
+
+// NewMerger wraps the authoritative journal sink (nil for a map-only
+// merge, as in tests) and the replay map it extends. replay may hold a
+// resumed coordinator journal's entries; nil allocates fresh.
+func NewMerger(journal harness.Sink, replay map[string]*harness.Entry) *Merger {
+	if replay == nil {
+		replay = make(map[string]*harness.Entry)
+	}
+	return &Merger{journal: journal, replay: replay}
+}
+
+// Merge folds one entry in, returning true when it changed the replay map
+// (false for duplicates and non-cell kinds). A journal append failure is
+// reported but the replay map is still updated — the merge must not lose
+// an entry the fleet already paid to compute.
+func (m *Merger) Merge(e harness.Entry) (bool, error) {
+	if e.Key == "" {
+		return false, nil
+	}
+	switch e.Kind {
+	case harness.KindCell, harness.KindFail:
+	default:
+		return false, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.replay[e.Key]; ok {
+		// Success is final; a duplicate of anything is dropped.
+		if prev.Kind == harness.KindCell || e.Kind == harness.KindFail {
+			m.dups++
+			return false, nil
+		}
+	}
+	ec := e
+	m.replay[e.Key] = &ec
+	m.merged++
+	var err error
+	if m.journal != nil {
+		if aerr := m.journal.Append(e); aerr != nil {
+			err = fmt.Errorf("dist: appending merged entry to authoritative journal: %w", aerr)
+		}
+	}
+	return true, err
+}
+
+// Replay returns the merge target map (live, not a copy): hand it to the
+// final rendering pass's Supervisor after the fleet is done.
+func (m *Merger) Replay() map[string]*harness.Entry { return m.replay }
+
+// Merged and Duplicates report how many entries changed the replay map vs.
+// were dropped as duplicates.
+func (m *Merger) Merged() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.merged
+}
+
+func (m *Merger) Duplicates() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dups
+}
+
+// DoneWithin lists merged keys covered by the given assignment (ranges ∪
+// keys): the Done list a fresh assignment carries so the assignee skips
+// already-merged cells.
+func (m *Merger) DoneWithin(ranges []KeyRange, keys []string) []string {
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var done []string
+	for k := range m.replay {
+		if inAssignment(k, ranges, set) {
+			done = append(done, k)
+		}
+	}
+	return done
+}
+
+// MergeSegment folds one worker-local journal segment file into the
+// merger. A segment is a complete ipex-journal/v1 file (header line first);
+// a segment whose header is missing, speaks a different schema, or hashes
+// a different sweep is rejected whole — the error condemns only that
+// segment, never the sweep, and the merger is untouched by it. Inside an
+// accepted segment, corrupted or truncated lines are skipped with warnings
+// (their cells simply re-run), matching the tolerance of a serial resume.
+func MergeSegment(m *Merger, path, sweepKey string) (merged int, warns []string, err error) {
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return 0, nil, fmt.Errorf("dist: reading segment: %w", rerr)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		e, perr := harness.ParseLine(raw)
+		if !sawHeader {
+			// The first non-empty line must be a valid header for this
+			// sweep; anything else condemns the segment before any entry
+			// of it is merged.
+			if perr != nil || e.Kind != harness.KindHeader {
+				return 0, nil, fmt.Errorf("dist: segment %s has no valid header line; not a journal segment", path)
+			}
+			if e.Schema != harness.Schema {
+				return 0, nil, fmt.Errorf("dist: segment %s has schema %q, this binary merges %q", path, e.Schema, harness.Schema)
+			}
+			if e.Sweep != sweepKey {
+				return 0, nil, fmt.Errorf("dist: segment %s was written for sweep %s, merging sweep %s; segment rejected", path, e.Sweep, sweepKey)
+			}
+			sawHeader = true
+			continue
+		}
+		if perr != nil {
+			warns = append(warns, fmt.Sprintf("%s:%d: skipping corrupted segment line (%v); its cell, if any, will be re-run", path, line, perr))
+			continue
+		}
+		if changed, merr := m.Merge(e); merr != nil {
+			warns = append(warns, merr.Error())
+		} else if changed {
+			merged++
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return merged, warns, fmt.Errorf("dist: reading segment %s: %w", path, serr)
+	}
+	if !sawHeader {
+		return 0, warns, fmt.Errorf("dist: segment %s has no valid header line; not a journal segment", path)
+	}
+	return merged, warns, nil
+}
+
+// MergeSegments folds every segment in, independently: one rejected or
+// unreadable segment (stale sweep hash, foreign schema, missing header)
+// contributes an error and nothing else, while the remaining segments
+// still merge — losing one worker's local file must never cost the fleet's
+// progress.
+func MergeSegments(m *Merger, paths []string, sweepKey string) (merged int, warns []string, errs []error) {
+	for _, p := range paths {
+		n, w, err := MergeSegment(m, p, sweepKey)
+		merged += n
+		warns = append(warns, w...)
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return merged, warns, errs
+}

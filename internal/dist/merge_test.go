@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipex/internal/harness"
+	"ipex/internal/nvp"
+)
+
+func cellEntry(key string, insts uint64) harness.Entry {
+	return harness.Entry{
+		Kind: harness.KindCell,
+		Key:  key,
+		App:  "app-" + key[:4],
+		Result: &nvp.Result{
+			App: "app-" + key[:4], Completed: true,
+			Insts: insts, Cycles: insts * 2, OnCycles: insts, OffCycles: insts,
+		},
+	}
+}
+
+func failEntry(key string) harness.Entry {
+	return harness.Entry{Kind: harness.KindFail, Key: key, App: "app", Error: "boom"}
+}
+
+func TestMergeSuccessWins(t *testing.T) {
+	m := NewMerger(nil, nil)
+	k := harness.Key("cell")
+
+	if ch, _ := m.Merge(cellEntry(k, 10)); !ch {
+		t.Fatal("first cell entry must merge")
+	}
+	if ch, _ := m.Merge(cellEntry(k, 10)); ch {
+		t.Fatal("duplicate cell entry must drop")
+	}
+	if ch, _ := m.Merge(failEntry(k)); ch {
+		t.Fatal("a fail must never displace a merged cell")
+	}
+	if got := m.Replay()[k]; got == nil || got.Kind != harness.KindCell {
+		t.Fatalf("replay[%s] = %+v, want the cell entry", k, got)
+	}
+
+	k2 := harness.Key("cell2")
+	if ch, _ := m.Merge(failEntry(k2)); !ch {
+		t.Fatal("first fail entry must merge")
+	}
+	if ch, _ := m.Merge(cellEntry(k2, 7)); !ch {
+		t.Fatal("a cell must replace a merged fail")
+	}
+	if got := m.Replay()[k2]; got.Kind != harness.KindCell {
+		t.Fatalf("replay[%s].Kind = %s after success, want cell", k2, got.Kind)
+	}
+	if m.Merged() != 3 || m.Duplicates() != 2 {
+		t.Fatalf("merged/dups = %d/%d, want 3/2", m.Merged(), m.Duplicates())
+	}
+
+	// Non-cell kinds and keyless entries are ignored outright.
+	if ch, _ := m.Merge(harness.Entry{Kind: harness.KindHeader, Schema: harness.Schema}); ch {
+		t.Fatal("header entries must not merge")
+	}
+	if ch, _ := m.Merge(harness.Entry{Kind: harness.KindCell}); ch {
+		t.Fatal("keyless entries must not merge")
+	}
+}
+
+// writeSegment builds a worker-local journal segment file: a header line
+// for the given schema+sweep, then the entries as JSONL, then rawTail
+// verbatim (for corruption tests).
+func writeSegment(t *testing.T, dir, name, schema, sweep string, entries []harness.Entry, rawTail string) string {
+	t.Helper()
+	var b strings.Builder
+	hdr, _ := json.Marshal(harness.Entry{Kind: harness.KindHeader, Schema: schema, Sweep: sweep})
+	b.Write(hdr)
+	b.WriteByte('\n')
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(rawTail)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeSegmentsDuplicateKeys: the same cell journaled by two workers
+// (double-assigned or stolen) must merge exactly once.
+func TestMergeSegmentsDuplicateKeys(t *testing.T) {
+	dir := t.TempDir()
+	sweep := harness.Key("sweep")
+	ka, kb := harness.Key("a"), harness.Key("b")
+	s1 := writeSegment(t, dir, "w1.jsonl", harness.Schema, sweep,
+		[]harness.Entry{cellEntry(ka, 10), cellEntry(kb, 20)}, "")
+	s2 := writeSegment(t, dir, "w2.jsonl", harness.Schema, sweep,
+		[]harness.Entry{cellEntry(kb, 20), cellEntry(ka, 10)}, "")
+
+	m := NewMerger(nil, nil)
+	merged, warns, errs := MergeSegments(m, []string{s1, s2}, sweep)
+	if len(errs) != 0 || len(warns) != 0 {
+		t.Fatalf("errs=%v warns=%v", errs, warns)
+	}
+	if merged != 2 || m.Duplicates() != 2 {
+		t.Fatalf("merged=%d dups=%d, want 2 and 2", merged, m.Duplicates())
+	}
+	if len(m.Replay()) != 2 {
+		t.Fatalf("replay holds %d keys, want 2", len(m.Replay()))
+	}
+}
+
+// TestMergeSegmentCorruptedTail: a torn final line (the worker was killed
+// mid-write) costs only that line, with a warning pointing at the re-run.
+func TestMergeSegmentCorruptedTail(t *testing.T) {
+	dir := t.TempDir()
+	sweep := harness.Key("sweep")
+	ka := harness.Key("a")
+	path := writeSegment(t, dir, "torn.jsonl", harness.Schema, sweep,
+		[]harness.Entry{cellEntry(ka, 5)}, `{"kind":"cell","key":"beef","result":{"app":"x`)
+
+	m := NewMerger(nil, nil)
+	merged, warns, err := MergeSegment(m, path, sweep)
+	if err != nil {
+		t.Fatalf("a torn tail must not condemn the segment: %v", err)
+	}
+	if merged != 1 {
+		t.Fatalf("merged = %d, want 1", merged)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "re-run") {
+		t.Fatalf("warns = %v, want one pointing at the re-run", warns)
+	}
+	if m.Replay()[ka] == nil {
+		t.Fatal("the intact entry before the torn line must merge")
+	}
+}
+
+// TestMergeSegmentStaleSweep: a segment whose header hashes a different
+// sweep is rejected whole — its entries belong to a different experiment —
+// while sibling segments still merge.
+func TestMergeSegmentStaleSweep(t *testing.T) {
+	dir := t.TempDir()
+	sweep := harness.Key("sweep")
+	ka, kb := harness.Key("a"), harness.Key("b")
+	good := writeSegment(t, dir, "good.jsonl", harness.Schema, sweep,
+		[]harness.Entry{cellEntry(ka, 5)}, "")
+	stale := writeSegment(t, dir, "stale.jsonl", harness.Schema, harness.Key("older sweep"),
+		[]harness.Entry{cellEntry(kb, 9)}, "")
+
+	m := NewMerger(nil, nil)
+	merged, _, errs := MergeSegments(m, []string{stale, good}, sweep)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "sweep") {
+		t.Fatalf("errs = %v, want exactly one sweep-mismatch rejection", errs)
+	}
+	if merged != 1 || len(m.Replay()) != 1 || m.Replay()[ka] == nil {
+		t.Fatalf("good segment must merge despite the stale sibling: merged=%d replay=%v", merged, m.Replay())
+	}
+	if m.Replay()[kb] != nil {
+		t.Fatal("no entry of the rejected segment may leak into the replay map")
+	}
+}
+
+// TestMergeSegmentRejections: foreign schema and missing header condemn a
+// segment before any entry merges.
+func TestMergeSegmentRejections(t *testing.T) {
+	dir := t.TempDir()
+	sweep := harness.Key("sweep")
+	ka := harness.Key("a")
+
+	foreign := writeSegment(t, dir, "foreign.jsonl", "ipex-journal/v999", sweep,
+		[]harness.Entry{cellEntry(ka, 5)}, "")
+	m := NewMerger(nil, nil)
+	if _, _, err := MergeSegment(m, foreign, sweep); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema: err = %v", err)
+	}
+
+	headless := filepath.Join(dir, "headless.jsonl")
+	line, _ := json.Marshal(cellEntry(ka, 5))
+	if err := os.WriteFile(headless, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergeSegment(m, headless, sweep); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("missing header: err = %v", err)
+	}
+	if len(m.Replay()) != 0 {
+		t.Fatal("rejected segments must leave the merger untouched")
+	}
+
+	if _, _, err := MergeSegment(m, filepath.Join(dir, "absent.jsonl"), sweep); err == nil {
+		t.Fatal("an unreadable segment must error")
+	}
+}

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ipex/internal/harness"
+)
+
+// HeaderNext carries the next journal sequence number on a
+// /dist/v1/journal response: the `since` value that continues the pull.
+const HeaderNext = "X-Ipex-Dist-Next"
+
+// HeaderSweep carries the worker's sweep hash on journal responses so a
+// coordinator never merges a stream from the wrong sweep, even if routing
+// goes sideways.
+const HeaderSweep = "X-Ipex-Dist-Sweep"
+
+// maxAssignmentBody bounds an assignment POST (ranges + keys + done lists;
+// even a million-cell sweep's done list fits in a few tens of MB).
+const maxAssignmentBody = 1 << 27
+
+// NewHandler serves a worker's wire protocol. sup may be nil; when set,
+// its counters are exported on /metrics alongside the worker's progress
+// gauges.
+func NewHandler(w *Worker, sup *harness.Supervisor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathAssign, func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var a Assignment
+		dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxAssignmentBody))
+		if err := dec.Decode(&a); err != nil {
+			http.Error(rw, fmt.Sprintf("bad assignment body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if err := w.Apply(a); err != nil {
+			// Wrong protocol or wrong sweep: a hard conflict, not a retryable
+			// failure — the coordinator should drop this worker, not back off.
+			http.Error(rw, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(rw, w.Status())
+	})
+	mux.HandleFunc(PathStatus, func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, w.Status())
+	})
+	mux.HandleFunc(PathJournal, func(rw http.ResponseWriter, r *http.Request) {
+		since := 0
+		if s := r.URL.Query().Get("since"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(rw, "since must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			since = n
+		}
+		entries, next := w.Log().Since(since)
+		rw.Header().Set("Content-Type", "application/jsonl")
+		rw.Header().Set(HeaderNext, strconv.Itoa(next))
+		rw.Header().Set(HeaderSweep, w.sweep)
+		enc := json.NewEncoder(rw)
+		for _, e := range entries {
+			if err := enc.Encode(e); err != nil {
+				return // client gone; it will re-pull from its last seq
+			}
+		}
+	})
+	mux.HandleFunc(PathRemaining, func(rw http.ResponseWriter, r *http.Request) {
+		max := 0
+		if s := r.URL.Query().Get("max"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(rw, "max must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		writeJSON(rw, RemainingKeys{Keys: w.Remaining(max)})
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		st := w.Status()
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(rw, "ipex_dist_worker_universe %d\n", st.Universe)
+		fmt.Fprintf(rw, "ipex_dist_worker_assigned %d\n", st.Assigned)
+		fmt.Fprintf(rw, "ipex_dist_worker_done %d\n", st.Done)
+		fmt.Fprintf(rw, "ipex_dist_worker_remaining %d\n", st.Remaining)
+		fmt.Fprintf(rw, "ipex_dist_worker_seq %d\n", st.Seq)
+		fmt.Fprintf(rw, "ipex_dist_worker_passes %d\n", st.Passes)
+		fmt.Fprintf(rw, "ipex_dist_worker_gen %d\n", st.Gen)
+		if sup != nil {
+			cs := sup.Counters.Snapshot()
+			fmt.Fprintf(rw, "ipex_cells_executed %d\n", cs.Executed)
+			fmt.Fprintf(rw, "ipex_cells_replayed %d\n", cs.Replayed)
+			fmt.Fprintf(rw, "ipex_cells_skipped %d\n", cs.Skipped)
+			fmt.Fprintf(rw, "ipex_cell_retries %d\n", cs.Retried)
+			fmt.Fprintf(rw, "ipex_cell_timeouts %d\n", cs.Timeouts)
+			fmt.Fprintf(rw, "ipex_cell_panics %d\n", cs.Panics)
+			fmt.Fprintf(rw, "ipex_cell_failures %d\n", cs.Failures)
+		}
+	})
+	return mux
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(v)
+}

@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/big"
+)
+
+// keyBits is the width of a cell key: harness.Key truncates SHA-256 to 32
+// hex digits, i.e. 128 bits. Keys are uniformly distributed (they are
+// cryptographic hash prefixes), so splitting the 128-bit space into equal
+// contiguous ranges balances cell counts across workers without anyone
+// enumerating the universe first.
+const keyBits = 128
+
+// KeyRange is a half-open interval of the cell-key space: Lo inclusive, Hi
+// exclusive, both 32-digit lowercase hex (equal-length strings compare
+// correctly byte-wise). An empty Hi means "to the end of the space".
+type KeyRange struct {
+	Lo string `json:"lo"`
+	Hi string `json:"hi,omitempty"`
+}
+
+// Contains reports whether key falls in the range.
+func (r KeyRange) Contains(key string) bool {
+	if key < r.Lo {
+		return false
+	}
+	return r.Hi == "" || key < r.Hi
+}
+
+// String renders the range for logs.
+func (r KeyRange) String() string {
+	hi := r.Hi
+	if hi == "" {
+		hi = "∞"
+	}
+	return fmt.Sprintf("[%s, %s)", r.Lo, hi)
+}
+
+// Split partitions the whole key space into n contiguous, disjoint,
+// collectively exhaustive ranges of equal width. n < 1 is treated as 1.
+func Split(n int) []KeyRange {
+	if n < 1 {
+		n = 1
+	}
+	space := new(big.Int).Lsh(big.NewInt(1), keyBits)
+	ranges := make([]KeyRange, n)
+	for i := 0; i < n; i++ {
+		lo := boundary(space, i, n)
+		ranges[i] = KeyRange{Lo: lo}
+		if i > 0 {
+			ranges[i-1].Hi = lo
+		}
+	}
+	ranges[0].Lo = zeroKey()
+	return ranges
+}
+
+// boundary returns i*2^128/n as a 32-digit hex key.
+func boundary(space *big.Int, i, n int) string {
+	b := new(big.Int).Mul(space, big.NewInt(int64(i)))
+	b.Div(b, big.NewInt(int64(n)))
+	buf := make([]byte, keyBits/8)
+	b.FillBytes(buf)
+	return hex.EncodeToString(buf)
+}
+
+func zeroKey() string {
+	return "00000000000000000000000000000000"
+}
+
+// inAssignment reports whether key is covered by any of the ranges or the
+// explicit key set.
+func inAssignment(key string, ranges []KeyRange, keys map[string]bool) bool {
+	if keys[key] {
+		return true
+	}
+	for _, r := range ranges {
+		if r.Contains(key) {
+			return true
+		}
+	}
+	return false
+}

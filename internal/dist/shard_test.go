@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"ipex/internal/harness"
+)
+
+// TestSplitPartitionsSpace: for a spread of fleet sizes, the ranges must
+// be contiguous, disjoint, and collectively exhaustive, and every real
+// cell key must land in exactly one range.
+func TestSplitPartitionsSpace(t *testing.T) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = harness.Key(struct{ I int }{i})
+	}
+	for _, n := range []int{1, 2, 3, 5, 7, 16} {
+		ranges := Split(n)
+		if len(ranges) != n {
+			t.Fatalf("Split(%d) = %d ranges", n, len(ranges))
+		}
+		if ranges[0].Lo != zeroKey() {
+			t.Errorf("Split(%d): first range starts at %s", n, ranges[0].Lo)
+		}
+		if ranges[n-1].Hi != "" {
+			t.Errorf("Split(%d): last range ends at %q, want open end", n, ranges[n-1].Hi)
+		}
+		for i := 1; i < n; i++ {
+			if ranges[i].Lo != ranges[i-1].Hi {
+				t.Errorf("Split(%d): gap between %s and %s", n, ranges[i-1], ranges[i])
+			}
+			if len(ranges[i].Lo) != keyBits/4 {
+				t.Errorf("Split(%d): boundary %q is not %d hex digits", n, ranges[i].Lo, keyBits/4)
+			}
+		}
+		for _, k := range keys {
+			owners := 0
+			for _, r := range ranges {
+				if r.Contains(k) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Errorf("Split(%d): key %s has %d owners", n, k, owners)
+			}
+		}
+	}
+	if got := Split(0); len(got) != 1 {
+		t.Errorf("Split(0) = %d ranges, want 1", len(got))
+	}
+}
+
+func TestKeyRangeContains(t *testing.T) {
+	r := KeyRange{Lo: "40000000000000000000000000000000", Hi: "80000000000000000000000000000000"}
+	for key, want := range map[string]bool{
+		"40000000000000000000000000000000": true,  // Lo inclusive
+		"7fffffffffffffffffffffffffffffff": true,
+		"80000000000000000000000000000000": false, // Hi exclusive
+		"3fffffffffffffffffffffffffffffff": false,
+		"ffffffffffffffffffffffffffffffff": false,
+	} {
+		if got := r.Contains(key); got != want {
+			t.Errorf("%s.Contains(%s) = %v, want %v", r, key, got, want)
+		}
+	}
+	open := KeyRange{Lo: "c0000000000000000000000000000000"}
+	if !open.Contains("ffffffffffffffffffffffffffffffff") {
+		t.Error("open-ended range must contain the top of the space")
+	}
+	if open.Contains("00000000000000000000000000000000") {
+		t.Error("open-ended range must still respect Lo")
+	}
+}
+
+func TestInAssignment(t *testing.T) {
+	ranges := []KeyRange{{Lo: "00000000000000000000000000000000", Hi: "10000000000000000000000000000000"}}
+	keys := map[string]bool{"deadbeefdeadbeefdeadbeefdeadbeef": true}
+	cases := []struct {
+		key  string
+		want bool
+	}{
+		{"0abc0000000000000000000000000000", true},  // in range
+		{"deadbeefdeadbeefdeadbeefdeadbeef", true},  // explicit key
+		{"20000000000000000000000000000000", false}, // neither
+	}
+	for _, c := range cases {
+		if got := inAssignment(c.key, ranges, keys); got != c.want {
+			t.Errorf("inAssignment(%s) = %v, want %v", c.key, got, c.want)
+		}
+	}
+}
+
+func TestSplitBalance(t *testing.T) {
+	// Hash keys are uniform, so a 4-way split of 400 keys should put
+	// roughly 100 in each range; a wildly skewed split would mean broken
+	// boundary math. Allow a generous ±50%.
+	ranges := Split(4)
+	counts := make([]int, len(ranges))
+	for i := 0; i < 400; i++ {
+		k := harness.Key(fmt.Sprintf("cell-%d", i))
+		for j, r := range ranges {
+			if r.Contains(k) {
+				counts[j]++
+			}
+		}
+	}
+	for j, c := range counts {
+		if c < 50 || c > 150 {
+			t.Errorf("range %d holds %d of 400 keys; boundaries look skewed: %v", j, c, counts)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package dist
+
+import (
+	"context"
+	"sync"
+
+	"ipex/internal/harness"
+)
+
+// Worker is the state machine of one distributed sweep worker. The driver
+// (cmd/experiments -worker) wires it into a sweep in three places:
+//
+//   - Supervisor.Skip = w.Skip — the shard filter. The worker re-runs the
+//     whole sweep definition locally, and the filter lets through only
+//     cells inside its current assignment that are not yet done.
+//   - Supervisor.Journal = w.Sink() — finished cells stream into the
+//     in-memory Log the coordinator drains over HTTP.
+//   - w.Run(ctx, pass) — the pass loop: one enumeration pass to learn the
+//     sweep's cell universe (everything skipped, keys recorded), then an
+//     execution pass whenever assigned undone cells exist.
+//
+// The enumeration pass is what makes key-range sharding workable without
+// any central cell list: hashing every cell of the sweep costs milliseconds
+// per thousand cells, after which the worker can answer exactly which keys
+// of its assignment remain — the coordinator steals from that answer.
+type Worker struct {
+	sweep string
+	log   *Log
+
+	mu          sync.Mutex
+	universe    []string // unique cell keys in first-seen order
+	inUniverse  map[string]bool
+	ranges      []KeyRange
+	keys        map[string]bool
+	done        map[string]bool
+	gen         int64
+	enumerating bool
+	enumerated  bool
+	passes      int64
+
+	wake chan struct{}
+}
+
+// NewWorker builds a worker for the sweep identified by sweepKey (the
+// same harness.Key hash the journal header carries; assignments for any
+// other sweep are rejected).
+func NewWorker(sweepKey string) *Worker {
+	return &Worker{
+		sweep:      sweepKey,
+		log:        &Log{},
+		inUniverse: make(map[string]bool),
+		keys:       make(map[string]bool),
+		done:       make(map[string]bool),
+		wake:       make(chan struct{}, 1),
+	}
+}
+
+// Log exposes the worker's journal entry log (the coordinator's pull
+// source).
+func (w *Worker) Log() *Log { return w.log }
+
+// Sink returns the journal sink the sweep's Supervisor must write to:
+// entries land in the log first, then mark the cell done — that order is
+// what lets the coordinator trust "remaining == 0 at seq S" to mean every
+// done cell's entry exists at a sequence number ≤ S.
+func (w *Worker) Sink() harness.Sink { return workerSink{w} }
+
+type workerSink struct{ w *Worker }
+
+func (s workerSink) Append(e harness.Entry) error {
+	err := s.w.log.Append(e)
+	if e.Key != "" && (e.Kind == harness.KindCell || e.Kind == harness.KindFail) {
+		s.w.mu.Lock()
+		s.w.done[e.Key] = true
+		s.w.mu.Unlock()
+	}
+	return err
+}
+
+// Skip is the Supervisor filter: record the key into the universe, then
+// skip it unless it is assigned, undone, and this is an execution pass.
+func (w *Worker) Skip(key string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.inUniverse[key] {
+		w.inUniverse[key] = true
+		w.universe = append(w.universe, key)
+	}
+	if w.enumerating || w.done[key] {
+		return true
+	}
+	return !inAssignment(key, w.ranges, w.keys)
+}
+
+// Apply folds an assignment in (cumulative: ranges and keys union, done
+// keys mark). Stale generations are ignored — a retried POST that raced a
+// newer assignment must not regress anything — and a fresh one wakes the
+// pass loop.
+func (w *Worker) Apply(a Assignment) error {
+	if err := validate("assignment", a.Schema, a.Sweep, w.sweep); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if a.Gen < w.gen {
+		w.mu.Unlock()
+		return nil
+	}
+	w.gen = a.Gen
+	w.ranges = append(w.ranges, a.Ranges...)
+	for _, k := range a.Keys {
+		w.keys[k] = true
+	}
+	for _, k := range a.Done {
+		w.done[k] = true
+	}
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Status reports health and progress. The journal sequence number is read
+// after the remaining count on purpose: done implies appended, so a status
+// with Remaining == 0 guarantees every assigned cell's entry sits at a
+// sequence number ≤ Seq — the coordinator may stop pulling at Seq without
+// losing an entry.
+func (w *Worker) Status() Status {
+	w.mu.Lock()
+	st := Status{
+		Schema:     ProtoSchema,
+		Sweep:      w.sweep,
+		Gen:        w.gen,
+		Enumerated: w.enumerated,
+		Universe:   len(w.universe),
+		Passes:     w.passes,
+	}
+	for _, k := range w.universe {
+		if inAssignment(k, w.ranges, w.keys) {
+			st.Assigned++
+			if w.done[k] {
+				st.Done++
+			} else {
+				st.Remaining++
+			}
+		}
+	}
+	w.mu.Unlock()
+	st.Seq = w.log.Len()
+	return st
+}
+
+// Remaining lists assigned, enumerated, not-yet-done keys in enumeration
+// order (at most max when max > 0). The tail of this list is what a
+// coordinator steals: the head is what this worker's own pool dispatches
+// next.
+func (w *Worker) Remaining(max int) []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, k := range w.universe {
+		if !w.done[k] && inAssignment(k, w.ranges, w.keys) {
+			out = append(out, k)
+			if max > 0 && len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (w *Worker) remainingCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, k := range w.universe {
+		if !w.done[k] && inAssignment(k, w.ranges, w.keys) {
+			n++
+		}
+	}
+	return n
+}
+
+// Run drives the pass loop until ctx is cancelled: enumerate once, then
+// execute whenever assigned undone cells exist, otherwise sleep until an
+// assignment wakes it. pass runs the full sweep definition under the
+// worker's filter; its rendered output is meaningless (skipped cells
+// return placeholders) and the driver discards it — only the journaled
+// entries matter.
+func (w *Worker) Run(ctx context.Context, pass func(context.Context)) error {
+	w.mu.Lock()
+	w.enumerating = true
+	w.mu.Unlock()
+	pass(ctx)
+	w.mu.Lock()
+	w.enumerating = false
+	w.enumerated = true
+	w.mu.Unlock()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w.remainingCount() > 0 {
+			pass(ctx)
+			w.mu.Lock()
+			w.passes++
+			w.mu.Unlock()
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.wake:
+		}
+	}
+}

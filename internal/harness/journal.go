@@ -26,6 +26,15 @@ const (
 	KindFail   = "fail"
 )
 
+// Sink receives journal entries. *Journal is the durable file-backed
+// implementation; the distributed layer (internal/dist) supplies in-memory
+// logs that stream entries to a coordinator instead of (or in addition to)
+// a local file. A Supervisor writes through this interface so the two are
+// interchangeable.
+type Sink interface {
+	Append(Entry) error
+}
+
 // Entry is one journal line.
 type Entry struct {
 	Kind string `json:"kind"`
@@ -86,6 +95,36 @@ func CreateJournal(path, sweepKey string) (*Journal, error) {
 	return j, nil
 }
 
+// ParseLine decodes and validates one journal line. It is the single line
+// parser behind ResumeJournal and the distributed segment merge
+// (internal/dist), and the surface FuzzJournalLine hardens: any input must
+// either yield a structurally valid entry or an error, never a panic and
+// never a half-valid entry (a KindCell without a key or result, say) that
+// replay could mistake for a simulation.
+func ParseLine(raw []byte) (Entry, error) {
+	var e Entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return Entry{}, fmt.Errorf("harness: corrupted journal line: %w", err)
+	}
+	switch e.Kind {
+	case KindHeader:
+		if e.Schema == "" {
+			return Entry{}, fmt.Errorf("harness: header line without a schema")
+		}
+	case KindCell:
+		if e.Key == "" || e.Result == nil {
+			return Entry{}, fmt.Errorf("harness: incomplete cell entry")
+		}
+	case KindFail:
+		if e.Key == "" {
+			return Entry{}, fmt.Errorf("harness: fail entry without a key")
+		}
+	default:
+		return Entry{}, fmt.Errorf("harness: unknown journal entry kind %q", e.Kind)
+	}
+	return e, nil
+}
+
 // ResumeJournal reopens an existing journal for the sweep identified by
 // sweepKey and loads its replayable entries. It returns the journal (opened
 // for further appends), the entry map keyed by cell hash (later entries
@@ -110,9 +149,9 @@ func ResumeJournal(path, sweepKey string) (*Journal, map[string]*Entry, []string
 		if len(raw) == 0 {
 			continue
 		}
-		var e Entry
-		if err := json.Unmarshal(raw, &e); err != nil {
-			warnings = append(warnings, fmt.Sprintf("%s:%d: skipping corrupted journal line (%v); its cell will be re-run", path, line, err))
+		e, perr := ParseLine(raw)
+		if perr != nil {
+			warnings = append(warnings, fmt.Sprintf("%s:%d: skipping corrupted journal line (%v); its cell, if any, will be re-run", path, line, perr))
 			continue
 		}
 		switch e.Kind {
@@ -124,21 +163,9 @@ func ResumeJournal(path, sweepKey string) (*Journal, map[string]*Entry, []string
 				return nil, nil, nil, fmt.Errorf("harness: journal %s was written for a different sweep (journal %s, current %s): scale, seed, app set, or supervision flags changed — remove the journal or rerun the original command line", path, e.Sweep, sweepKey)
 			}
 			sawHeader = true
-		case KindCell:
-			if e.Key == "" || e.Result == nil {
-				warnings = append(warnings, fmt.Sprintf("%s:%d: skipping incomplete cell entry; its cell will be re-run", path, line))
-				continue
-			}
+		case KindCell, KindFail:
 			ec := e
 			entries[e.Key] = &ec
-		case KindFail:
-			if e.Key == "" {
-				continue
-			}
-			ec := e
-			entries[e.Key] = &ec
-		default:
-			warnings = append(warnings, fmt.Sprintf("%s:%d: skipping unknown journal entry kind %q", path, line, e.Kind))
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -19,17 +19,30 @@ func backstopContext(d time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), d)
 }
 
-// backoff sleeps the deterministic exponential delay before retry number
-// `attempt` (1-based): BackoffBase << (attempt-1), capped at 32× the base.
-// No jitter: the schedule depends only on the attempt count, so retry
-// behaviour is reproducible run to run.
+// BackoffDelay is the deterministic exponential delay before retry number
+// `attempt` (1-based): base << (attempt-1), capped at 32× the base. No
+// jitter: the schedule depends only on the attempt count, so retry
+// behaviour is reproducible run to run. Exported because the distributed
+// coordinator (internal/dist) spaces its worker health-check retries on
+// the same curve.
+func BackoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 5 {
+		shift = 5
+	}
+	return base << shift
+}
+
+// backoff sleeps the deterministic retry delay (see BackoffDelay).
 func (s *Supervisor) backoff(attempt int) {
 	if s == nil || s.BackoffBase <= 0 {
 		return
 	}
-	shift := attempt - 1
-	if shift > 5 {
-		shift = 5
-	}
-	time.Sleep(s.BackoffBase << shift)
+	time.Sleep(BackoffDelay(s.BackoffBase, attempt))
 }

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"ipex/internal/benchio"
@@ -90,13 +92,14 @@ type Store struct {
 
 	// Counters are nil-safe handles; a Store built without a registry
 	// discards them.
-	memHits   *trace.Counter
-	diskHits  *trace.Counter
-	computed  *trace.Counter
-	coalesced *trace.Counter
-	evicted   *trace.Counter
-	corrupt   *trace.Counter
-	failures  *trace.Counter
+	memHits     *trace.Counter
+	diskHits    *trace.Counter
+	computed    *trace.Counter
+	coalesced   *trace.Counter
+	evicted     *trace.Counter
+	diskEvicted *trace.Counter
+	corrupt     *trace.Counter
+	failures    *trace.Counter
 }
 
 type entry struct {
@@ -125,14 +128,74 @@ func New(dir string, memEntries int, reg *trace.Registry) (*Store, error) {
 		mem:      make(map[string]*list.Element),
 		inflight: make(map[string]*call),
 
-		memHits:   reg.Counter("store.mem_hits"),
-		diskHits:  reg.Counter("store.disk_hits"),
-		computed:  reg.Counter("store.computed"),
-		coalesced: reg.Counter("store.coalesced"),
-		evicted:   reg.Counter("store.evicted"),
-		corrupt:   reg.Counter("store.corrupt"),
-		failures:  reg.Counter("store.failures"),
+		memHits:     reg.Counter("store.mem_hits"),
+		diskHits:    reg.Counter("store.disk_hits"),
+		computed:    reg.Counter("store.computed"),
+		coalesced:   reg.Counter("store.coalesced"),
+		evicted:     reg.Counter("store.evicted"),
+		diskEvicted: reg.Counter("store.disk_evicted"),
+		corrupt:     reg.Counter("store.corrupt"),
+		failures:    reg.Counter("store.failures"),
 	}, nil
+}
+
+// EvictDiskOver shrinks the disk tier to at most maxBytes by deleting
+// entries oldest-first (modification time, then name for determinism when
+// times tie). It is a startup-scan operation — the service calls it once
+// before listening, so a node restarted with a smaller budget converges
+// immediately — and it touches only the disk tier: the memory LRU is
+// governed solely by its entry cap, so a body already promoted to memory
+// keeps serving hits even after its disk entry is evicted. maxBytes <= 0
+// means no cap (nothing is evicted). Dot-prefixed files (AtomicFile
+// temporaries) and subdirectories are left alone.
+func (s *Store) EvictDiskOver(maxBytes int64) (evicted int, freed int64, err error) {
+	if s.dir == "" || maxBytes <= 0 {
+		return 0, 0, nil
+	}
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("resultstore: scanning disk tier: %w", err)
+	}
+	type diskEntry struct {
+		name string
+		size int64
+		mod  int64
+	}
+	var entries []diskEntry
+	var total int64
+	for _, de := range dirents {
+		if de.IsDir() || strings.HasPrefix(de.Name(), ".") {
+			continue
+		}
+		info, ierr := de.Info()
+		if ierr != nil {
+			continue // raced with a concurrent delete; nothing to size
+		}
+		entries = append(entries, diskEntry{de.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mod != entries[j].mod {
+			return entries[i].mod < entries[j].mod
+		}
+		return entries[i].name < entries[j].name
+	})
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if rerr := os.Remove(filepath.Join(s.dir, e.name)); rerr != nil {
+			if err == nil {
+				err = fmt.Errorf("resultstore: evicting %s: %w", e.name, rerr)
+			}
+			continue
+		}
+		total -= e.size
+		freed += e.size
+		evicted++
+		s.diskEvicted.Inc()
+	}
+	return evicted, freed, err
 }
 
 // MemLen returns the number of bodies currently in the memory tier.

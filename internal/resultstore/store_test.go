@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ipex/internal/trace"
 )
@@ -294,5 +296,102 @@ func TestPutOverwrites(t *testing.T) {
 	s2 := mustStore(t, s.dir, 4, nil)
 	if body, _, ok := s2.Get("k"); !ok || !bytes.Equal(body, []byte("v2")) {
 		t.Fatalf("disk tier after overwrite: ok=%v body=%q", ok, body)
+	}
+}
+
+// TestEvictDiskOver: the startup scan must delete oldest-first until the
+// tier fits the byte cap, skip AtomicFile temporaries, and leave newer
+// entries untouched.
+func TestEvictDiskOver(t *testing.T) {
+	dir := t.TempDir()
+	reg := trace.NewRegistry()
+	s := mustStore(t, dir, 8, reg)
+
+	body := bytes.Repeat([]byte("x"), 100)
+	var sizes []int64
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := s.Put(key, body); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(s.DiskPath(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+		// Strictly increasing mtimes, oldest = k0, without sleeping.
+		mt := time.Unix(1_700_000_000+int64(i), 0)
+		if err := os.Chtimes(s.DiskPath(key), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A dot-prefixed straggler temp must never be counted or deleted.
+	tmp := filepath.Join(dir, ".k9.tmp123")
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cap to exactly the three newest entries: k0 and k1 must go.
+	cap3 := sizes[2] + sizes[3] + sizes[4]
+	evicted, freed, err := s.EvictDiskOver(cap3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 2 || freed != sizes[0]+sizes[1] {
+		t.Fatalf("evicted %d (%d bytes), want 2 (%d bytes)", evicted, freed, sizes[0]+sizes[1])
+	}
+	for i, want := range []bool{false, false, true, true, true} {
+		_, err := os.Stat(s.DiskPath(fmt.Sprintf("k%d", i)))
+		if got := err == nil; got != want {
+			t.Errorf("k%d on disk = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Errorf("eviction deleted the AtomicFile temporary: %v", err)
+	}
+	if got := reg.Counter("store.disk_evicted").Load(); got != 2 {
+		t.Errorf("store.disk_evicted = %d, want 2", got)
+	}
+
+	// Under the cap already: a second pass is a no-op.
+	if n, b, err := s.EvictDiskOver(cap3); n != 0 || b != 0 || err != nil {
+		t.Fatalf("second pass evicted %d (%d bytes), err %v; want a no-op", n, b, err)
+	}
+	// No cap means no eviction.
+	if n, _, _ := s.EvictDiskOver(0); n != 0 {
+		t.Fatalf("maxBytes=0 evicted %d entries, want none", n)
+	}
+}
+
+// TestEvictDiskNeverTouchesMemory: a body living in the memory LRU must
+// keep serving memory hits after its disk entry is evicted — the two tiers
+// have independent retention policies.
+func TestEvictDiskNeverTouchesMemory(t *testing.T) {
+	dir := t.TempDir()
+	s := mustStore(t, dir, 8, nil)
+	want := []byte("resident body")
+	if err := s.Put("hot", want); err != nil {
+		t.Fatal(err)
+	}
+	memBefore := s.MemLen()
+
+	// Evict everything from disk (cap of one byte).
+	evicted, _, err := s.EvictDiskOver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 1 {
+		t.Fatalf("evicted %d disk entries, want 1", evicted)
+	}
+	if _, err := os.Stat(s.DiskPath("hot")); err == nil {
+		t.Fatal("disk entry survived a 1-byte cap")
+	}
+
+	if got := s.MemLen(); got != memBefore {
+		t.Fatalf("memory tier shrank from %d to %d during disk eviction", memBefore, got)
+	}
+	got, outcome, ok := s.Get("hot")
+	if !ok || outcome != OutcomeMemoryHit || !bytes.Equal(got, want) {
+		t.Fatalf("after disk eviction: ok=%v outcome=%v body=%q, want a memory hit with the original body", ok, outcome, got)
 	}
 }
