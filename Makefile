@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke ipexd-smoke dist-smoke lint fuzz ci clean
+.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke ipexd-smoke dist-smoke obs-smoke lint fuzz ci clean
 
 all: ci
 
@@ -149,6 +149,60 @@ dist-smoke:
 		|| { echo "dist-smoke: resume re-executed cells the fleet completed:"; cat $$tmp/resume.log; exit 1; }; \
 	echo "dist-smoke: fleet survived a SIGKILL; merged output and resume byte-identical to serial"
 
+# Observability smoke: a real sweep under -listen and a real ipexd, scraped
+# live over HTTP. The sweep's /metrics must expose the cell-lifecycle
+# latency histograms and render through ipextop; its -json output must stay
+# byte-identical to a run with telemetry off (observing a sweep never
+# perturbs its results). ipexd's /metrics must expose request-latency
+# buckets and the derived cache gauges after a miss-then-hit pair.
+obs-smoke:
+	@tmp=$$(mktemp -d); pid=; dpid=; \
+	trap 'kill -9 $$pid $$dpid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments || exit 1; \
+	$(GO) build -o $$tmp/ipextop ./cmd/ipextop || exit 1; \
+	$(GO) build -o $$tmp/ipexd ./cmd/ipexd || exit 1; \
+	args="-exp fig11 -scale 0.02 -apps fft,gsme -json"; \
+	$$tmp/experiments $$args >$$tmp/golden.json || exit 1; \
+	$$tmp/experiments $$args -listen 127.0.0.1:0 -telemetry-linger 5s \
+		>$$tmp/observed.json 2>$$tmp/sweep.log & pid=$$!; \
+	addr=""; i=0; while [ $$i -lt 100 ]; do \
+		addr=$$(sed -n 's#^telemetry listening on http://\([^/ ]*\)/metrics.*#\1#p' $$tmp/sweep.log); \
+		[ -n "$$addr" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "obs-smoke: sweep died at startup:"; cat $$tmp/sweep.log; exit 1; }; \
+		sleep 0.1; i=$$((i+1)); done; \
+	[ -n "$$addr" ] || { echo "obs-smoke: sweep never announced its telemetry address"; cat $$tmp/sweep.log; exit 1; }; \
+	$$tmp/ipextop -n 1 "$$addr" >$$tmp/frame.txt \
+		|| { echo "obs-smoke: ipextop scrape failed"; cat $$tmp/sweep.log; exit 1; }; \
+	grep -q 'harness_attempt_seconds' $$tmp/frame.txt \
+		|| { echo "obs-smoke: ipextop frame missing the attempt latency row:"; cat $$tmp/frame.txt; exit 1; }; \
+	curl -sfS "http://$$addr/metrics" >$$tmp/scrape.txt \
+		|| { echo "obs-smoke: telemetry scrape failed"; exit 1; }; \
+	grep -q '^# TYPE ipex_harness_attempt_seconds histogram' $$tmp/scrape.txt \
+		|| { echo "obs-smoke: /metrics missing the attempt histogram"; exit 1; }; \
+	grep -q '^# TYPE ipex_harness_queue_wait_seconds histogram' $$tmp/scrape.txt \
+		|| { echo "obs-smoke: /metrics missing the queue-wait histogram"; exit 1; }; \
+	wait $$pid || { echo "obs-smoke: observed sweep failed:"; cat $$tmp/sweep.log; exit 1; }; \
+	diff -u $$tmp/golden.json $$tmp/observed.json \
+		|| { echo "obs-smoke: telemetry perturbed the sweep results"; exit 1; }; \
+	$$tmp/ipexd -listen 127.0.0.1:0 -cache-dir $$tmp/cache 2>$$tmp/ipexd.log & dpid=$$!; \
+	daddr=""; i=0; while [ $$i -lt 100 ]; do \
+		daddr=$$(sed -n 's#^ipexd listening on http://\([^ ]*\).*#\1#p' $$tmp/ipexd.log); \
+		[ -n "$$daddr" ] && break; \
+		kill -0 $$dpid 2>/dev/null || { echo "obs-smoke: ipexd died at startup:"; cat $$tmp/ipexd.log; exit 1; }; \
+		sleep 0.1; i=$$((i+1)); done; \
+	[ -n "$$daddr" ] || { echo "obs-smoke: ipexd never announced its address"; cat $$tmp/ipexd.log; exit 1; }; \
+	req='{"app":"fft","scale":0.02,"config":{"ipex":"both"}}'; \
+	curl -sfS -o /dev/null -X POST "http://$$daddr/v1/run" -d "$$req" || exit 1; \
+	curl -sfS -o /dev/null -X POST "http://$$daddr/v1/run" -d "$$req" || exit 1; \
+	curl -sfS "http://$$daddr/metrics" >$$tmp/dscrape.txt || exit 1; \
+	grep -q '^ipex_ipexd_run_seconds_bucket{le="+Inf"} 2' $$tmp/dscrape.txt \
+		|| { echo "obs-smoke: ipexd run latency buckets wrong after 2 requests:"; grep run_seconds $$tmp/dscrape.txt; exit 1; }; \
+	grep -q '^ipex_ipexd_cache_hit_ratio 0.5' $$tmp/dscrape.txt \
+		|| { echo "obs-smoke: ipexd hit ratio not 0.5 after miss+hit:"; grep hit_ratio $$tmp/dscrape.txt; exit 1; }; \
+	kill -INT $$dpid; wait $$dpid \
+		|| { echo "obs-smoke: ipexd drain failed"; cat $$tmp/ipexd.log; exit 1; }; \
+	echo "obs-smoke: live latency histograms on both endpoints; telemetry left sweep results byte-identical"
+
 # Short fuzzing passes over the untrusted-input surfaces: the simulator
 # configuration validator, the harvest-trace parser, and the journal line
 # parser behind -resume and the distributed segment merge. `go test -fuzz`
@@ -160,17 +214,21 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzJournalLine -fuzztime=$(FUZZTIME) ./internal/harness/
 
 # Determinism lint: simulator internals must not read the wall clock (Now,
-# After, or Sleep) or the global math/rand stream — both would break
-# replayable, seed-stable results. internal/benchio (benchmark records carry
-# their generation time) and internal/harness/watchdog.go (the wall-clock
-# cell backstop and retry backoff, which never touch simulated results) are
-# the two documented exceptions.
+# Since, After, Sleep, or timer construction) or the global math/rand stream
+# — both would break replayable, seed-stable results. The documented
+# exceptions: internal/benchio (benchmark records carry their generation
+# time), internal/harness/watchdog.go (the wall-clock cell backstop and
+# retry backoff), internal/trace/clock.go (the one wall-clock Clock
+# implementation everything observable injects), and internal/dist/clock.go
+# (the coordinator's context-aware poll sleep). None of them touch simulated
+# results.
 lint: vet
-	@bad=$$(grep -rnE 'time\.(Now|After|Sleep)' internal/ --include='*.go' \
+	@bad=$$(grep -rnE 'time\.(Now|Since|After|Sleep|NewTimer|NewTicker)' internal/ --include='*.go' \
 		| grep -v '^internal/benchio/' | grep -v '^internal/harness/watchdog\.go:' \
+		| grep -v '^internal/trace/clock\.go:' | grep -v '^internal/dist/clock\.go:' \
 		| grep -v '_test\.go'); \
 	if [ -n "$$bad" ]; then \
-		echo "lint: wall-clock use in simulator internals (only internal/benchio and the harness watchdog may):"; \
+		echo "lint: wall-clock use in simulator internals (only internal/benchio, the harness watchdog, and the two Clock impls may):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@bad=$$(grep -rn '"math/rand"' internal/ --include='*.go'); \
@@ -184,15 +242,21 @@ lint: vet
 		echo "lint: net/http or expvar outside cmd/ and internal/dist (servers and process vars belong to the command layer; the dist executor is the one library whose job is the wire):"; \
 		echo "$$bad"; exit 1; \
 	fi
-	@bad=$$(grep -rnE 'time\.(Now|After|Sleep)' cmd/ --include='*.go' \
+	@bad=$$(grep -rnE 'time\.(Now|Since|After|Sleep|NewTimer|NewTicker)' cmd/ --include='*.go' \
 		| grep -v '_test\.go' \
-		| grep -v '^cmd/experiments/main\.go:' | grep -v '^cmd/ipexd/main\.go:'); \
+		| grep -vE '^cmd/[a-z]+/main\.go:'); \
 	if [ -n "$$bad" ]; then \
-		echo "lint: wall-clock use in cmd/ outside the two documented process mains (uptime, retry backoff, drain deadlines never touch simulated results):"; \
+		echo "lint: wall-clock use in cmd/ outside process mains (uptime, poll intervals, drain deadlines live in main.go and never touch simulated results; everything else takes a trace.Clock):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rnE 'http\.Server|ListenAndServe' internal/ cmd/ *.go --include='*.go' \
+		| grep -v '_test\.go' | grep -v '^cmd/internal/httpd/'); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: http.Server construction outside cmd/internal/httpd (every listener shares its timeouts and graceful-drain contract):"; \
 		echo "$$bad"; exit 1; \
 	fi
 
-ci: build lint race golden tracestat-golden resume-smoke ipexd-smoke dist-smoke fuzz bench-gate
+ci: build lint race golden tracestat-golden resume-smoke ipexd-smoke dist-smoke obs-smoke fuzz bench-gate
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

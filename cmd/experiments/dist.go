@@ -53,7 +53,7 @@ func runWorker(o experiments.Options, sup *harness.Supervisor, ids []string, swe
 	}
 	// Scripts (make dist-smoke) parse this line for the bound port.
 	fmt.Fprintf(os.Stderr, "worker listening on http://%s\n", ln.Addr())
-	srv := httpd.New(dist.NewHandler(w, sup))
+	srv := httpd.New(dist.NewHandler(w, sup, o.Metrics))
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "experiments: worker server: %v\n", err)

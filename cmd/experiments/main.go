@@ -131,6 +131,8 @@ func main() {
 		cellBudget  = flag.Uint64("cell-budget", 0, "deterministic per-cell deadline in simulated cycles: clamps each cell's MaxCycles (0 = off)")
 		stopAfter   = flag.Uint64("interrupt-after", 0, "deterministically drain the sweep after admitting N cells, as if interrupted (for resume tests)")
 
+		telemetryLinger = flag.Duration("telemetry-linger", 0, "keep the -listen telemetry server up this long after the sweep finishes (so scrapers catch the final state; used by make obs-smoke)")
+
 		worker       = flag.Bool("worker", false, "run as a distributed sweep worker: serve shard assignments on -listen, execute only assigned cells, stream journal entries to the coordinator (see EXPERIMENTS.md)")
 		coordinator  = flag.String("coordinator", "", "comma-separated worker base URLs (http://host:port); shard the sweep across them and merge their journal streams into -journal")
 		distPoll     = flag.Duration("dist-poll", 200*time.Millisecond, "coordinator health-check and journal-pull interval")
@@ -294,6 +296,15 @@ func main() {
 	if *metricsOut != "" || *listenAddr != "" {
 		o.Metrics = trace.NewRegistry()
 	}
+	// Lifecycle spans only under -listen: live telemetry wants latency
+	// histograms, while a -metrics-only run stays span-free so its JSON
+	// dump holds nothing wall-clock-dependent. The injected clock is the
+	// only wall-time source the observability layer ever sees.
+	var telClock trace.Clock
+	if *listenAddr != "" {
+		telClock = trace.NewWallClock()
+		sup.Obs = harness.NewObs(telClock, o.Metrics)
+	}
 
 	var ids []string
 	switch {
@@ -380,6 +391,8 @@ func main() {
 			Logf: func(format string, a ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", a...)
 			},
+			Clock:   telClock,
+			Metrics: o.Metrics,
 		})
 	}
 
@@ -396,7 +409,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", ln.Addr())
-		srv := httpd.New(newTelemetryHandlerDist(time.Now(), o.Progress, o.Metrics, sup, coord))
+		srv := httpd.New(newTelemetryHandlerDist(telClock, o.Progress, o.Metrics, sup, coord))
 		telemetryShutdown = func() {
 			if err := httpd.Shutdown(srv, 2*time.Second); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: telemetry shutdown: %v\n", err)
@@ -535,7 +548,11 @@ func main() {
 	}
 
 	// The sweep is over and its artifacts are flushed; the graceful drain
-	// includes the telemetry listener on every exit path below.
+	// includes the telemetry listener on every exit path below. An optional
+	// linger keeps the final state scrapeable for a moment first.
+	if *listenAddr != "" && *telemetryLinger > 0 && !interrupted {
+		time.Sleep(*telemetryLinger)
+	}
 	telemetryShutdown()
 
 	if cs := sup.Counters.Snapshot(); cs != (harness.CounterSnapshot{}) && (journal != nil || interrupted || cs.Retried+cs.Panics+cs.Timeouts > 0) {

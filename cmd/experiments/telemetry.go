@@ -1,12 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"ipex/internal/dist"
 	"ipex/internal/experiments"
@@ -15,12 +15,15 @@ import (
 )
 
 // telemetry serves a running sweep's live state: Prometheus text exposition
-// on /metrics (sweep progress gauges + the shared metrics registry) and Go
+// on /metrics (sweep progress gauges + the shared metrics registry), the
+// aggregated fleet view as JSON on /dist/v1/fleet (coordinator only), and Go
 // expvar on /debug/vars. The sweep itself never blocks on a scrape — the
 // handlers only read atomic counters — and results are unaffected by whether
-// anyone is listening.
+// anyone is listening. The clock is injected so the only wall-time read in
+// the sweep path stays inside trace.NewWallClock; its epoch is construction
+// time, so Now() is directly the elapsed sweep duration.
 type telemetry struct {
-	start time.Time
+	clock trace.Clock
 	prog  *experiments.Progress
 	reg   *trace.Registry
 	sup   *harness.Supervisor
@@ -35,6 +38,14 @@ func (t *telemetry) counters() harness.CounterSnapshot {
 	return t.sup.Counters.Snapshot()
 }
 
+// elapsed is the wall-clock seconds since the handler (≈ sweep) started.
+func (t *telemetry) elapsed() float64 {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock.Now().Seconds()
+}
+
 // curTelemetry backs the process-wide expvar publication (expvar allows one
 // Publish per name per process; tests build several handlers).
 var (
@@ -44,15 +55,17 @@ var (
 
 // newTelemetryHandler builds the HTTP handler for -listen. sup may be nil
 // (unsupervised sweep); the supervision gauges then read zero.
-func newTelemetryHandler(start time.Time, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor) http.Handler {
-	return newTelemetryHandlerDist(start, prog, reg, sup, nil)
+func newTelemetryHandler(clock trace.Clock, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor) http.Handler {
+	return newTelemetryHandlerDist(clock, prog, reg, sup, nil)
 }
 
-// newTelemetryHandlerDist additionally exports fleet gauges when the sweep
-// runs under a distributed coordinator (nil otherwise): merge/dedup
-// totals, re-shard and steal counts, and per-worker liveness.
-func newTelemetryHandlerDist(start time.Time, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor, coord *dist.Coordinator) http.Handler {
-	t := &telemetry{start: start, prog: prog, reg: reg, sup: sup, coord: coord}
+// newTelemetryHandlerDist additionally exports the fleet when the sweep runs
+// under a distributed coordinator (nil otherwise): merge/dedup totals,
+// re-shard and steal counts, and per-worker liveness, throughput, and
+// straggler flags — as typed ipex_fleet_* series on /metrics and as JSON on
+// /dist/v1/fleet.
+func newTelemetryHandlerDist(clock trace.Clock, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor, coord *dist.Coordinator) http.Handler {
+	t := &telemetry{clock: clock, prog: prog, reg: reg, sup: sup, coord: coord}
 	curTelemetry.Store(t)
 	expvarOnce.Do(func() {
 		expvar.Publish("ipex_sweep", expvar.Func(func() any {
@@ -63,7 +76,7 @@ func newTelemetryHandlerDist(start time.Time, prog *experiments.Progress, reg *t
 				"cells_done":      done,
 				"cells_total":     total,
 				"insts":           insts,
-				"elapsed_seconds": time.Since(cur.start).Seconds(),
+				"elapsed_seconds": cur.elapsed(),
 				"cells_replayed":  cs.Replayed,
 				"cells_retried":   cs.Retried,
 				"cell_timeouts":   cs.Timeouts,
@@ -75,16 +88,30 @@ func newTelemetryHandlerDist(start time.Time, prog *experiments.Progress, reg *t
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", t.metrics)
 	mux.Handle("/debug/vars", expvar.Handler())
+	if coord != nil {
+		mux.HandleFunc("/dist/v1/fleet", t.fleet)
+	}
 	return mux
 }
 
+// fleet serves the coordinator's aggregated per-worker view as JSON — the
+// same data ipextop renders live.
+func (t *telemetry) fleet(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(t.coord.Fleet()); err != nil {
+		// A scrape racing a disconnect can fail mid-write; nobody to tell.
+		_ = err
+	}
+}
+
 // metrics writes Prometheus text exposition format 0.0.4: the sweep-progress
-// gauges first, then the metrics registry (counters accumulated across every
-// simulation so far).
+// gauges first, the fleet series when coordinating, then the metrics registry
+// (counters and latency histograms accumulated across every simulation so
+// far).
 func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	done, total, insts := t.prog.Snapshot()
-	elapsed := time.Since(t.start).Seconds()
+	elapsed := t.elapsed()
 	rate := 0.0
 	if elapsed > 0 {
 		rate = float64(done) / elapsed
@@ -110,27 +137,11 @@ func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("ipex_sweep_cell_timeouts", "wall-clock backstop expiries", float64(cs.Timeouts))
 	gauge("ipex_sweep_cell_panics", "isolated cell panics (journaled, soft-failed)", float64(cs.Panics))
 	gauge("ipex_sweep_cell_failures", "cells journaled as failed (panics + exhausted retries)", float64(cs.Failures))
-	// Fleet gauges: only present when this process coordinates workers.
+	// Fleet series: only present when this process coordinates workers. The
+	// coordinator renders them itself so /metrics and /dist/v1/fleet always
+	// agree on liveness, throughput, and straggler calls.
 	if t.coord != nil {
-		s := t.coord.Snapshot()
-		gauge("ipex_dist_merged_cells", "worker journal entries merged into the authoritative journal", float64(s.Merged))
-		gauge("ipex_dist_duplicate_cells", "duplicate worker entries dropped at merge (double-assigned or stolen cells)", float64(s.Duplicates))
-		gauge("ipex_dist_resharded", "ranges and keys re-assigned from dead workers to survivors", float64(s.Resharded))
-		gauge("ipex_dist_stolen_cells", "straggler cells stolen for idle workers", float64(s.Stolen))
-		gauge("ipex_dist_dead_workers", "workers declared dead after repeated failed health checks", float64(s.DeadWorkers))
-		live := 0
-		for _, ws := range s.Workers {
-			up := 1.0
-			if ws.Dead {
-				up = 0
-			} else {
-				live++
-			}
-			fmt.Fprintf(w, "ipex_dist_worker_up{worker=%q} %g\n", ws.Addr, up)
-			fmt.Fprintf(w, "ipex_dist_worker_done{worker=%q} %d\n", ws.Addr, ws.Done)
-			fmt.Fprintf(w, "ipex_dist_worker_remaining{worker=%q} %d\n", ws.Addr, ws.Remaining)
-		}
-		gauge("ipex_dist_live_workers", "workers currently believed alive", float64(live))
+		_ = t.coord.WriteFleetProm(w)
 	}
 	// A scrape racing a disconnect can fail mid-write; there is no one to
 	// report that to, so the error is dropped.

@@ -7,10 +7,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
-	"time"
 
 	"ipex/internal/experiments"
 	"ipex/internal/harness"
+	"ipex/internal/promtext"
 	"ipex/internal/trace"
 )
 
@@ -54,7 +54,7 @@ func TestTelemetryEndpoints(t *testing.T) {
 		t.Fatalf("sweep progress = %d/%d insts=%d", done, total, insts)
 	}
 
-	srv := httptest.NewServer(newTelemetryHandler(time.Now(), prog, reg, sup))
+	srv := httptest.NewServer(newTelemetryHandler(trace.NewWallClock(), prog, reg, sup))
 	defer srv.Close()
 
 	body := get(t, srv, "/metrics")
@@ -112,6 +112,50 @@ func TestTelemetryEndpoints(t *testing.T) {
 	}
 	if got := sweep["cells_done"].(float64); uint64(got) != done {
 		t.Errorf("expvar cells_done = %v, want %d", got, done)
+	}
+}
+
+// TestTelemetryConformance runs a tiny supervised sweep with lifecycle spans
+// on — exactly the -listen wiring — and lints the full /metrics exposition:
+// every family typed, histogram buckets cumulative with +Inf, no duplicate
+// series. This is the conformance gate for the experiments endpoint.
+func TestTelemetryConformance(t *testing.T) {
+	prog := &experiments.Progress{}
+	reg := trace.NewRegistry()
+	clock := trace.NewWallClock()
+	sup := &harness.Supervisor{Obs: harness.NewObs(clock, reg)}
+	o := experiments.Options{Scale: 0.02, Apps: []string{"fft"}, Progress: prog, Metrics: reg, Sup: sup}
+	if _, err := experiments.Fig11(o); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(newTelemetryHandler(clock, prog, reg, sup))
+	defer srv.Close()
+	body := get(t, srv, "/metrics")
+	if errs := promtext.Lint(body, "ipex_"); len(errs) != 0 {
+		t.Errorf("/metrics failed conformance lint: %v\n%s", errs, body)
+	}
+	// The lifecycle histograms ride along once spans are on.
+	for _, want := range []string{
+		"# TYPE ipex_harness_attempt_seconds histogram",
+		"ipex_harness_attempt_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	exp, err := promtext.Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := exp.Family("ipex_harness_attempt_seconds")
+	if fam == nil {
+		t.Fatal("no ipex_harness_attempt_seconds family parsed")
+	}
+	done, _, _ := prog.Snapshot()
+	bs := promtext.Buckets(fam)
+	if len(bs) == 0 || bs[len(bs)-1].CumCount != float64(done) {
+		t.Errorf("attempt histogram +Inf count = %v buckets, want %d attempts", bs, done)
 	}
 }
 

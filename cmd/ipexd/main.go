@@ -97,14 +97,22 @@ func main() {
 				*cacheMaxB, evicted, freed)
 		}
 	}
+	// One monotonic clock feeds every latency histogram in the process:
+	// per-endpoint request spans, store compute/disk-read spans, and the
+	// harness lifecycle spans. A service's metrics are live telemetry, so
+	// unlike the sweep commands there is no deterministic-dump mode to
+	// protect here.
+	clock := trace.NewWallClock()
+	store.SetClock(clock)
 	sup := &harness.Supervisor{
 		MaxRetries:  *maxRetries,
 		BackoffBase: *backoff,
 		// A panicking simulation must surface as a 500, never as a zero
 		// result a client (or the cache) could mistake for one.
 		PropagatePanics: true,
+		Obs:             harness.NewObs(clock, reg),
 	}
-	srv := newServer(store, reg, sup, limits{maxScale: *maxScale, cellBudget: *cellBudget}, nWorkers, *queueDepth)
+	srv := newServer(store, reg, sup, clock, limits{maxScale: *maxScale, cellBudget: *cellBudget}, nWorkers, *queueDepth)
 
 	start := time.Now()
 	expvar.Publish("ipexd", expvar.Func(func() any {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"ipex/internal/promtext"
+)
+
+// TestMetricsConformance lints the live /metrics scrape: valid exposition
+// text, the ipex_ prefix on every family, no duplicate series, wellformed
+// histograms, and the 0.0.4 content type. A request is served first so the
+// latency histograms and cache-ratio gauges carry real state.
+func TestMetricsConformance(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 2, 8)
+	readAll(t, postRun(t, ts, smallRun))
+	readAll(t, postRun(t, ts, smallRun)) // second hit moves the hit ratio off zero
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readAll(t, resp))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q, want text exposition 0.0.4", ct)
+	}
+	if errs := promtext.Lint(body, "ipex_"); len(errs) != 0 {
+		t.Errorf("/metrics failed conformance lint: %v", errs)
+	}
+	for _, want := range []string{
+		"# TYPE ipex_ipexd_run_seconds histogram",
+		`ipex_ipexd_run_seconds_bucket{le="+Inf"} 2`,
+		"# TYPE ipex_store_compute_seconds histogram",
+		"ipex_ipexd_cache_hit_ratio 0.5",
+		"ipex_ipexd_coalesce_rate 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipex/internal/experiments"
 	"ipex/internal/harness"
@@ -91,6 +92,12 @@ type server struct {
 	requests *trace.Counter
 	errs     *trace.Counter
 
+	// clock feeds the per-endpoint latency histograms (nil = silent, for
+	// tests that want deterministic scrapes).
+	clock         trace.Clock
+	runSeconds    *trace.Histogram
+	resultSeconds *trace.Histogram
+
 	traces sync.Map // traceKey → *power.Trace
 }
 
@@ -102,7 +109,7 @@ type traceKey struct {
 // newServer wires the store, registry, and supervisor together and starts
 // the worker pool: `workers` goroutines, each owning one nvp.Arena so
 // steady-state simulations allocate nothing, consuming the bounded queue.
-func newServer(store *resultstore.Store, reg *trace.Registry, sup *harness.Supervisor, lim limits, workers, queueDepth int) *server {
+func newServer(store *resultstore.Store, reg *trace.Registry, sup *harness.Supervisor, clock trace.Clock, lim limits, workers, queueDepth int) *server {
 	if workers < 1 {
 		workers = 1
 	}
@@ -119,6 +126,10 @@ func newServer(store *resultstore.Store, reg *trace.Registry, sup *harness.Super
 		queue:     make(chan task, queueDepth),
 		requests:  reg.Counter("ipexd.requests"),
 		errs:      reg.Counter("ipexd.errors"),
+
+		clock:         clock,
+		runSeconds:    reg.Histogram("ipexd.run_seconds", nil),
+		resultSeconds: reg.Histogram("ipexd.result_seconds", nil),
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -191,6 +202,22 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
+// now reads the injected clock (0 when none — latency spans off).
+func (s *server) now() time.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock.Now()
+}
+
+// observe records now-start into h when a clock is installed.
+func (s *server) observe(h *trace.Histogram, start time.Duration) {
+	if s.clock == nil {
+		return
+	}
+	h.ObserveDuration(s.clock.Now() - start)
+}
+
 // fail counts and writes one error response. Every counted request ends in
 // exactly one bucket — a store outcome or this error counter — so the
 // /metrics sums stay exact: requests = mem_hits + disk_hits + computed +
@@ -210,6 +237,8 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	start := s.now()
+	defer func() { s.observe(s.runSeconds, start) }()
 
 	dec := json.NewDecoder(io.LimitReader(r.Body, requestBodyLimit))
 	// Unknown fields are a client error, not a default: a typo'd knob must
@@ -262,6 +291,8 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Inc()
+	start := s.now()
+	defer func() { s.observe(s.resultSeconds, start) }()
 	key := strings.TrimPrefix(r.URL.Path, "/v1/result/")
 	if key == "" || strings.ContainsAny(key, "/.") {
 		s.fail(w, http.StatusBadRequest, "want /v1/result/<cell key>")
@@ -341,6 +372,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("ipex_ipexd_queue_depth", "simulations waiting for a worker", float64(len(s.queue)))
 	gauge("ipex_ipexd_queue_capacity", "bounded queue size (backpressure threshold)", float64(cap(s.queue)))
 	gauge("ipex_ipexd_workers", "simulation worker pool size", float64(s.workers))
+	// Derived at scrape time from the store's outcome counters.
+	hit, co := s.store.Rates()
+	gauge("ipex_ipexd_cache_hit_ratio", "fraction of served requests answered from a cache tier", hit)
+	gauge("ipex_ipexd_coalesce_rate", "fraction of served requests coalesced onto an in-flight computation", co)
 	cs := s.sup.Counters.Snapshot()
 	gauge("ipex_ipexd_cells_executed", "simulations run by the worker pool", float64(cs.Executed))
 	gauge("ipex_ipexd_cells_retried", "simulation re-runs after a transient failure", float64(cs.Retried))

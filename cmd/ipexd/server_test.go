@@ -29,7 +29,9 @@ func newTestServer(t *testing.T, dir string, workers, queueDepth int) (*server, 
 		t.Fatal(err)
 	}
 	sup := &harness.Supervisor{PropagatePanics: true}
-	s := newServer(store, reg, sup, limits{maxScale: 1}, workers, queueDepth)
+	// A FakeClock (never advanced unless a test advances it) keeps latency
+	// histograms present-but-deterministic in scrape assertions.
+	s := newServer(store, reg, sup, &trace.FakeClock{}, limits{maxScale: 1}, workers, queueDepth)
 	ts := httptest.NewServer(s.mux())
 	t.Cleanup(func() {
 		ts.Close()

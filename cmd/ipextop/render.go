@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"ipex/internal/dist"
+	"ipex/internal/promtext"
+)
+
+// snapshot is one poll of an endpoint: the parsed /metrics scrape plus, when
+// the endpoint coordinates a fleet, the /dist/v1/fleet view.
+type snapshot struct {
+	Exp   *promtext.Exposition
+	Fleet *dist.FleetView
+}
+
+var client = &http.Client{Timeout: 5 * time.Second}
+
+// poll scrapes base/metrics (required) and base/dist/v1/fleet (optional —
+// a 404 just means the endpoint is not a coordinator).
+func poll(base string) (*snapshot, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	exp, err := promtext.Parse(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("/metrics: %v", err)
+	}
+	s := &snapshot{Exp: exp}
+
+	fresp, err := client.Get(base + "/dist/v1/fleet")
+	if err == nil {
+		if fresp.StatusCode == http.StatusOK {
+			var v dist.FleetView
+			if json.NewDecoder(fresp.Body).Decode(&v) == nil {
+				s.Fleet = &v
+			}
+		}
+		fresp.Body.Close()
+	}
+	return s, nil
+}
+
+// gauge returns the value of an unlabelled sample, or NaN when absent.
+func (s *snapshot) gauge(name string) float64 {
+	f := s.Exp.Family(name)
+	if f == nil {
+		return math.NaN()
+	}
+	for _, sm := range f.Samples {
+		if sm.Name == name && len(sm.Labels) == 0 {
+			return sm.Value
+		}
+	}
+	return math.NaN()
+}
+
+// render writes one frame: a sweep header when the endpoint exports the
+// ipex_sweep_* gauges, the fleet table when it coordinates workers, latency
+// quantiles for every exported histogram, and the remaining scalar series.
+func render(w io.Writer, base string, s *snapshot) {
+	fmt.Fprintf(w, "ipextop — %s\n", base)
+
+	if total := s.gauge("ipex_sweep_cells_total"); !math.IsNaN(total) {
+		done := s.gauge("ipex_sweep_cells_done")
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		fmt.Fprintf(w, "sweep: %.0f/%.0f cells (%.1f%%)  %.1f cells/s  elapsed %s  eta %s\n",
+			done, total, pct,
+			s.gauge("ipex_sweep_cells_per_second"),
+			fmtSeconds(s.gauge("ipex_sweep_elapsed_seconds")),
+			fmtSeconds(s.gauge("ipex_sweep_eta_seconds")))
+	}
+
+	if s.Fleet != nil {
+		renderFleet(w, s.Fleet)
+	}
+	renderHistograms(w, s.Exp)
+	renderScalars(w, s.Exp)
+}
+
+// renderFleet writes the per-worker table: liveness, progress, throughput,
+// and the coordinator's straggler call.
+func renderFleet(w io.Writer, v *dist.FleetView) {
+	fmt.Fprintf(w, "\nfleet %q: %d live, %d remaining, %d merged (%d dup), %d resharded, %d stolen, %d dead\n",
+		v.Sweep, v.Live, v.Remaining, v.Merged, v.Duplicates, v.Resharded, v.Stolen, v.DeadWorkers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  WORKER\tSTATE\tDONE\tASSIGNED\tREMAINING\tCELLS/S\tFAILS\t")
+	for _, fw := range v.Workers {
+		state := "up"
+		switch {
+		case fw.Dead:
+			state = "dead"
+		case !fw.Up:
+			state = "down"
+		case fw.Straggler:
+			state = "straggler"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%d\t%d\t%d\t%.1f\t%d\t\n",
+			fw.Addr, state, fw.Done, fw.Assigned, fw.Remaining, fw.RateCellsPerSec, fw.Fails)
+	}
+	tw.Flush()
+}
+
+// renderHistograms writes one row per histogram family: observation count,
+// mean, and interpolated p50/p95/p99.
+func renderHistograms(w io.Writer, exp *promtext.Exposition) {
+	var hs []*promtext.Family
+	for _, f := range exp.Families {
+		if f.Type == "histogram" {
+			hs = append(hs, f)
+		}
+	}
+	if len(hs) == 0 {
+		return
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Name < hs[j].Name })
+	fmt.Fprintln(w, "\nlatency:")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  SPAN\tCOUNT\tMEAN\tP50\tP95\tP99\t")
+	for _, f := range hs {
+		bs := promtext.Buckets(f)
+		var count, sum float64
+		for _, sm := range f.Samples {
+			if len(sm.Labels) != 0 {
+				continue
+			}
+			switch sm.Name {
+			case f.Name + "_count":
+				count = sm.Value
+			case f.Name + "_sum":
+				sum = sm.Value
+			}
+		}
+		mean := math.NaN()
+		if count > 0 {
+			mean = sum / count
+		}
+		fmt.Fprintf(tw, "  %s\t%.0f\t%s\t%s\t%s\t%s\t\n",
+			strings.TrimPrefix(f.Name, "ipex_"), count, fmtSeconds(mean),
+			fmtSeconds(promtext.Quantile(0.50, bs)),
+			fmtSeconds(promtext.Quantile(0.95, bs)),
+			fmtSeconds(promtext.Quantile(0.99, bs)))
+	}
+	tw.Flush()
+}
+
+// renderScalars writes the remaining unlabelled counter/gauge samples —
+// cache ratios, queue depths, supervision counters — skipping the sweep
+// header gauges already shown and any labelled series (the fleet table
+// covers those).
+func renderScalars(w io.Writer, exp *promtext.Exposition) {
+	type kv struct {
+		name string
+		val  float64
+	}
+	var rows []kv
+	for _, f := range exp.Families {
+		if f.Type == "histogram" || strings.HasPrefix(f.Name, "ipex_sweep_") ||
+			strings.HasPrefix(f.Name, "ipex_fleet_") {
+			continue
+		}
+		for _, sm := range f.Samples {
+			if len(sm.Labels) == 0 && sm.Name == f.Name {
+				rows = append(rows, kv{sm.Name, sm.Value})
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Fprintln(w, "\ncounters:")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i := 0; i < len(rows); i += 2 {
+		if i+1 < len(rows) {
+			fmt.Fprintf(tw, "  %s\t%g\t  %s\t%g\t\n", rows[i].name, rows[i].val, rows[i+1].name, rows[i+1].val)
+		} else {
+			fmt.Fprintf(tw, "  %s\t%g\t\t\t\n", rows[i].name, rows[i].val)
+		}
+	}
+	tw.Flush()
+}
+
+// fmtSeconds renders a duration-in-seconds with a unit fitted to its size
+// (µs/ms/s/m), and "-" for NaN (empty histogram or absent gauge).
+func fmtSeconds(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "-"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	case s < 120:
+		return fmt.Sprintf("%.2fs", s)
+	default:
+		return fmt.Sprintf("%.1fm", s/60)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ipex/internal/harness"
+	"ipex/internal/trace"
 )
 
 // ErrNoWorkers reports that every worker is dead or unreachable; the
@@ -45,6 +46,14 @@ type Options struct {
 	StealMin int
 	// Logf, when set, receives human-readable progress and failure notes.
 	Logf func(format string, a ...any)
+	// Clock, when set, feeds per-worker throughput estimates (an EWMA of
+	// cells completed per second between syncs) and the dist.sync_seconds
+	// latency histogram. The coordinator never reads wall time itself —
+	// the command layer injects trace.NewWallClock() (or a fake in tests),
+	// keeping the determinism lint's no-wall-clock rule intact here.
+	Clock trace.Clock
+	// Metrics, when set, receives the coordinator's latency histograms.
+	Metrics *trace.Registry
 }
 
 // workerState is the coordinator's view of one worker. All fields are
@@ -61,6 +70,15 @@ type workerState struct {
 	dead    bool
 	everUp  bool
 	last    Status
+
+	// Throughput EWMA, updated on each successful sync when Options.Clock
+	// is set: instantaneous rate Δdone/Δt blended half-and-half with the
+	// previous estimate, so a straggler's slowdown shows within a few polls
+	// without the series jittering tick to tick.
+	rateSeen bool
+	lastDone int
+	lastT    time.Duration
+	rate     float64 // cells per second
 }
 
 // Coordinator drives a fleet of workers through one sweep: it shards the
@@ -80,6 +98,8 @@ type Coordinator struct {
 	resharded uint64
 	stolenN   uint64
 	deadN     uint64
+
+	syncSeconds *trace.Histogram // coordinator↔worker round-trip latency
 }
 
 // NewCoordinator applies defaults and builds the fleet's initial shard
@@ -101,6 +121,8 @@ func NewCoordinator(o Options) *Coordinator {
 		o:      o,
 		client: &http.Client{Timeout: o.Timeout},
 		stolen: make(map[string]bool),
+		// Nil-safe: no Metrics registry leaves the handle nil (discarding).
+		syncSeconds: o.Metrics.Histogram("dist.sync_seconds", nil),
 	}
 	if n := len(o.Workers); n > 0 {
 		for i, r := range Split(n) {
@@ -177,6 +199,14 @@ func (c *Coordinator) queueLocked(ws *workerState, ranges []KeyRange, keys []str
 // assignment (or just poll status), then pull any journal entries the
 // coordinator has not merged yet.
 func (c *Coordinator) sync(ctx context.Context, ws *workerState) error {
+	if c.o.Clock != nil {
+		start := c.o.Clock.Now()
+		defer func() { c.syncSeconds.ObserveDuration(c.o.Clock.Now() - start) }()
+	}
+	return c.syncOnce(ctx, ws)
+}
+
+func (c *Coordinator) syncOnce(ctx context.Context, ws *workerState) error {
 	c.mu.Lock()
 	var a *Assignment
 	if ws.pending != nil {
@@ -214,6 +244,7 @@ func (c *Coordinator) sync(ctx context.Context, ws *workerState) error {
 	c.mu.Lock()
 	ws.last = st
 	ws.everUp = true
+	c.updateRateLocked(ws, st)
 	c.mu.Unlock()
 	if st.Seq > seq {
 		next, perr := c.pullJournal(ctx, addr, seq)
@@ -227,6 +258,24 @@ func (c *Coordinator) sync(ctx context.Context, ws *workerState) error {
 		c.mu.Unlock()
 	}
 	return nil
+}
+
+// updateRateLocked folds one successful sync into the worker's throughput
+// EWMA (see workerState). Caller holds c.mu. No Clock, no rates.
+func (c *Coordinator) updateRateLocked(ws *workerState, st Status) {
+	if c.o.Clock == nil {
+		return
+	}
+	now := c.o.Clock.Now()
+	if ws.rateSeen && now > ws.lastT && st.Done >= ws.lastDone {
+		inst := float64(st.Done-ws.lastDone) / (now - ws.lastT).Seconds()
+		if ws.rate == 0 {
+			ws.rate = inst
+		} else {
+			ws.rate = 0.5*ws.rate + 0.5*inst
+		}
+	}
+	ws.rateSeen, ws.lastT, ws.lastDone = true, now, st.Done
 }
 
 // noteFailure counts a failed sync against the worker: fatal errors

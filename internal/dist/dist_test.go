@@ -106,7 +106,7 @@ func startWorker(t *testing.T, s *syntheticSweep, sweep string, body func(key st
 		defer close(done)
 		w.Run(ctx, pass)
 	}()
-	srv := httptest.NewServer(NewHandler(w, sup))
+	srv := httptest.NewServer(NewHandler(w, sup, nil))
 	tw := &testWorker{w: w, sup: sup, srv: srv, cancel: cancel, done: done}
 	t.Cleanup(tw.stop)
 	return tw

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+)
+
+// FleetWorker is one worker's row in the aggregated fleet view.
+type FleetWorker struct {
+	Addr string `json:"addr"`
+	// Up: the worker has answered at least one sync and is not dead.
+	Up   bool `json:"up"`
+	Dead bool `json:"dead"`
+
+	Assigned  int `json:"assigned"`
+	Done      int `json:"done"`
+	Remaining int `json:"remaining"`
+	Seq       int `json:"seq"`
+	Fails     int `json:"fails"`
+
+	// RateCellsPerSec is the throughput EWMA (0 until Options.Clock has
+	// seen two syncs of this worker).
+	RateCellsPerSec float64 `json:"rate_cells_per_sec"`
+	// Straggler flags the worker holding a disproportionate share of the
+	// fleet's remaining work: live, at least StealMin cells remaining, more
+	// than half the fleet-wide remainder, with at least one other live
+	// worker to compare against. The same shape the steal heuristic hunts,
+	// surfaced for operators.
+	Straggler bool `json:"straggler"`
+}
+
+// FleetView is the coordinator-aggregated state of a running sweep: what
+// GET /dist/v1/fleet serves and the ipex_fleet_* Prometheus series render.
+type FleetView struct {
+	Sweep       string        `json:"sweep"`
+	Live        int           `json:"live"`
+	Remaining   int           `json:"remaining"`
+	Merged      uint64        `json:"merged"`
+	Duplicates  uint64        `json:"duplicates"`
+	Resharded   uint64        `json:"resharded"`
+	Stolen      uint64        `json:"stolen"`
+	DeadWorkers uint64        `json:"dead_workers"`
+	Workers     []FleetWorker `json:"workers"`
+}
+
+// Fleet returns the aggregated fleet view. Safe to call concurrently with
+// Run; it takes one snapshot under the coordinator lock and derives the
+// straggler flags outside it.
+func (c *Coordinator) Fleet() FleetView {
+	c.mu.Lock()
+	v := FleetView{
+		Sweep:       c.o.Sweep,
+		Resharded:   c.resharded,
+		Stolen:      c.stolenN,
+		DeadWorkers: c.deadN,
+	}
+	if c.o.Merger != nil {
+		v.Merged = c.o.Merger.Merged()
+		v.Duplicates = c.o.Merger.Duplicates()
+	}
+	for _, ws := range c.workers {
+		fw := FleetWorker{
+			Addr:            ws.addr,
+			Up:              ws.everUp && !ws.dead,
+			Dead:            ws.dead,
+			Assigned:        ws.last.Assigned,
+			Done:            ws.last.Done,
+			Remaining:       ws.last.Remaining,
+			Seq:             ws.seq,
+			Fails:           ws.fails,
+			RateCellsPerSec: ws.rate,
+		}
+		if !ws.dead {
+			v.Live++
+			v.Remaining += fw.Remaining
+		}
+		v.Workers = append(v.Workers, fw)
+	}
+	stealMin := c.o.StealMin
+	c.mu.Unlock()
+
+	for i := range v.Workers {
+		w := &v.Workers[i]
+		w.Straggler = !w.Dead && v.Live > 1 &&
+			w.Remaining >= stealMin && w.Remaining*2 > v.Remaining
+	}
+	return v
+}
+
+// WriteFleetProm renders the fleet view as ipex_fleet_* Prometheus series:
+// fleet-level totals plus one worker-labelled sample per live-or-dead
+// worker for liveness, progress, throughput, and the straggler flag.
+func (c *Coordinator) WriteFleetProm(w io.Writer) error {
+	v := c.Fleet()
+	b01 := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP ipex_fleet_workers_live workers currently alive\n# TYPE ipex_fleet_workers_live gauge\nipex_fleet_workers_live %d\n"+
+			"# HELP ipex_fleet_remaining cells remaining across live workers\n# TYPE ipex_fleet_remaining gauge\nipex_fleet_remaining %d\n"+
+			"# HELP ipex_fleet_merged_total journal entries merged\n# TYPE ipex_fleet_merged_total counter\nipex_fleet_merged_total %d\n"+
+			"# HELP ipex_fleet_duplicates_total duplicate journal entries discarded by merge\n# TYPE ipex_fleet_duplicates_total counter\nipex_fleet_duplicates_total %d\n"+
+			"# HELP ipex_fleet_resharded_total ranges and keys re-sharded off dead workers\n# TYPE ipex_fleet_resharded_total counter\nipex_fleet_resharded_total %d\n"+
+			"# HELP ipex_fleet_stolen_total cells stolen from stragglers\n# TYPE ipex_fleet_stolen_total counter\nipex_fleet_stolen_total %d\n"+
+			"# HELP ipex_fleet_workers_dead_total workers declared dead\n# TYPE ipex_fleet_workers_dead_total counter\nipex_fleet_workers_dead_total %d\n",
+		v.Live, v.Remaining, v.Merged, v.Duplicates, v.Resharded, v.Stolen, v.DeadWorkers); err != nil {
+		return err
+	}
+	series := []struct {
+		name, help string
+		val        func(FleetWorker) string
+	}{
+		{"ipex_fleet_worker_up", "worker answered its last sync and is not dead", func(w FleetWorker) string { return fmt.Sprint(b01(w.Up)) }},
+		{"ipex_fleet_worker_assigned", "cells assigned to the worker", func(w FleetWorker) string { return fmt.Sprint(w.Assigned) }},
+		{"ipex_fleet_worker_done", "cells the worker has completed", func(w FleetWorker) string { return fmt.Sprint(w.Done) }},
+		{"ipex_fleet_worker_remaining", "cells the worker has not completed", func(w FleetWorker) string { return fmt.Sprint(w.Remaining) }},
+		{"ipex_fleet_worker_rate_cells_per_sec", "throughput EWMA between syncs", func(w FleetWorker) string { return fmt.Sprintf("%g", w.RateCellsPerSec) }},
+		{"ipex_fleet_worker_fails", "consecutive failed syncs", func(w FleetWorker) string { return fmt.Sprint(w.Fails) }},
+		{"ipex_fleet_worker_straggler", "worker holds more than half the fleet's remaining cells", func(w FleetWorker) string { return fmt.Sprint(b01(w.Straggler)) }},
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", s.name, s.help, s.name); err != nil {
+			return err
+		}
+		for _, fw := range v.Workers {
+			if _, err := fmt.Fprintf(w, "%s{worker=%q} %s\n", s.name, fw.Addr, s.val(fw)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

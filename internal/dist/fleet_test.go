@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ipex/internal/harness"
+	"ipex/internal/promtext"
+	"ipex/internal/trace"
+)
+
+// TestFleetViewAfterSweep runs a real two-worker sweep to completion and
+// checks the aggregated view: both workers up with their done counts, no
+// remaining work, and a conformant ipex_fleet_* rendering.
+func TestFleetViewAfterSweep(t *testing.T) {
+	s := newSweep()
+	sweep := harness.Key("fleet-view-sweep")
+	w1 := startWorker(t, s, sweep, nil)
+	w2 := startWorker(t, s, sweep, nil)
+
+	m := NewMerger(nil, nil)
+	o := coordOptions([]string{w1.srv.URL, w2.srv.URL}, sweep, m)
+	o.Clock = trace.NewWallClock()
+	o.Metrics = trace.NewRegistry()
+	coord := NewCoordinator(o)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := coord.Run(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	v := coord.Fleet()
+	if v.Sweep != sweep || v.Live != 2 || v.Remaining != 0 {
+		t.Fatalf("fleet view sweep=%q live=%d remaining=%d, want %q/2/0", v.Sweep, v.Live, v.Remaining, sweep)
+	}
+	if v.Merged != nCells {
+		t.Errorf("merged %d, want %d", v.Merged, nCells)
+	}
+	total := 0
+	for _, w := range v.Workers {
+		if !w.Up || w.Dead || w.Straggler {
+			t.Errorf("worker %s: up=%v dead=%v straggler=%v after a clean sweep", w.Addr, w.Up, w.Dead, w.Straggler)
+		}
+		total += w.Done
+	}
+	if total < nCells {
+		t.Errorf("workers report %d done in total, want >= %d", total, nCells)
+	}
+	if n := o.Metrics.Histogram("dist.sync_seconds", nil).Count(); n == 0 {
+		t.Error("no dist.sync_seconds observations after a full sweep")
+	}
+
+	var b strings.Builder
+	if err := coord.WriteFleetProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if errs := promtext.Lint(out, "ipex_"); len(errs) != 0 {
+		t.Errorf("fleet series failed conformance lint: %v\n%s", errs, out)
+	}
+	for _, want := range []string{
+		"ipex_fleet_workers_live 2",
+		"ipex_fleet_remaining 0",
+		`ipex_fleet_worker_up{worker=` + "\"" + w1.srv.URL + "\"" + `} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet series missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestThroughputEWMA drives updateRateLocked with a fake clock: exact
+// instantaneous rates, then the half-and-half blend.
+func TestThroughputEWMA(t *testing.T) {
+	clk := &trace.FakeClock{}
+	c := NewCoordinator(Options{Sweep: "s", Clock: clk})
+	ws := &workerState{addr: "w"}
+
+	c.updateRateLocked(ws, Status{Done: 0})
+	if ws.rate != 0 {
+		t.Fatalf("rate after first sync = %g, want 0 (no interval yet)", ws.rate)
+	}
+	clk.Advance(time.Second)
+	c.updateRateLocked(ws, Status{Done: 10}) // 10 cells/s over 1s
+	if ws.rate != 10 {
+		t.Fatalf("rate after second sync = %g, want 10", ws.rate)
+	}
+	clk.Advance(time.Second)
+	c.updateRateLocked(ws, Status{Done: 30}) // inst 20 → blend (10+20)/2
+	if ws.rate != 15 {
+		t.Fatalf("rate after third sync = %g, want 15", ws.rate)
+	}
+	// A worker restart can report a lower Done; the sample is skipped, not
+	// folded in as a negative rate.
+	clk.Advance(time.Second)
+	c.updateRateLocked(ws, Status{Done: 5})
+	if ws.rate != 15 {
+		t.Fatalf("rate after regressed sync = %g, want unchanged 15", ws.rate)
+	}
+}
+
+// TestStragglerFlag pins the straggler rule on synthetic state: live, >=
+// StealMin remaining, holding more than half the fleet remainder, and only
+// when another live worker exists.
+func TestStragglerFlag(t *testing.T) {
+	c := NewCoordinator(Options{Sweep: "s", StealMin: 4})
+	c.workers = []*workerState{
+		{addr: "a", everUp: true, last: Status{Assigned: 20, Done: 2, Remaining: 18}},
+		{addr: "b", everUp: true, last: Status{Assigned: 20, Done: 18, Remaining: 2}},
+		{addr: "c", everUp: true, dead: true, last: Status{Assigned: 20, Remaining: 20}},
+	}
+	v := c.Fleet()
+	if v.Live != 2 || v.Remaining != 20 {
+		t.Fatalf("live=%d remaining=%d, want 2/20 (dead workers excluded)", v.Live, v.Remaining)
+	}
+	flags := map[string]bool{}
+	for _, w := range v.Workers {
+		flags[w.Addr] = w.Straggler
+	}
+	if !flags["a"] || flags["b"] || flags["c"] {
+		t.Errorf("straggler flags = %v, want only a", flags)
+	}
+
+	// A lone live worker is never a straggler — there is nobody to lag.
+	c2 := NewCoordinator(Options{Sweep: "s", StealMin: 4})
+	c2.workers = []*workerState{
+		{addr: "solo", everUp: true, last: Status{Assigned: 20, Remaining: 18}},
+	}
+	if w := c2.Fleet().Workers[0]; w.Straggler {
+		t.Error("lone worker flagged as straggler")
+	}
+}

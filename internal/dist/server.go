@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"ipex/internal/harness"
+	"ipex/internal/trace"
 )
 
 // HeaderNext carries the next journal sequence number on a
@@ -24,8 +25,9 @@ const maxAssignmentBody = 1 << 27
 
 // NewHandler serves a worker's wire protocol. sup may be nil; when set,
 // its counters are exported on /metrics alongside the worker's progress
-// gauges.
-func NewHandler(w *Worker, sup *harness.Supervisor) http.Handler {
+// gauges. reg may be nil; when set, the whole registry — simulator
+// counters and the harness lifecycle histograms — is appended to /metrics.
+func NewHandler(w *Worker, sup *harness.Supervisor, reg *trace.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathAssign, func(rw http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -88,23 +90,30 @@ func NewHandler(w *Worker, sup *harness.Supervisor) http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
 		st := w.Status()
-		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(rw, "ipex_dist_worker_universe %d\n", st.Universe)
-		fmt.Fprintf(rw, "ipex_dist_worker_assigned %d\n", st.Assigned)
-		fmt.Fprintf(rw, "ipex_dist_worker_done %d\n", st.Done)
-		fmt.Fprintf(rw, "ipex_dist_worker_remaining %d\n", st.Remaining)
-		fmt.Fprintf(rw, "ipex_dist_worker_seq %d\n", st.Seq)
-		fmt.Fprintf(rw, "ipex_dist_worker_passes %d\n", st.Passes)
-		fmt.Fprintf(rw, "ipex_dist_worker_gen %d\n", st.Gen)
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("ipex_dist_worker_universe", "cells in the sweep universe", int64(st.Universe))
+		gauge("ipex_dist_worker_assigned", "cells assigned to this worker", int64(st.Assigned))
+		gauge("ipex_dist_worker_done", "assigned cells completed", int64(st.Done))
+		gauge("ipex_dist_worker_remaining", "assigned cells not yet completed", int64(st.Remaining))
+		gauge("ipex_dist_worker_seq", "journal entries available to pull", int64(st.Seq))
+		gauge("ipex_dist_worker_passes", "sweep passes run so far", int64(st.Passes))
+		gauge("ipex_dist_worker_gen", "latest acknowledged assignment generation", st.Gen)
 		if sup != nil {
 			cs := sup.Counters.Snapshot()
-			fmt.Fprintf(rw, "ipex_cells_executed %d\n", cs.Executed)
-			fmt.Fprintf(rw, "ipex_cells_replayed %d\n", cs.Replayed)
-			fmt.Fprintf(rw, "ipex_cells_skipped %d\n", cs.Skipped)
-			fmt.Fprintf(rw, "ipex_cell_retries %d\n", cs.Retried)
-			fmt.Fprintf(rw, "ipex_cell_timeouts %d\n", cs.Timeouts)
-			fmt.Fprintf(rw, "ipex_cell_panics %d\n", cs.Panics)
-			fmt.Fprintf(rw, "ipex_cell_failures %d\n", cs.Failures)
+			gauge("ipex_cells_executed", "cells simulated in this process", int64(cs.Executed))
+			gauge("ipex_cells_replayed", "cells answered from the journal", int64(cs.Replayed))
+			gauge("ipex_cells_skipped", "cells outside this worker's shard", int64(cs.Skipped))
+			gauge("ipex_cell_retries", "re-runs after a transient failure", int64(cs.Retried))
+			gauge("ipex_cell_timeouts", "wall-clock backstop expiries", int64(cs.Timeouts))
+			gauge("ipex_cell_panics", "isolated cell panics", int64(cs.Panics))
+			gauge("ipex_cell_failures", "cells journaled as failed", int64(cs.Failures))
+		}
+		if reg != nil {
+			// A scrape racing a disconnect can fail mid-write; nothing to do.
+			_ = reg.WriteProm(rw)
 		}
 	})
 	return mux

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ipex/internal/nvp"
+	"ipex/internal/trace"
+)
+
+// TestObsSpansExact drives the lifecycle spans with a FakeClock so every
+// histogram value is exact: the cell body advances the clock a known
+// amount, so attempt_seconds must record precisely that.
+func TestObsSpansExact(t *testing.T) {
+	clk := &trace.FakeClock{}
+	reg := trace.NewRegistry()
+	s := &Supervisor{Obs: NewObs(clk, reg)}
+
+	res, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
+		clk.Advance(30 * time.Millisecond)
+		return okResult("fft"), nil
+	}}, nil)
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	hs := s.Obs.Attempt.Snapshot()
+	if hs.N != 1 || hs.Sum != 0.03 {
+		t.Fatalf("attempt span n=%d sum=%g, want 1 observation of exactly 0.03s", hs.N, hs.Sum)
+	}
+}
+
+// TestObsBackoffSpans verifies retries observe the deterministic backoff
+// schedule: two retries at base 1ms record 1ms + 2ms.
+func TestObsBackoffSpans(t *testing.T) {
+	clk := &trace.FakeClock{}
+	reg := trace.NewRegistry()
+	s := &Supervisor{MaxRetries: 3, BackoffBase: time.Millisecond, Obs: NewObs(clk, reg)}
+	calls := 0
+	_, err, _ := s.RunCell(Cell{Key: "k", Label: "fft", Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
+		calls++
+		if calls < 3 {
+			return nvp.Result{}, Transient(errors.New("flaky"))
+		}
+		return okResult("fft"), nil
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := s.Obs.Backoff.Snapshot()
+	if hs.N != 2 || hs.Sum != 0.003 {
+		t.Fatalf("backoff span n=%d sum=%g, want 2 observations summing 3ms", hs.N, hs.Sum)
+	}
+	if s.Obs.Attempt.Count() != 3 {
+		t.Fatalf("attempt spans = %d, want 3 (one per attempt)", s.Obs.Attempt.Count())
+	}
+}
+
+// TestObsJournalAndQueueSpans runs a journaled batch through the Pool and
+// checks journal-append and queue-wait spans fire once per cell — and that
+// the journal bytes are identical to an unobserved run (spans must never
+// leak into the journal).
+func TestObsJournalAndQueueSpans(t *testing.T) {
+	run := func(obs bool) (string, *Supervisor) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "journal.jsonl")
+		j, err := CreateJournal(path, "sweep-obs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &Supervisor{Journal: j}
+		if obs {
+			s.Obs = NewObs(&trace.FakeClock{}, trace.NewRegistry())
+		}
+		cells := make([]Cell, 4)
+		for i := range cells {
+			label := string(rune('a' + i))
+			cells[i] = Cell{Key: "k" + label, Label: label,
+				Run: func(context.Context, *nvp.Arena) (nvp.Result, error) {
+					return okResult(label), nil
+				}}
+		}
+		p := &Pool{Workers: 2, Sup: s}
+		if _, _, err := p.Run(cells); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path, s
+	}
+
+	path, s := run(true)
+	if got := s.Obs.JournalAppend.Count(); got != 4 {
+		t.Errorf("journal-append spans = %d, want 4", got)
+	}
+	if got := s.Obs.QueueWait.Count(); got != 4 {
+		t.Errorf("queue-wait spans = %d, want 4", got)
+	}
+
+	// Byte-determinism: the journal must not know observation happened.
+	// Entries may interleave differently across pool runs, so compare the
+	// sorted line sets.
+	plain, _ := run(false)
+	a, b := readSortedLines(t, path), readSortedLines(t, plain)
+	if a != b {
+		t.Errorf("journal differs with observation enabled:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func readSortedLines(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			if lines[j] < lines[i] {
+				lines[i], lines[j] = lines[j], lines[i]
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}

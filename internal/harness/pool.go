@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"ipex/internal/nvp"
 )
@@ -54,6 +55,15 @@ func (p *Pool) Run(cells []Cell) ([]nvp.Result, []error, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	// Queue-wait spans: the dispatcher stamps enqueued[i] before sending i,
+	// the worker reads it after receiving — the channel send/receive pair
+	// provides the happens-before. Only allocated when spans are on.
+	obs := sup.obs()
+	var enqueued []time.Duration
+	if obs != nil {
+		enqueued = make([]time.Duration, len(cells))
+	}
+
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -66,6 +76,9 @@ func (p *Pool) Run(cells []Cell) ([]nvp.Result, []error, error) {
 			// cross goroutines.
 			arena := nvp.NewArena()
 			for i := range idx {
+				if obs != nil {
+					obs.span(obs.QueueWait, enqueued[i])
+				}
 				res, err, replayed := sup.RunCell(cells[i], arena)
 				results[i], errs[i], ran[i] = res, err, true
 				if p.OnDone != nil {
@@ -81,6 +94,9 @@ dispatch:
 		if !sup.admit() {
 			interrupted = true
 			break
+		}
+		if obs != nil {
+			enqueued[i] = obs.now()
 		}
 		if p.Ctx != nil {
 			// Cancellation gets priority: a select with both a ready worker

@@ -180,6 +180,12 @@ type Supervisor struct {
 	// Counters tracks supervision outcomes for telemetry.
 	Counters Counters
 
+	// Obs, when non-nil, records cell-lifecycle spans (attempt duration,
+	// backoff, journal-append latency; the Pool adds queue wait) into the
+	// metrics registry it was built over. Spans never touch the journal or
+	// results — see NewObs.
+	Obs *Obs
+
 	admitted atomic.Uint64
 }
 
@@ -283,6 +289,14 @@ func (s *Supervisor) maxRetries() int {
 	return s.MaxRetries
 }
 
+// obs returns the span recorder (nil when off or on a nil supervisor).
+func (s *Supervisor) obs() *Obs {
+	if s == nil {
+		return nil
+	}
+	return s.Obs
+}
+
 func (s *Supervisor) count(f func(*Counters)) {
 	if s != nil {
 		f(&s.Counters)
@@ -297,8 +311,12 @@ func (s *Supervisor) journal(e Entry) {
 	if s == nil || s.Journal == nil || e.Key == "" {
 		return
 	}
+	start := s.Obs.now()
 	// The append error is intentionally not fatal; see above.
 	_ = s.Journal.Append(e)
+	if o := s.Obs; o != nil {
+		o.span(o.JournalAppend, start)
+	}
 }
 
 // runOnce performs a single recover()-isolated attempt, arming the
@@ -310,9 +328,14 @@ func (s *Supervisor) runOnce(c Cell, a *nvp.Arena) (res nvp.Result, err error) {
 		ctx, cancel = backstopContext(s.WallBackstop)
 	}
 	defer cancel()
+	start := s.obs().now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+		// Inside the recover defer so a panicking attempt is still timed.
+		if o := s.obs(); o != nil {
+			o.span(o.Attempt, start)
 		}
 	}()
 	res, err = c.Run(ctx, a)

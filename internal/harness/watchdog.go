@@ -44,5 +44,10 @@ func (s *Supervisor) backoff(attempt int) {
 	if s == nil || s.BackoffBase <= 0 {
 		return
 	}
-	time.Sleep(BackoffDelay(s.BackoffBase, attempt))
+	d := BackoffDelay(s.BackoffBase, attempt)
+	// The span observes the deterministic delay itself (not a clock
+	// measurement of the sleep): the schedule is exact by construction, and
+	// recording the schedule keeps the backoff histogram reproducible.
+	s.obs().observeBackoff(d)
+	time.Sleep(d)
 }

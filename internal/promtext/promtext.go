@@ -1,0 +1,497 @@
+// Package promtext parses and lints the Prometheus text exposition format
+// (version 0.0.4). It is the conformance oracle for every /metrics endpoint
+// in the repository: the endpoint tests feed their scrape output through
+// Lint, and cmd/ipextop uses Parse plus Quantile to render live summaries.
+// It understands exactly the subset the repo emits — HELP/TYPE comments,
+// un-timestamped samples with optional labels, and the histogram
+// _bucket/_sum/_count convention — and rejects everything malformed rather
+// than guessing.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition line: a metric name, its label set, and a value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+	Line   int // 1-based line number in the scraped text
+}
+
+// LabelKey returns the sample's identity — name plus sorted labels — used
+// to detect duplicate series.
+func (s Sample) LabelKey() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Family groups the samples of one declared metric: the TYPE name plus, for
+// histograms, the derived _bucket/_sum/_count series.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, or untyped
+	Help    string
+	Samples []Sample
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	Families []*Family // declaration order
+	byName   map[string]*Family
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *Family {
+	return e.byName[name]
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			i > 0 && c >= '0' && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			i > 0 && c >= '0' && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// familyNameOf maps a sample name onto its declaring family: itself, or —
+// when a histogram (or summary) family is declared under the base name —
+// the name with the _bucket/_sum/_count suffix stripped.
+func (e *Exposition) familyNameOf(sample string) string {
+	if _, ok := e.byName[sample]; ok {
+		return sample
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base == sample {
+			continue
+		}
+		if f, ok := e.byName[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return base
+		}
+	}
+	return sample
+}
+
+// Parse reads a full scrape body. It returns the parsed exposition and the
+// first syntax error (the exposition is still populated with everything
+// parsed before the error).
+func Parse(text string) (*Exposition, error) {
+	e := &Exposition{byName: make(map[string]*Family)}
+	var firstErr error
+	fail := func(line int, format string, args ...any) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+		}
+	}
+	family := func(name string) *Family {
+		if f, ok := e.byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name, Type: "untyped"}
+		e.byName[name] = f
+		e.Families = append(e.Families, f)
+		return f
+	}
+	for i, line := range strings.Split(text, "\n") {
+		ln := i + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				name := fields[2]
+				if !validName(name) {
+					fail(ln, "invalid metric name %q in HELP", name)
+					continue
+				}
+				f := family(name)
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					fail(ln, "malformed TYPE line %q", line)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !validName(name) {
+					fail(ln, "invalid metric name %q in TYPE", name)
+					continue
+				}
+				if !validTypes[typ] {
+					fail(ln, "unknown metric type %q for %s", typ, name)
+					continue
+				}
+				f := family(name)
+				if f.Type != "untyped" {
+					fail(ln, "duplicate TYPE declaration for %s", name)
+					continue
+				}
+				if len(f.Samples) > 0 {
+					fail(ln, "TYPE for %s appears after its samples", name)
+				}
+				f.Type = typ
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			fail(ln, "%v", err)
+			continue
+		}
+		s.Line = ln
+		f := family(e.familyNameOf(s.Name))
+		f.Samples = append(f.Samples, s)
+	}
+	return e, firstErr
+}
+
+// parseSample parses one `name{labels} value [timestamp]` line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("sample line %q has no value", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels, rest = labels, tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes a `{name="value",...}` block (escapes \\, \", \n)
+// and returns the map plus the unconsumed tail.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", in)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %s value is not quoted", name)
+		}
+		var val strings.Builder
+		i := 1
+		for {
+			if i >= len(rest) {
+				return nil, "", fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(rest) {
+					return nil, "", fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %s", rest[i], name)
+				}
+			} else {
+				val.WriteByte(c)
+			}
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+		rest = rest[i+1:]
+		rest = strings.TrimLeft(rest, " ")
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Lint runs the full conformance pass over a scrape body: syntax, metric
+// name validity, the given name prefix on every family (pass "" to skip),
+// a TYPE declaration before every sample, no duplicate series, and
+// histogram shape (cumulative non-decreasing buckets, a +Inf bucket,
+// _count equal to the +Inf bucket, exactly one _sum). It returns every
+// problem found, or nil for a clean scrape.
+func Lint(text, prefix string) []error {
+	var errs []error
+	e, err := Parse(text)
+	if err != nil {
+		errs = append(errs, err)
+	}
+	seen := make(map[string]int) // series identity -> first line
+	for _, f := range e.Families {
+		if prefix != "" && !strings.HasPrefix(f.Name, prefix) {
+			errs = append(errs, fmt.Errorf("metric %s lacks the %q prefix", f.Name, prefix))
+		}
+		if f.Type == "untyped" && len(f.Samples) > 0 {
+			errs = append(errs, fmt.Errorf("metric %s has samples but no TYPE declaration", f.Name))
+		}
+		for _, s := range f.Samples {
+			key := s.LabelKey()
+			if prev, dup := seen[key]; dup {
+				errs = append(errs, fmt.Errorf("line %d: duplicate series %s (first at line %d)", s.Line, key, prev))
+				continue
+			}
+			seen[key] = s.Line
+		}
+		if f.Type == "histogram" {
+			errs = append(errs, lintHistogram(f)...)
+		}
+	}
+	return errs
+}
+
+// lintHistogram checks one histogram family's shape. Bucket samples are
+// grouped by their non-le labels so a labelled histogram (one series per
+// worker, say) is checked per group.
+func lintHistogram(f *Family) []error {
+	var errs []error
+	type group struct {
+		buckets  []Bucket
+		sum      int
+		count    float64
+		hasCount bool
+	}
+	groups := make(map[string]*group)
+	grp := func(s Sample) *group {
+		rest := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := Sample{Name: f.Name, Labels: rest}.LabelKey()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				errs = append(errs, fmt.Errorf("line %d: %s without an le label", s.Line, s.Name))
+				continue
+			}
+			ub, err := parseValue(le)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("line %d: bad le bound %q", s.Line, le))
+				continue
+			}
+			grp(s).buckets = append(grp(s).buckets, Bucket{Upper: ub, CumCount: s.Value})
+		case f.Name + "_sum":
+			grp(s).sum++
+		case f.Name + "_count":
+			g := grp(s)
+			g.count, g.hasCount = s.Value, true
+		default:
+			errs = append(errs, fmt.Errorf("line %d: %s inside histogram %s", s.Line, s.Name, f.Name))
+		}
+	}
+	for key, g := range groups {
+		name := f.Name
+		if key != f.Name {
+			name = key
+		}
+		if len(g.buckets) == 0 {
+			errs = append(errs, fmt.Errorf("histogram %s has no buckets", name))
+			continue
+		}
+		last := g.buckets[len(g.buckets)-1]
+		if !math.IsInf(last.Upper, 1) {
+			errs = append(errs, fmt.Errorf("histogram %s is missing the le=\"+Inf\" bucket", name))
+		}
+		for i := 1; i < len(g.buckets); i++ {
+			if g.buckets[i].Upper <= g.buckets[i-1].Upper {
+				errs = append(errs, fmt.Errorf("histogram %s bucket bounds not increasing", name))
+			}
+			if g.buckets[i].CumCount < g.buckets[i-1].CumCount {
+				errs = append(errs, fmt.Errorf("histogram %s bucket counts not cumulative", name))
+			}
+		}
+		if !g.hasCount {
+			errs = append(errs, fmt.Errorf("histogram %s is missing _count", name))
+		} else if math.IsInf(last.Upper, 1) && g.count != last.CumCount {
+			errs = append(errs, fmt.Errorf("histogram %s _count %g != +Inf bucket %g", name, g.count, last.CumCount))
+		}
+		if g.sum != 1 {
+			errs = append(errs, fmt.Errorf("histogram %s has %d _sum series, want 1", name, g.sum))
+		}
+	}
+	return errs
+}
+
+// Bucket is one cumulative histogram bucket: everything observed at or
+// below Upper.
+type Bucket struct {
+	Upper    float64
+	CumCount float64
+}
+
+// Buckets extracts the (sorted) cumulative buckets of an unlabelled
+// histogram family, for feeding Quantile.
+func Buckets(f *Family) []Bucket {
+	if f == nil {
+		return nil
+	}
+	var bs []Bucket
+	for _, s := range f.Samples {
+		if s.Name != f.Name+"_bucket" {
+			continue
+		}
+		ub, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		bs = append(bs, Bucket{Upper: ub, CumCount: s.Value})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Upper < bs[j].Upper })
+	return bs
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from cumulative buckets,
+// interpolating linearly within the target bucket the way PromQL's
+// histogram_quantile does. It returns NaN for an empty histogram and the
+// highest finite bound when the target falls in the +Inf bucket.
+func Quantile(q float64, bs []Bucket) float64 {
+	if len(bs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	total := bs[len(bs)-1].CumCount
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	var prevUpper, prevCum float64
+	for i, b := range bs {
+		if b.CumCount >= rank {
+			if math.IsInf(b.Upper, 1) {
+				if i > 0 {
+					return bs[i-1].Upper
+				}
+				return math.NaN()
+			}
+			inBucket := b.CumCount - prevCum
+			if inBucket == 0 {
+				return b.Upper
+			}
+			return prevUpper + (b.Upper-prevUpper)*(rank-prevCum)/inBucket
+		}
+		if !math.IsInf(b.Upper, 1) {
+			prevUpper = b.Upper
+		}
+		prevCum = b.CumCount
+	}
+	return bs[len(bs)-1].Upper
+}

@@ -1,0 +1,125 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ipex/internal/trace"
+)
+
+const goodScrape = `# HELP ipex_requests total requests
+# TYPE ipex_requests counter
+ipex_requests 42
+# HELP ipex_depth queue depth
+# TYPE ipex_depth gauge
+ipex_depth 3
+# HELP ipex_lat_seconds request latency
+# TYPE ipex_lat_seconds histogram
+ipex_lat_seconds_bucket{le="0.01"} 2
+ipex_lat_seconds_bucket{le="0.1"} 5
+ipex_lat_seconds_bucket{le="+Inf"} 6
+ipex_lat_seconds_sum 1.5
+ipex_lat_seconds_count 6
+`
+
+func TestParseGood(t *testing.T) {
+	e, err := Parse(goodScrape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Families) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(e.Families))
+	}
+	f := e.Family("ipex_requests")
+	if f == nil || f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 42 {
+		t.Fatalf("ipex_requests family parsed wrong: %+v", f)
+	}
+	h := e.Family("ipex_lat_seconds")
+	if h == nil || h.Type != "histogram" || len(h.Samples) != 5 {
+		t.Fatalf("histogram family parsed wrong: %+v", h)
+	}
+	if errs := Lint(goodScrape, "ipex_"); len(errs) != 0 {
+		t.Fatalf("clean scrape linted dirty: %v", errs)
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	e, err := Parse("# TYPE ipex_up gauge\nipex_up{worker=\"w-1\",addr=\"a \\\"b\\\"\\n\"} 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Family("ipex_up").Samples[0]
+	if s.Labels["worker"] != "w-1" || s.Labels["addr"] != "a \"b\"\n" {
+		t.Fatalf("labels parsed wrong: %#v", s.Labels)
+	}
+}
+
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"syntax", "ipex_x oops\n# TYPE ipex_x counter\n", "bad value"},
+		{"prefix", "# TYPE other_x counter\nother_x 1\n", "lacks the \"ipex_\" prefix"},
+		{"untyped", "ipex_x 1\n", "no TYPE declaration"},
+		{"dup-series", "# TYPE ipex_x counter\nipex_x 1\nipex_x 2\n", "duplicate series"},
+		{"dup-type", "# TYPE ipex_x counter\n# TYPE ipex_x gauge\nipex_x 1\n", "duplicate TYPE"},
+		{"type-after", "# HELP ipex_x h\nipex_x 1\n# TYPE ipex_x counter\n", "after its samples"},
+		{"no-inf", "# TYPE ipex_h histogram\nipex_h_bucket{le=\"1\"} 2\nipex_h_sum 1\nipex_h_count 2\n", "+Inf"},
+		{"not-cumulative", "# TYPE ipex_h histogram\nipex_h_bucket{le=\"1\"} 5\nipex_h_bucket{le=\"+Inf\"} 2\nipex_h_sum 1\nipex_h_count 2\n", "not cumulative"},
+		{"count-mismatch", "# TYPE ipex_h histogram\nipex_h_bucket{le=\"+Inf\"} 2\nipex_h_sum 1\nipex_h_count 9\n", "_count 9 != +Inf bucket 2"},
+		{"no-sum", "# TYPE ipex_h histogram\nipex_h_bucket{le=\"+Inf\"} 2\nipex_h_count 2\n", "_sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Lint(tc.text, "ipex_")
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("lint missed %q; got %v", tc.want, errs)
+		})
+	}
+}
+
+// TestLintAcceptsRegistryOutput pins the contract between trace.Registry's
+// renderer and this linter: whatever WriteProm emits must lint clean.
+func TestLintAcceptsRegistryOutput(t *testing.T) {
+	r := trace.NewRegistry()
+	r.Counter("store.mem_hits").Add(7)
+	r.Gauge("queue_depth").Set(2)
+	h := r.Histogram("run_seconds", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if errs := Lint(b.String(), "ipex_"); len(errs) != 0 {
+		t.Fatalf("registry output failed lint: %v\n%s", errs, b.String())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	e, err := Parse(goodScrape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := Buckets(e.Family("ipex_lat_seconds"))
+	if len(bs) != 3 {
+		t.Fatalf("extracted %d buckets, want 3", len(bs))
+	}
+	// rank(0.5) = 3 of 6 → one third into (0.01, 0.1]: 0.01 + 0.09*(3-2)/3.
+	if got, want := Quantile(0.5, bs), 0.04; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p50 = %g, want %g", got, want)
+	}
+	// rank(1.0) = 6 lands in +Inf → clamp to highest finite bound.
+	if got := Quantile(1, bs); got != 0.1 {
+		t.Errorf("p100 = %g, want 0.1", got)
+	}
+	if !math.IsNaN(Quantile(0.5, nil)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+}

@@ -1,0 +1,61 @@
+package resultstore
+
+import (
+	"testing"
+	"time"
+
+	"ipex/internal/trace"
+)
+
+// TestRatesAndLatencySpans drives the store with a FakeClock so the
+// compute/disk-read latency histograms carry exact values, and checks the
+// scrape-time hit/coalesce rates.
+func TestRatesAndLatencySpans(t *testing.T) {
+	dir := t.TempDir()
+	reg := trace.NewRegistry()
+	s, err := New(dir, 4, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &trace.FakeClock{}
+	s.SetClock(clk)
+
+	if hit, co := s.Rates(); hit != 0 || co != 0 {
+		t.Fatalf("fresh store rates = %g, %g, want 0, 0", hit, co)
+	}
+
+	compute := func() ([]byte, error) {
+		clk.Advance(10 * time.Millisecond)
+		return []byte("body"), nil
+	}
+	if _, out, err := s.GetOrCompute("k", compute); err != nil || out != OutcomeComputed {
+		t.Fatalf("first lookup: %v, %v", out, err)
+	}
+	if _, out, err := s.GetOrCompute("k", compute); err != nil || out != OutcomeMemoryHit {
+		t.Fatalf("second lookup: %v, %v", out, err)
+	}
+
+	hs := reg.Histogram("store.compute_seconds", nil).Snapshot()
+	if hs.N != 1 || hs.Sum != 0.01 {
+		t.Errorf("compute span n=%d sum=%g, want exactly one 10ms observation", hs.N, hs.Sum)
+	}
+	if hit, co := s.Rates(); hit != 0.5 || co != 0 {
+		t.Errorf("rates after hit = %g, %g, want 0.5, 0", hit, co)
+	}
+
+	// A fresh store over the same dir has a cold memory tier: the next
+	// lookup is a verified disk read, which must land in its own histogram.
+	reg2 := trace.NewRegistry()
+	s2, err := New(dir, 4, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk2 := &trace.FakeClock{}
+	s2.SetClock(clk2)
+	if _, out, ok := s2.Get("k"); !ok || out != OutcomeDiskHit {
+		t.Fatalf("cold lookup: %v, %v", out, ok)
+	}
+	if n := reg2.Histogram("store.disk_read_seconds", nil).Count(); n != 1 {
+		t.Errorf("disk-read spans = %d, want 1", n)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ipex/internal/benchio"
 	"ipex/internal/trace"
@@ -100,6 +101,13 @@ type Store struct {
 	diskEvicted *trace.Counter
 	corrupt     *trace.Counter
 	failures    *trace.Counter
+
+	// clock, when installed via SetClock, feeds the latency histograms
+	// below; nil leaves them silent, preserving the package's clock-free
+	// default. Latencies go only to the registry, never into a body.
+	clock           trace.Clock
+	computeSeconds  *trace.Histogram
+	diskReadSeconds *trace.Histogram
 }
 
 type entry struct {
@@ -136,7 +144,47 @@ func New(dir string, memEntries int, reg *trace.Registry) (*Store, error) {
 		diskEvicted: reg.Counter("store.disk_evicted"),
 		corrupt:     reg.Counter("store.corrupt"),
 		failures:    reg.Counter("store.failures"),
+
+		computeSeconds:  reg.Histogram("store.compute_seconds", nil),
+		diskReadSeconds: reg.Histogram("store.disk_read_seconds", nil),
 	}, nil
+}
+
+// SetClock installs the monotonic clock behind the store's latency
+// histograms (store.compute_seconds, store.disk_read_seconds). Call it
+// before serving traffic; it is not synchronized against in-flight
+// requests. A nil clock (the default) keeps the store clock-free and the
+// histograms silent.
+func (s *Store) SetClock(c trace.Clock) { s.clock = c }
+
+// now reads the injected clock, 0 when none is installed.
+func (s *Store) now() time.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock.Now()
+}
+
+// observe records now-start into h when a clock is installed.
+func (s *Store) observe(h *trace.Histogram, start time.Duration) {
+	if s.clock == nil {
+		return
+	}
+	h.ObserveDuration(s.clock.Now() - start)
+}
+
+// Rates derives the cache hit ratio and coalesce rate from the outcome
+// counters, over successfully served requests (mem hits + disk hits +
+// computed + coalesced). Both are 0 before the first serve. They are
+// computed at read time — scrape-time gauges, not stored state.
+func (s *Store) Rates() (hitRatio, coalesceRate float64) {
+	mem, disk := s.memHits.Load(), s.diskHits.Load()
+	co := s.coalesced.Load()
+	total := mem + disk + co + s.computed.Load()
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(mem+disk) / float64(total), float64(co) / float64(total)
 }
 
 // EvictDiskOver shrinks the disk tier to at most maxBytes by deleting
@@ -269,7 +317,11 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte
 	body, ok := s.readDisk(key)
 	if !ok {
 		outcome = OutcomeComputed
+		start := s.now()
 		body, c.err = compute()
+		if c.err == nil {
+			s.observe(s.computeSeconds, start)
+		}
 	}
 	c.body = body
 	if c.err == nil {
@@ -343,11 +395,23 @@ func (s *Store) writeDisk(key string, body []byte) error {
 	return benchio.WriteFileAtomic(s.DiskPath(key), buf.Bytes(), 0o644)
 }
 
-// readDisk fetches and verifies a disk-tier entry. Any defect — missing
+// readDisk fetches and verifies a disk-tier entry, timing the successful
+// reads (a miss — usually a fast ENOENT — would only skew the latency
+// series).
+func (s *Store) readDisk(key string) ([]byte, bool) {
+	start := s.now()
+	body, ok := s.loadDisk(key)
+	if ok {
+		s.observe(s.diskReadSeconds, start)
+	}
+	return body, ok
+}
+
+// loadDisk fetches and verifies a disk-tier entry. Any defect — missing
 // file, foreign schema, key mismatch, checksum mismatch, truncation — is a
 // miss: the caller re-simulates and rewrites the entry. Corruption (a file
 // that exists but fails verification) is counted separately.
-func (s *Store) readDisk(key string) ([]byte, bool) {
+func (s *Store) loadDisk(key string) ([]byte, bool) {
 	if s.dir == "" {
 		return nil, false
 	}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"ipex/internal/stats"
+)
+
+// DefaultLatencyBounds is the bucket layout latency histograms get when the
+// registration site passes nil bounds: geometric buckets from 1µs to ~16s
+// (factor 4), covering everything from a journal fsync to a straggling
+// sweep cell. Values are seconds, the Prometheus convention for durations.
+var DefaultLatencyBounds = stats.ExpBounds(1e-6, 10, 4)
+
+// Histogram is a concurrency-safe fixed-bucket histogram handle, the third
+// instrument kind of the Registry next to Counter and Gauge. It wraps the
+// deterministic stats.Histogram under a mutex: bucket layout is frozen at
+// registration, observation is a binary search plus a few adds under the
+// lock, and rendering is byte-deterministic for a given set of observed
+// values. All methods are nil-receiver safe (a nil handle discards
+// observations), so an uninstrumented path pays one nil compare.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// newHistogram builds a handle over the given bounds (nil =
+// DefaultLatencyBounds).
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{h: stats.NewHistogram(bounds)}
+}
+
+// Observe records one value. Nil-receiver safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a span length in seconds (the Prometheus unit
+// convention for latency series). Nil-receiver safe.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns how many values have been observed. Nil-receiver safe.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.N
+}
+
+// Snapshot returns a deep copy of the underlying histogram, safe to read
+// while observation continues. A nil handle returns an empty histogram over
+// the default bounds.
+func (h *Histogram) Snapshot() stats.Histogram {
+	if h == nil {
+		return stats.Histogram{Bounds: append([]float64(nil), DefaultLatencyBounds...),
+			Counts: make([]uint64, len(DefaultLatencyBounds)+1)}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cp := *h.h
+	cp.Bounds = append([]float64(nil), h.h.Bounds...)
+	cp.Counts = append([]uint64(nil), h.h.Counts...)
+	return cp
+}
