@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_JSON ?= BENCH_hotloop.json
 
-.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke ipexd-smoke dist-smoke obs-smoke lint fuzz ci clean
+.PHONY: all build vet test race race-harness bench bench-gate golden tracestat-golden resume-smoke ipexd-smoke dist-smoke obs-smoke remote-smoke lint fuzz ci clean
 
 all: ci
 
@@ -21,11 +21,13 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the crash-safety layer (worker pool, supervisor,
-# journal, cell plumbing) and the distributed executor built on it. `make
-# race` covers these too; this is the quick iteration loop while touching
-# the harness.
+# journal, cell plumbing), the distributed executor built on it, and the
+# remote-execution client + chaos proxy (hedge races, breaker transitions,
+# concurrent fault injection). `make race` covers these too; this is the
+# quick iteration loop while touching the harness.
 race-harness:
-	$(GO) test -race -count=2 ./internal/harness ./internal/experiments ./internal/dist
+	$(GO) test -race -count=2 ./internal/harness ./internal/experiments ./internal/dist \
+		./internal/remote ./internal/faultnet
 
 # Regenerate the committed hot-loop record: the Fig10-class sweep benchmark
 # plus the raw simulator-throughput probe, which writes $(BENCH_JSON) via
@@ -204,14 +206,16 @@ obs-smoke:
 	echo "obs-smoke: live latency histograms on both endpoints; telemetry left sweep results byte-identical"
 
 # Short fuzzing passes over the untrusted-input surfaces: the simulator
-# configuration validator, the harvest-trace parser, and the journal line
-# parser behind -resume and the distributed segment merge. `go test -fuzz`
+# configuration validator, the harvest-trace parser, the journal line
+# parser behind -resume and the distributed segment merge, and the /v1/run
+# request decoder every ipexd exposes to the network. `go test -fuzz`
 # accepts one target per invocation, hence one line each.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) ./internal/nvp/
 	$(GO) test -run=NONE -fuzz=FuzzHarvestTraceParse -fuzztime=$(FUZZTIME) ./internal/power/
 	$(GO) test -run=NONE -fuzz=FuzzJournalLine -fuzztime=$(FUZZTIME) ./internal/harness/
+	$(GO) test -run=NONE -fuzz=FuzzRunRequest -fuzztime=$(FUZZTIME) ./internal/remote/
 
 # Determinism lint: simulator internals must not read the wall clock (Now,
 # Since, After, Sleep, or timer construction) or the global math/rand stream
@@ -219,16 +223,18 @@ fuzz:
 # exceptions: internal/benchio (benchmark records carry their generation
 # time), internal/harness/watchdog.go (the wall-clock cell backstop and
 # retry backoff), internal/trace/clock.go (the one wall-clock Clock
-# implementation everything observable injects), and internal/dist/clock.go
-# (the coordinator's context-aware poll sleep). None of them touch simulated
-# results.
+# implementation everything observable injects), internal/dist/clock.go
+# (the coordinator's context-aware poll sleep), internal/remote/clock.go
+# (backoff sleeps and the hedge timer), and internal/faultnet/clock.go
+# (blackhole hold timing). None of them touch simulated results.
 lint: vet
 	@bad=$$(grep -rnE 'time\.(Now|Since|After|Sleep|NewTimer|NewTicker)' internal/ --include='*.go' \
 		| grep -v '^internal/benchio/' | grep -v '^internal/harness/watchdog\.go:' \
 		| grep -v '^internal/trace/clock\.go:' | grep -v '^internal/dist/clock\.go:' \
+		| grep -v '^internal/remote/clock\.go:' | grep -v '^internal/faultnet/clock\.go:' \
 		| grep -v '_test\.go'); \
 	if [ -n "$$bad" ]; then \
-		echo "lint: wall-clock use in simulator internals (only internal/benchio, the harness watchdog, and the two Clock impls may):"; \
+		echo "lint: wall-clock use in simulator internals (only internal/benchio, the harness watchdog, and the per-package clock.go files may):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@bad=$$(grep -rn '"math/rand"' internal/ --include='*.go'); \
@@ -237,9 +243,9 @@ lint: vet
 		echo "$$bad"; exit 1; \
 	fi
 	@bad=$$(grep -rn '"net/http"\|"expvar"' internal/ *.go --include='*.go' \
-		| grep -v '^internal/dist/'); \
+		| grep -v '^internal/dist/' | grep -v '^internal/remote/'); \
 	if [ -n "$$bad" ]; then \
-		echo "lint: net/http or expvar outside cmd/ and internal/dist (servers and process vars belong to the command layer; the dist executor is the one library whose job is the wire):"; \
+		echo "lint: net/http or expvar outside cmd/, internal/dist, and internal/remote (servers and process vars belong to the command layer; the dist executor and the fleet client are the two libraries whose job is the wire):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@bad=$$(grep -rnE 'time\.(Now|Since|After|Sleep|NewTimer|NewTicker)' cmd/ --include='*.go' \
@@ -256,7 +262,73 @@ lint: vet
 		echo "$$bad"; exit 1; \
 	fi
 
-ci: build lint race golden tracestat-golden resume-smoke ipexd-smoke dist-smoke obs-smoke fuzz bench-gate
+# Remote-execution smoke: a real sweep farmed to a real two-server ipexd
+# fleet, each server behind a seeded faultnet chaos proxy (blackholes, 429
+# storms, truncation, corruption), with one server SIGKILLed mid-sweep. The
+# sweep output must stay byte-identical to the purely local golden, with
+# zero failed cells, and the remote summary must show the resilience
+# machinery actually fired (hedges under blackholes, remote cells despite
+# the kill). A second pass against a dead fleet must degrade every cell to
+# local execution — same bytes again.
+remote-smoke:
+	@tmp=$$(mktemp -d); d1=; d2=; f1=; f2=; \
+	trap 'kill -9 $$d1 $$d2 $$f1 $$f2 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/experiments ./cmd/experiments || exit 1; \
+	$(GO) build -o $$tmp/ipexd ./cmd/ipexd || exit 1; \
+	$(GO) build -o $$tmp/faultnet ./cmd/faultnet || exit 1; \
+	args="-exp fig11 -scale 0.02 -apps fft,gsme -json"; \
+	$$tmp/experiments $$args >$$tmp/golden.json || exit 1; \
+	$$tmp/ipexd -listen 127.0.0.1:0 -cache-dir $$tmp/c1 2>$$tmp/d1.log & d1=$$!; \
+	$$tmp/ipexd -listen 127.0.0.1:0 -cache-dir $$tmp/c2 2>$$tmp/d2.log & d2=$$!; \
+	a1=""; a2=""; i=0; while [ $$i -lt 100 ]; do \
+		a1=$$(sed -n 's#^ipexd listening on http://\([^ ]*\).*#\1#p' $$tmp/d1.log); \
+		a2=$$(sed -n 's#^ipexd listening on http://\([^ ]*\).*#\1#p' $$tmp/d2.log); \
+		[ -n "$$a1" ] && [ -n "$$a2" ] && break; \
+		sleep 0.1; i=$$((i+1)); done; \
+	[ -n "$$a1" ] && [ -n "$$a2" ] \
+		|| { echo "remote-smoke: ipexd servers never announced their addresses"; cat $$tmp/d1.log $$tmp/d2.log; exit 1; }; \
+	$$tmp/faultnet -listen 127.0.0.1:0 -upstream "$$a1" -seed 11 \
+		-blackhole 0.25 -max-hold 2s -reject429 0.15 -truncate 0.1 -corrupt 0.1 2>$$tmp/f1.log & f1=$$!; \
+	$$tmp/faultnet -listen 127.0.0.1:0 -upstream "$$a2" -seed 12 \
+		-blackhole 0.25 -max-hold 2s -reject429 0.15 -truncate 0.1 -corrupt 0.1 2>$$tmp/f2.log & f2=$$!; \
+	p1=""; p2=""; i=0; while [ $$i -lt 100 ]; do \
+		p1=$$(sed -n 's#^faultnet listening on \([^ ]*\).*#\1#p' $$tmp/f1.log); \
+		p2=$$(sed -n 's#^faultnet listening on \([^ ]*\).*#\1#p' $$tmp/f2.log); \
+		[ -n "$$p1" ] && [ -n "$$p2" ] && break; \
+		sleep 0.1; i=$$((i+1)); done; \
+	[ -n "$$p1" ] && [ -n "$$p2" ] \
+		|| { echo "remote-smoke: faultnet proxies never announced their addresses"; cat $$tmp/f1.log $$tmp/f2.log; exit 1; }; \
+	$$tmp/experiments $$args -servers "http://$$p1,http://$$p2" \
+		-remote-retries 8 -hedge-after 100ms -journal $$tmp/sweep.jsonl \
+		>$$tmp/remote.json 2>$$tmp/sweep.log & spid=$$!; \
+	i=0; while [ $$i -lt 200 ]; do \
+		n=$$(wc -l 2>/dev/null <$$tmp/sweep.jsonl) || n=0; \
+		[ "$$n" -ge 2 ] && break; \
+		kill -0 $$spid 2>/dev/null || break; \
+		sleep 0.05; i=$$((i+1)); done; \
+	kill -9 $$d1 2>/dev/null; \
+	wait $$spid; status=$$?; \
+	if [ $$status -ne 0 ]; then \
+		echo "remote-smoke: chaos sweep exited $$status"; cat $$tmp/sweep.log; exit 1; \
+	fi; \
+	diff -u $$tmp/golden.json $$tmp/remote.json \
+		|| { echo "remote-smoke: chaos sweep output differs from local golden"; cat $$tmp/sweep.log; exit 1; }; \
+	grep -Eq '^remote: cells=[1-9]' $$tmp/sweep.log \
+		|| { echo "remote-smoke: no cell executed remotely under chaos:"; grep '^remote:' $$tmp/sweep.log; exit 1; }; \
+	grep -Eq ' failed=0 ' $$tmp/sweep.log \
+		|| { echo "remote-smoke: chaos sweep failed cells:"; grep '^remote:' $$tmp/sweep.log; exit 1; }; \
+	grep -Eq ' hedges=[1-9]' $$tmp/sweep.log \
+		|| { echo "remote-smoke: blackholes never triggered a hedge:"; grep '^remote:' $$tmp/sweep.log; exit 1; }; \
+	$$tmp/experiments $$args -servers http://127.0.0.1:1 -remote-retries 1 \
+		>$$tmp/down.json 2>$$tmp/down.log \
+		|| { echo "remote-smoke: dead-fleet sweep failed"; cat $$tmp/down.log; exit 1; }; \
+	diff -u $$tmp/golden.json $$tmp/down.json \
+		|| { echo "remote-smoke: dead-fleet sweep output differs from local golden"; exit 1; }; \
+	grep -Eq '^remote: cells=0 (fallback=[1-9]|fallback=0 unroutable=[1-9])' $$tmp/down.log \
+		|| { echo "remote-smoke: dead fleet did not degrade to local:"; grep '^remote:' $$tmp/down.log; exit 1; }; \
+	echo "remote-smoke: chaos + SIGKILL sweep byte-identical to local; dead fleet degraded cleanly"
+
+ci: build lint race golden tracestat-golden resume-smoke ipexd-smoke dist-smoke obs-smoke remote-smoke fuzz bench-gate
 	$(GO) test -run=NONE -bench=BenchmarkFig10 -benchtime=1x ./...
 
 clean:

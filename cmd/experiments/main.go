@@ -37,6 +37,7 @@ import (
 	"ipex/internal/harness"
 	"ipex/internal/nvp"
 	"ipex/internal/power"
+	"ipex/internal/remote"
 	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
@@ -139,6 +140,12 @@ func main() {
 		distTimeout  = flag.Duration("dist-timeout", 5*time.Second, "per-request deadline for coordinator→worker calls")
 		distRetries  = flag.Int("dist-retries", 3, "consecutive failed health checks before a worker is declared dead and its shard re-assigned to survivors")
 		distStealMin = flag.Int("dist-steal-min", 4, "minimum remaining cells a straggler must hold before an idle worker steals the tail half of them")
+
+		servers         = flag.String("servers", "", "comma-separated ipexd base URLs (http://host:port); remotable cells execute on the fleet behind retries, hedging, and per-server circuit breakers, and degrade to local simulation when the fleet cannot answer")
+		remoteRetries   = flag.Int("remote-retries", 3, "fleet attempts per cell beyond the first before degrading to local execution")
+		remoteTimeout   = flag.Duration("remote-timeout", 15*time.Second, "per-attempt HTTP deadline for fleet requests")
+		hedgeAfter      = flag.Duration("hedge-after", 250*time.Millisecond, "race a second fleet replica when an attempt has not answered within this duration (0 disables hedging)")
+		noLocalFallback = flag.Bool("no-local-fallback", false, "fail a cell whose fleet retry budget is exhausted instead of simulating it locally")
 	)
 	flag.Parse()
 
@@ -189,6 +196,35 @@ func main() {
 	if *coordinator != "" && *journalPath == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -coordinator needs -journal <file> (the authoritative merged journal)")
 		os.Exit(1)
+	}
+	if *servers == "" {
+		remoteFlagSet := false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "remote-retries", "remote-timeout", "hedge-after", "no-local-fallback":
+				remoteFlagSet = true
+			}
+		})
+		if remoteFlagSet {
+			fmt.Fprintln(os.Stderr, "experiments: -remote-retries/-remote-timeout/-hedge-after/-no-local-fallback need -servers <urls>")
+			os.Exit(1)
+		}
+	} else {
+		if *remoteRetries < 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -remote-retries must be >= 0, got %d\n", *remoteRetries)
+			os.Exit(1)
+		}
+		// A remote cell produces no local trace events, and -generic-loop's
+		// A/B point is exercising the local interpreter; both contradict
+		// farming the cell out.
+		if *tracePath != "" || *traceDir != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -servers is incompatible with -trace/-tracedir (remote cells emit no local trace events)")
+			os.Exit(1)
+		}
+		if *genericRun {
+			fmt.Fprintln(os.Stderr, "experiments: -servers is incompatible with -generic-loop (the fleet runs the fast paths; the A/B must run locally)")
+			os.Exit(1)
+		}
 	}
 
 	if *cpuProfile != "" {
@@ -306,6 +342,35 @@ func main() {
 		sup.Obs = harness.NewObs(telClock, o.Metrics)
 	}
 
+	// Remote execution: remotable cells are encoded declaratively
+	// (remote.EncodeCell proves the fleet reconstructs the exact cell key)
+	// and handed to the resilient client; everything else — and every cell
+	// the fleet cannot answer — runs locally as before.
+	var rc *remote.Client
+	if *servers != "" {
+		var err error
+		rc, err = remote.NewClient(remote.Options{
+			Servers:         splitList(*servers),
+			Retries:         *remoteRetries,
+			Timeout:         *remoteTimeout,
+			HedgeAfter:      *hedgeAfter,
+			NoLocalFallback: *noLocalFallback,
+			Clock:           telClock,
+			Metrics:         o.Metrics,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -servers: %v\n", err)
+			os.Exit(1)
+		}
+		o.RemoteEncode = remote.EncodeCell
+		sup.Remote = rc
+		fmt.Fprintf(os.Stderr, "remote execution: %d server(s), retries=%d, timeout=%v, hedge-after=%v, local-fallback=%v\n",
+			len(splitList(*servers)), *remoteRetries, *remoteTimeout, *hedgeAfter, !*noLocalFallback)
+	}
+
 	var ids []string
 	switch {
 	case *all:
@@ -409,7 +474,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", ln.Addr())
-		srv := httpd.New(newTelemetryHandlerDist(telClock, o.Progress, o.Metrics, sup, coord))
+		srv := httpd.New(newTelemetryHandlerDist(telClock, o.Progress, o.Metrics, sup, coord, rc))
 		telemetryShutdown = func() {
 			if err := httpd.Shutdown(srv, 2*time.Second); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: telemetry shutdown: %v\n", err)
@@ -555,9 +620,12 @@ func main() {
 	}
 	telemetryShutdown()
 
-	if cs := sup.Counters.Snapshot(); cs != (harness.CounterSnapshot{}) && (journal != nil || interrupted || cs.Retried+cs.Panics+cs.Timeouts > 0) {
-		fmt.Fprintf(os.Stderr, "supervision: %d cell(s) executed, %d replayed, %d retried, %d timeouts, %d panics, %d failed\n",
-			cs.Executed, cs.Replayed, cs.Retried, cs.Timeouts, cs.Panics, cs.Failures)
+	if cs := sup.Counters.Snapshot(); cs != (harness.CounterSnapshot{}) && (journal != nil || interrupted || rc != nil || cs.Retried+cs.Panics+cs.Timeouts > 0) {
+		fmt.Fprintf(os.Stderr, "supervision: %d cell(s) executed, %d replayed, %d remote, %d retried, %d timeouts, %d panics, %d failed\n",
+			cs.Executed, cs.Replayed, cs.Remote, cs.Retried, cs.Timeouts, cs.Panics, cs.Failures)
+	}
+	if rc != nil {
+		fmt.Fprintln(os.Stderr, rc.Summary())
 	}
 	if interrupted {
 		if journal != nil {

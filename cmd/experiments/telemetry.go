@@ -11,6 +11,7 @@ import (
 	"ipex/internal/dist"
 	"ipex/internal/experiments"
 	"ipex/internal/harness"
+	"ipex/internal/remote"
 	"ipex/internal/trace"
 )
 
@@ -23,11 +24,12 @@ import (
 // the sweep path stays inside trace.NewWallClock; its epoch is construction
 // time, so Now() is directly the elapsed sweep duration.
 type telemetry struct {
-	clock trace.Clock
-	prog  *experiments.Progress
-	reg   *trace.Registry
-	sup   *harness.Supervisor
-	coord *dist.Coordinator
+	clock  trace.Clock
+	prog   *experiments.Progress
+	reg    *trace.Registry
+	sup    *harness.Supervisor
+	coord  *dist.Coordinator
+	remote *remote.Client
 }
 
 // counters reads the supervision counters (zero when no supervisor).
@@ -56,16 +58,17 @@ var (
 // newTelemetryHandler builds the HTTP handler for -listen. sup may be nil
 // (unsupervised sweep); the supervision gauges then read zero.
 func newTelemetryHandler(clock trace.Clock, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor) http.Handler {
-	return newTelemetryHandlerDist(clock, prog, reg, sup, nil)
+	return newTelemetryHandlerDist(clock, prog, reg, sup, nil, nil)
 }
 
 // newTelemetryHandlerDist additionally exports the fleet when the sweep runs
 // under a distributed coordinator (nil otherwise): merge/dedup totals,
 // re-shard and steal counts, and per-worker liveness, throughput, and
 // straggler flags — as typed ipex_fleet_* series on /metrics and as JSON on
-// /dist/v1/fleet.
-func newTelemetryHandlerDist(clock trace.Clock, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor, coord *dist.Coordinator) http.Handler {
-	t := &telemetry{clock: clock, prog: prog, reg: reg, sup: sup, coord: coord}
+// /dist/v1/fleet. rc, when non-nil, adds the remote-execution client's
+// per-server series (ipex_remote_breaker_state and friends).
+func newTelemetryHandlerDist(clock trace.Clock, prog *experiments.Progress, reg *trace.Registry, sup *harness.Supervisor, coord *dist.Coordinator, rc *remote.Client) http.Handler {
+	t := &telemetry{clock: clock, prog: prog, reg: reg, sup: sup, coord: coord, remote: rc}
 	curTelemetry.Store(t)
 	expvarOnce.Do(func() {
 		expvar.Publish("ipex_sweep", expvar.Func(func() any {
@@ -78,6 +81,7 @@ func newTelemetryHandlerDist(clock trace.Clock, prog *experiments.Progress, reg 
 				"insts":           insts,
 				"elapsed_seconds": cur.elapsed(),
 				"cells_replayed":  cs.Replayed,
+				"cells_remote":    cs.Remote,
 				"cells_retried":   cs.Retried,
 				"cell_timeouts":   cs.Timeouts,
 				"cell_panics":     cs.Panics,
@@ -133,6 +137,7 @@ func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
 	// watchdog timeouts, isolated panics, and journaled failures.
 	cs := t.counters()
 	gauge("ipex_sweep_cells_replayed", "cells answered from the resume journal without simulating", float64(cs.Replayed))
+	gauge("ipex_sweep_cells_remote", "cells executed on the ipexd fleet (verified remote results)", float64(cs.Remote))
 	gauge("ipex_sweep_cells_retried", "cell re-runs after a transient failure", float64(cs.Retried))
 	gauge("ipex_sweep_cell_timeouts", "wall-clock backstop expiries", float64(cs.Timeouts))
 	gauge("ipex_sweep_cell_panics", "isolated cell panics (journaled, soft-failed)", float64(cs.Panics))
@@ -142,6 +147,12 @@ func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
 	// agree on liveness, throughput, and straggler calls.
 	if t.coord != nil {
 		_ = t.coord.WriteFleetProm(w)
+	}
+	// Remote-execution series: per-server breaker states and attempt counts,
+	// only present when the sweep runs against an ipexd fleet. The remote.*
+	// counters themselves live in the shared registry below.
+	if t.remote != nil {
+		_ = t.remote.WriteProm(w)
 	}
 	// A scrape racing a disconnect can fail mid-write; there is no one to
 	// report that to, so the error is dropped.

@@ -1,0 +1,73 @@
+// Command faultnet runs the deterministic chaos proxy from
+// internal/faultnet as a standalone process: put it between a fleet client
+// and an ipexd server and it injects latency, drops, resets, truncated and
+// corrupted bodies, 429 storms, and blackholes — all drawn from a seeded
+// rng, so a chaos run replays identically.
+//
+//	faultnet -listen 127.0.0.1:8475 -upstream 127.0.0.1:8375 \
+//	    -seed 7 -drop 0.1 -truncate 0.1 -corrupt 0.1 -reject429 0.1
+//
+// On SIGINT/SIGTERM the proxy stops accepting, waits for in-flight
+// connections, prints the injected-fault summary to stderr, and exits 0.
+// `make remote-smoke` drives two of these in front of a two-server ipexd
+// fleet and asserts the sweep output stays byte-identical to local.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipex/internal/faultnet"
+)
+
+func main() {
+	var (
+		listenAddr = flag.String("listen", "127.0.0.1:0", "address to accept client connections on")
+		upstream   = flag.String("upstream", "", "upstream host:port to relay to (required)")
+		seed       = flag.Uint64("seed", 1, "seed for every fault decision (same seed + same connection order = same faults)")
+		drop       = flag.Float64("drop", 0, "probability a connection is dropped before reading a byte")
+		reset      = flag.Float64("reset", 0, "probability the client connection is reset mid-response")
+		blackhole  = flag.Float64("blackhole", 0, "probability a request is read and never answered")
+		maxHold    = flag.Duration("max-hold", 2*time.Second, "how long a blackhole holds the connection")
+		reject     = flag.Float64("reject429", 0, "probability of a canned 429 + Retry-After instead of proxying")
+		retryAfter = flag.Int("retry-after", 1, "Retry-After seconds on injected 429s")
+		latencyP   = flag.Float64("latency", 0, "probability a request is delayed before relaying")
+		latencyD   = flag.Duration("latency-delay", 50*time.Millisecond, "injected delay when -latency fires")
+		truncate   = flag.Float64("truncate", 0, "probability the response body is cut in half")
+		corrupt    = flag.Float64("corrupt", 0, "probability response-body bytes are flipped (headers intact)")
+	)
+	flag.Parse()
+	if *upstream == "" {
+		fmt.Fprintln(os.Stderr, "faultnet: -upstream is required")
+		os.Exit(1)
+	}
+
+	p, err := faultnet.Listen(*listenAddr, *upstream, faultnet.Config{
+		Seed:           *seed,
+		DropProb:       *drop,
+		ResetProb:      *reset,
+		BlackholeProb:  *blackhole,
+		MaxHold:        *maxHold,
+		Reject429Prob:  *reject,
+		RetryAfterSecs: *retryAfter,
+		LatencyProb:    *latencyP,
+		Latency:        *latencyD,
+		TruncateProb:   *truncate,
+		CorruptProb:    *corrupt,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultnet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "faultnet listening on %s -> %s (seed=%d)\n", p.Addr(), *upstream, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	p.Close()
+	fmt.Fprintln(os.Stderr, p.Counters.Snapshot().String())
+}

@@ -13,8 +13,9 @@
 //
 // Endpoints: POST /v1/run (simulate or serve cached), GET /v1/result/<key>
 // (cache probe, no simulation), /metrics (Prometheus text), /debug/vars
-// (expvar), /healthz. Responses carry X-Ipex-Key (the cell key) and
-// X-Ipex-Cache (hit, hit-disk, miss, or coalesced).
+// (expvar), /healthz (200 while serving, 503 once draining). Responses
+// carry X-Ipex-Key (the cell key), X-Ipex-Cache (hit, hit-disk, miss, or
+// coalesced), and X-Ipex-Sha256 (body checksum, verified by fleet clients).
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
 // (and their simulations) finish, the worker pool exits, and the process
@@ -35,6 +36,7 @@ import (
 
 	"ipex/cmd/internal/httpd"
 	"ipex/internal/harness"
+	"ipex/internal/remote"
 	"ipex/internal/resultstore"
 	"ipex/internal/trace"
 )
@@ -112,7 +114,7 @@ func main() {
 		PropagatePanics: true,
 		Obs:             harness.NewObs(clock, reg),
 	}
-	srv := newServer(store, reg, sup, clock, limits{maxScale: *maxScale, cellBudget: *cellBudget}, nWorkers, *queueDepth)
+	srv := newServer(store, reg, sup, clock, remote.Limits{MaxScale: *maxScale, CellBudget: *cellBudget}, nWorkers, *queueDepth)
 
 	start := time.Now()
 	expvar.Publish("ipexd", expvar.Func(func() any {
@@ -148,6 +150,9 @@ func main() {
 	// requests finish (bounded by -drain-timeout), worker pool exits.
 	stopSignals()
 	fmt.Fprintln(os.Stderr, "ipexd: interrupt received; draining in-flight requests (interrupt again to kill)")
+	// Fail /healthz first so fleet clients stop routing new cells here while
+	// the listener finishes its in-flight requests.
+	srv.beginDrain()
 	if err := httpd.Shutdown(httpSrv, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "ipexd: drain: %v\n", err)
 	}

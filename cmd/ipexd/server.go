@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -15,18 +17,14 @@ import (
 	"sync/atomic"
 	"time"
 
-	"ipex/internal/experiments"
 	"ipex/internal/harness"
 	"ipex/internal/nvp"
 	"ipex/internal/power"
+	"ipex/internal/remote"
 	"ipex/internal/resultstore"
 	"ipex/internal/trace"
 	"ipex/internal/workload"
 )
-
-// requestBodyLimit bounds a /v1/run body; a legitimate request is a few
-// hundred bytes.
-const requestBodyLimit = 1 << 20
 
 var (
 	// errBusy is the backpressure signal: the bounded queue is full, so the
@@ -80,13 +78,14 @@ type server struct {
 	reg       *trace.Registry
 	sup       *harness.Supervisor
 	workloads *workload.Store
-	lim       limits
+	lim       remote.Limits
 	workers   int
 
-	queue   chan task
-	qmu     sync.RWMutex
-	qclosed bool
-	wg      sync.WaitGroup
+	queue    chan task
+	qmu      sync.RWMutex
+	qclosed  bool
+	wg       sync.WaitGroup
+	draining atomic.Bool
 
 	inflight atomic.Int64
 	requests *trace.Counter
@@ -109,7 +108,7 @@ type traceKey struct {
 // newServer wires the store, registry, and supervisor together and starts
 // the worker pool: `workers` goroutines, each owning one nvp.Arena so
 // steady-state simulations allocate nothing, consuming the bounded queue.
-func newServer(store *resultstore.Store, reg *trace.Registry, sup *harness.Supervisor, clock trace.Clock, lim limits, workers, queueDepth int) *server {
+func newServer(store *resultstore.Store, reg *trace.Registry, sup *harness.Supervisor, clock trace.Clock, lim remote.Limits, workers, queueDepth int) *server {
 	if workers < 1 {
 		workers = 1
 	}
@@ -164,10 +163,19 @@ func (s *server) enqueue(t task) error {
 	}
 }
 
+// beginDrain flips /healthz to 503 before the HTTP listener shuts down:
+// fleet clients health-probe a server before re-admitting it through a
+// half-open breaker, so a draining server announces its exit instead of
+// absorbing (and 503-failing) a last wave of requests.
+func (s *server) beginDrain() {
+	s.draining.Store(true)
+}
+
 // close drains the worker pool: no further enqueues, queued tasks finish,
 // workers exit. Call after the HTTP server has shut down (so no handler is
 // mid-enqueue).
 func (s *server) close() {
+	s.draining.Store(true)
 	s.qmu.Lock()
 	if !s.qclosed {
 		s.qclosed = true
@@ -197,6 +205,14 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// A draining server must fail its health check: the answer is read
+		// by fleet clients deciding whether to route new work here, and a
+		// server about to close its listener is not a routable destination
+		// even though this handler can still answer.
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	return mux
@@ -240,29 +256,18 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := s.now()
 	defer func() { s.observe(s.runSeconds, start) }()
 
-	dec := json.NewDecoder(io.LimitReader(r.Body, requestBodyLimit))
-	// Unknown fields are a client error, not a default: a typo'd knob must
-	// not silently hash to (and be served as) a different configuration.
-	dec.DisallowUnknownFields()
-	var rq RunRequest
-	if err := dec.Decode(&rq); err != nil {
+	rq, err := remote.DecodeRunRequest(r.Body)
+	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	sp, err := rq.build(s.lim)
+	sp, err := rq.Build(s.lim)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	tr := s.trace(sp.source, sp.seed)
-	key := experiments.CellIdentity{
-		App:       sp.app,
-		Scale:     sp.scale,
-		TraceSeed: sp.seed,
-		TraceName: tr.Name,
-		TraceLen:  len(tr.Samples),
-		Config:    sp.identity,
-	}.Key()
+	tr := s.trace(sp.Source, sp.Seed)
+	key := sp.Key(tr.Name, len(tr.Samples))
 
 	body, outcome, err := s.store.GetOrCompute(key, func() ([]byte, error) {
 		return s.simulate(key, sp, tr)
@@ -311,6 +316,11 @@ func (s *server) serveBody(w http.ResponseWriter, key string, outcome resultstor
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Ipex-Key", key)
 	h.Set("X-Ipex-Cache", outcome.String())
+	// The body checksum lets clients commit a result only after verifying it
+	// arrived intact — a truncated or proxy-mangled response must be a retry
+	// on their side, never a mis-filed cell.
+	sum := sha256.Sum256(body)
+	h.Set("X-Ipex-Sha256", hex.EncodeToString(sum[:]))
 	// A response write failure means the client went away; the result is
 	// cached regardless, so there is nothing to recover.
 	_, _ = w.Write(body)
@@ -320,26 +330,26 @@ func (s *server) serveBody(w http.ResponseWriter, key string, outcome resultstor
 // the bytes that enter the store and therefore the bytes every future hit
 // serves. Only called inside the store's singleflight, so concurrent
 // identical requests cost exactly one queue slot and one simulation.
-func (s *server) simulate(key string, sp runSpec, tr *power.Trace) ([]byte, error) {
+func (s *server) simulate(key string, sp remote.Spec, tr *power.Trace) ([]byte, error) {
 	t := task{
 		cell: harness.Cell{
 			Key:   key,
-			Label: sp.app,
+			Label: sp.App,
 			Run: func(ctx context.Context, a *nvp.Arena) (nvp.Result, error) {
 				if testRunHook != nil {
-					testRunHook(sp.app)
+					testRunHook(sp.App)
 				}
-				st, err := s.workloads.Stream(sp.app, sp.scale)
+				st, err := s.workloads.Stream(sp.App, sp.Scale)
 				if err != nil {
 					return nvp.Result{}, err
 				}
-				cfg := sp.cfg
+				cfg := sp.Config
 				cfg.Metrics = s.reg
 				res, err := a.RunStreamContext(ctx, st, tr, cfg)
 				if err == nil && cfg.Paranoid && !res.Invariants.Clean() {
 					// Worth the supervisor's bounded retries before the
 					// request fails — never cached either way.
-					err = harness.Transient(fmt.Errorf("%s: %s", sp.app, res.Invariants.Summary()))
+					err = harness.Transient(fmt.Errorf("%s: %s", sp.App, res.Invariants.Summary()))
 				}
 				return res, err
 			},

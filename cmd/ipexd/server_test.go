@@ -14,6 +14,7 @@ import (
 
 	"ipex/internal/harness"
 	"ipex/internal/nvp"
+	"ipex/internal/remote"
 	"ipex/internal/resultstore"
 	"ipex/internal/trace"
 )
@@ -31,7 +32,7 @@ func newTestServer(t *testing.T, dir string, workers, queueDepth int) (*server, 
 	sup := &harness.Supervisor{PropagatePanics: true}
 	// A FakeClock (never advanced unless a test advances it) keeps latency
 	// histograms present-but-deterministic in scrape assertions.
-	s := newServer(store, reg, sup, &trace.FakeClock{}, limits{maxScale: 1}, workers, queueDepth)
+	s := newServer(store, reg, sup, &trace.FakeClock{}, remote.Limits{MaxScale: 1}, workers, queueDepth)
 	ts := httptest.NewServer(s.mux())
 	t.Cleanup(func() {
 		ts.Close()

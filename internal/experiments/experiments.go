@@ -91,7 +91,18 @@ type Options struct {
 	// simulated time, identically on every machine; the supervisor's
 	// wall-clock watchdog is only the backstop behind it.
 	CellBudget uint64
+	// RemoteEncode, when non-nil, derives each cell's declarative /v1/run
+	// body (or nil when the cell is not expressible remotely); the result
+	// rides on harness.Cell.RemoteReq for Sup.Remote to execute on an ipexd
+	// fleet. Injected as a function (remote.EncodeCell) rather than imported
+	// so experiments does not depend on the remote package.
+	RemoteEncode RemoteEncoder
 }
+
+// RemoteEncoder derives the declarative remote-execution request for one
+// sweep cell, or nil when the cell must run locally. The signature matches
+// remote.EncodeCell.
+type RemoteEncoder func(app string, scale float64, tr *power.Trace, traceSeed uint64, cfg nvp.Config, key string) []byte
 
 func (o Options) norm() Options {
 	if o.Scale <= 0 {
@@ -195,6 +206,9 @@ func runAll(o Options, jobs []job) ([]nvp.Result, error) {
 			Key:   cellKey(o, j, cfg),
 			Label: j.app,
 			Run:   o.cellRun(store, j, cfg, path),
+		}
+		if o.RemoteEncode != nil && cells[i].Key != "" {
+			cells[i].RemoteReq = o.RemoteEncode(j.app, o.Scale, j.tr, o.TraceSeed, cfg, cells[i].Key)
 		}
 	}
 	pool := &harness.Pool{

@@ -1,0 +1,20 @@
+package faultnet
+
+import "time"
+
+// This file is the package's only wall-clock touchpoint, mirroring
+// internal/remote/clock.go: a chaos proxy injects real latency and bounds
+// real holds, but which faults fire is decided by the seeded rng alone —
+// wall time never picks a fault, so a chaos run replays identically.
+
+// holdSleep injects latency.
+func holdSleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// holdDeadline bounds a blackhole hold or a drain read.
+func holdDeadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}

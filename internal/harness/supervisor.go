@@ -82,11 +82,14 @@ type Counters struct {
 	// distributed worker's shard assignment): never simulated, never
 	// journaled.
 	Skipped atomic.Uint64
+	// Remote counts cells answered by a RemoteRunner (executed on an ipexd
+	// fleet, verified, and journaled without simulating locally).
+	Remote atomic.Uint64
 }
 
 // CounterSnapshot is a point-in-time copy of Counters.
 type CounterSnapshot struct {
-	Executed, Replayed, Retried, Timeouts, Panics, Failures, Skipped uint64
+	Executed, Replayed, Retried, Timeouts, Panics, Failures, Skipped, Remote uint64
 }
 
 // Snapshot reads every counter atomically (each individually; the set is
@@ -103,7 +106,20 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Panics:   c.Panics.Load(),
 		Failures: c.Failures.Load(),
 		Skipped:  c.Skipped.Load(),
+		Remote:   c.Remote.Load(),
 	}
+}
+
+// RemoteRunner executes a cell somewhere other than this process — the
+// resilient fleet client in internal/remote implements it. RunRemote
+// returns handled=false to decline the cell (not remotable, fleet down,
+// retry budget exhausted with local fallback enabled); the supervisor then
+// runs the cell locally as if no runner were installed. handled=true with a
+// non-nil error is a hard cell failure (journaled as KindFail). The
+// returned result must already be verified — the supervisor journals it
+// exactly as it would a local simulation.
+type RemoteRunner interface {
+	RunRemote(key, label string, req []byte) (res nvp.Result, handled bool, err error)
 }
 
 // Cell is one supervised unit of sweep work: a content-hash identity and
@@ -122,6 +138,11 @@ type Cell struct {
 	// Run executes the cell. A nil-Completed result feeds the sweep's
 	// soft-fail (skipped app) path downstream.
 	Run func(ctx context.Context, a *nvp.Arena) (nvp.Result, error)
+	// RemoteReq, when non-empty, is the cell's declarative /v1/run body
+	// (remote.EncodeCell): proof that a fleet server would reconstruct this
+	// exact cell identity. Empty means the cell is not expressible remotely
+	// and always runs locally, RemoteRunner or not.
+	RemoteReq []byte
 }
 
 // Supervisor wraps every cell of a sweep in the crash-safety envelope:
@@ -168,6 +189,11 @@ type Supervisor struct {
 	// every cell. The placeholder is deliberately worthless: anything
 	// rendered from a filtered sweep is discarded by the worker driver.
 	Skip func(key string) bool
+	// Remote, when non-nil, is offered every journaled cell that carries a
+	// RemoteReq before local execution. A handled cell is journaled from the
+	// remote result; a declined one falls through to the local retry loop
+	// unchanged (graceful degradation).
+	Remote RemoteRunner
 	// PropagatePanics returns an isolated cell panic to the caller as its
 	// *PanicError instead of soft-failing the cell into a zero result. A
 	// sweep wants the soft-fail (one poisoned cell costs one skipped app,
@@ -229,6 +255,22 @@ func (s *Supervisor) RunCell(c Cell, a *nvp.Arena) (nvp.Result, error, bool) {
 	}
 	if res, ok := s.replay(c); ok {
 		return res, nil, true
+	}
+	if s != nil && s.Remote != nil && c.Key != "" && len(c.RemoteReq) > 0 {
+		res, handled, err := s.Remote.RunRemote(c.Key, c.Label, c.RemoteReq)
+		if handled {
+			if err != nil {
+				s.count(func(cs *Counters) { cs.Failures.Add(1) })
+				s.journal(Entry{Kind: KindFail, Key: c.Key, App: c.Label,
+					Attempts: 1, Error: err.Error()})
+				return nvp.Result{App: c.Label}, err, false
+			}
+			s.count(func(cs *Counters) { cs.Remote.Add(1) })
+			s.journal(Entry{Kind: KindCell, Key: c.Key, App: c.Label,
+				Attempts: 1, Result: &res})
+			return res, nil, false
+		}
+		// Declined: degrade to local execution below.
 	}
 	if a == nil {
 		a = nvp.NewArena()

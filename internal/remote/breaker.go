@@ -1,0 +1,184 @@
+package remote
+
+import "sync"
+
+// breakerState is the classic three-state circuit-breaker machine.
+type breakerState int
+
+const (
+	// breakerClosed: requests flow; consecutive failures accumulate.
+	breakerClosed breakerState = iota
+	// breakerHalfOpen: exactly one trial request probes the server; its
+	// outcome closes or re-opens the breaker.
+	breakerHalfOpen
+	// breakerOpen: requests are refused without touching the server.
+	breakerOpen
+)
+
+// String names the state for logs and gauges.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-server circuit breaker driven entirely by saturating
+// success/failure counters — the same confidence-counter idiom as the
+// prefetchers' throttles — never by wall time. Time-based cooldowns would
+// make the chaos suite's behaviour depend on scheduling; counting refused
+// admissions instead makes the whole state machine a pure function of the
+// event sequence, so tests replay it exactly.
+//
+// closed --[fails reaches threshold]--> open
+// open   --[cooldown refused admissions, then a healthy /healthz probe]--> half-open
+// half-open --[trial verified]--> closed   --[trial failed]--> open
+type breaker struct {
+	mu sync.Mutex
+
+	state breakerState
+	// fails is the saturating failure counter: +1 per breaker-relevant
+	// failure, -1 (floor 0) per success, open at threshold. Saturation at
+	// the threshold means a recovering server needs real successes, not one
+	// lucky response, to rebuild confidence.
+	fails int
+	// skips counts refused admissions while open; reaching cooldown permits
+	// one health probe.
+	skips int
+	// probing marks the single half-open trial in flight.
+	probing bool
+
+	threshold int // failures to open
+	cooldown  int // refused admissions while open before probing again
+}
+
+// admission is the verdict of breaker.admit.
+type admission int
+
+const (
+	// admitOK: send the request (breaker closed).
+	admitOK admission = iota
+	// admitTrial: send the request as the half-open trial; report its
+	// outcome with trial=true.
+	admitTrial
+	// admitProbeFirst: the open cooldown elapsed; health-probe the server
+	// and call probeResult with the verdict before any request.
+	admitProbeFirst
+	// admitRefused: the breaker is open (or a trial is already in flight).
+	admitRefused
+)
+
+// newBreaker builds a closed breaker; non-positive parameters take the
+// defaults (threshold 3, cooldown 8).
+func newBreaker(threshold, cooldown int) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 8
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// admit asks whether a request may be sent to this server now.
+func (b *breaker) admit() admission {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return admitOK
+	case breakerHalfOpen:
+		if b.probing {
+			return admitRefused
+		}
+		b.probing = true
+		return admitTrial
+	default: // open
+		b.skips++
+		if b.skips >= b.cooldown {
+			b.skips = 0
+			return admitProbeFirst
+		}
+		return admitRefused
+	}
+}
+
+// probeResult reports a /healthz probe's verdict after admitProbeFirst:
+// healthy transitions open → half-open and claims the trial slot (the
+// caller's next request is the trial); unhealthy stays open for another
+// cooldown. Returns whether the caller holds the trial.
+func (b *breaker) probeResult(healthy bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		// A concurrent trial already moved the state; do not regress it.
+		return false
+	}
+	if !healthy {
+		return false
+	}
+	b.state = breakerHalfOpen
+	b.probing = true
+	return true
+}
+
+// report feeds one request outcome back. trial marks the half-open trial
+// admitted by admitTrial/probeResult. It returns true when this report
+// opened the breaker (for the opens counter).
+func (b *breaker) report(ok, trial bool) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if trial {
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.fails = 0
+			return false
+		}
+		opened = b.state != breakerOpen
+		b.state = breakerOpen
+		b.skips = 0
+		b.fails = b.threshold
+		return opened
+	}
+	if ok {
+		if b.fails > 0 {
+			b.fails--
+		}
+		return false
+	}
+	if b.fails < b.threshold {
+		b.fails++
+	}
+	if b.fails >= b.threshold && b.state == breakerClosed {
+		b.state = breakerOpen
+		b.skips = 0
+		return true
+	}
+	return false
+}
+
+// release abandons an admitted request without a verdict — the attempt was
+// cancelled (hedge race) or answered with pure backpressure (429), which
+// says nothing about the server's health. A held half-open trial slot must
+// be released or the breaker would deadlock refusing every admission.
+func (b *breaker) release(trial bool) {
+	if !trial {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// current returns the state for gauges and routing decisions.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,171 @@
+package remote
+
+import "testing"
+
+// fail feeds n non-trial failures.
+func fail(b *breaker, n int) {
+	for i := 0; i < n; i++ {
+		b.report(false, false)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(3, 8)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("fresh breaker state = %v, want closed", got)
+	}
+	b.report(false, false)
+	b.report(false, false)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("after 2 failures state = %v, want still closed", got)
+	}
+	if opened := b.report(false, false); !opened {
+		t.Fatal("third failure did not report opening the breaker")
+	}
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("after 3 failures state = %v, want open", got)
+	}
+	if got := b.admit(); got != admitRefused {
+		t.Fatalf("open breaker admit = %v, want refused", got)
+	}
+}
+
+func TestBreakerSuccessDecaysFailures(t *testing.T) {
+	b := newBreaker(3, 8)
+	fail(b, 2)
+	b.report(true, false) // one success decays one failure
+	fail(b, 1)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("2 fails - 1 ok + 1 fail = 2 < threshold, state = %v, want closed", got)
+	}
+	fail(b, 1)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("one more failure should open; state = %v", got)
+	}
+}
+
+func TestBreakerCooldownThenProbe(t *testing.T) {
+	b := newBreaker(3, 4)
+	fail(b, 3)
+	// The first cooldown-1 admissions are refused; the cooldown-th asks for
+	// a health probe.
+	for i := 0; i < 3; i++ {
+		if got := b.admit(); got != admitRefused {
+			t.Fatalf("admission %d = %v, want refused", i, got)
+		}
+	}
+	if got := b.admit(); got != admitProbeFirst {
+		t.Fatalf("cooldown-th admission = %v, want probe-first", got)
+	}
+	// An unhealthy probe keeps it open for another full cooldown.
+	if b.probeResult(false) {
+		t.Fatal("unhealthy probe granted the trial")
+	}
+	for i := 0; i < 3; i++ {
+		if got := b.admit(); got != admitRefused {
+			t.Fatalf("post-probe admission %d = %v, want refused", i, got)
+		}
+	}
+	if got := b.admit(); got != admitProbeFirst {
+		t.Fatal("second cooldown did not re-arm the probe")
+	}
+	// A healthy probe grants the half-open trial to the prober.
+	if !b.probeResult(true) {
+		t.Fatal("healthy probe did not grant the trial")
+	}
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state after healthy probe = %v, want half-open", got)
+	}
+	// While the trial is in flight, everyone else is refused.
+	if got := b.admit(); got != admitRefused {
+		t.Fatalf("admission during trial = %v, want refused", got)
+	}
+}
+
+func TestBreakerTrialVerdicts(t *testing.T) {
+	// Trial success closes and resets.
+	b := newBreaker(3, 4)
+	fail(b, 3)
+	for i := 0; i < 4; i++ {
+		b.admit()
+	}
+	b.probeResult(true)
+	b.report(true, true)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after verified trial = %v, want closed", got)
+	}
+	// Closed with fails reset: it takes a full threshold to re-open.
+	fail(b, 2)
+	if got := b.current(); got != breakerClosed {
+		t.Fatal("trial success did not reset the failure counter")
+	}
+
+	// Trial failure re-opens.
+	b2 := newBreaker(3, 4)
+	fail(b2, 3)
+	for i := 0; i < 4; i++ {
+		b2.admit()
+	}
+	b2.probeResult(true)
+	if opened := b2.report(false, true); !opened {
+		t.Fatal("failed trial did not report re-opening")
+	}
+	if got := b2.current(); got != breakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", got)
+	}
+}
+
+// TestBreakerReleaseFreesTrialSlot pins the deadlock fix: a trial that ends
+// without a verdict (cancelled hedge, 429 backpressure) must release the
+// slot so the next admission can try again — otherwise a single cancelled
+// trial wedges the breaker half-open forever.
+func TestBreakerReleaseFreesTrialSlot(t *testing.T) {
+	b := newBreaker(3, 4)
+	fail(b, 3)
+	for i := 0; i < 4; i++ {
+		b.admit()
+	}
+	b.probeResult(true)
+	// Trial in flight; admission refused.
+	if got := b.admit(); got != admitRefused {
+		t.Fatalf("admission during trial = %v, want refused", got)
+	}
+	b.release(true)
+	if got := b.admit(); got != admitTrial {
+		t.Fatalf("admission after released trial = %v, want a fresh trial", got)
+	}
+	// Non-trial release is a no-op.
+	b.release(false)
+	if got := b.admit(); got != admitRefused {
+		t.Fatal("non-trial release cleared the in-flight trial slot")
+	}
+}
+
+func TestBreakerSaturation(t *testing.T) {
+	b := newBreaker(3, 8)
+	fail(b, 100) // far past threshold; counter must saturate
+	// A recovering server needs real successes: after saturation, exactly
+	// threshold successes close the gap back to zero.
+	for i := 0; i < 3; i++ {
+		b.report(true, false)
+	}
+	fail(b, 2)
+	// 3 fails (saturated) - 3 ok + 2 fails = 2 < threshold → no re-open
+	// report from the non-trial path (state is managed by trials once open).
+	if b.fails != 2 {
+		t.Fatalf("fails = %d, want 2 (saturating, then decayed)", b.fails)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.threshold != 3 || b.cooldown != 8 {
+		t.Fatalf("defaults = threshold %d cooldown %d, want 3/8", b.threshold, b.cooldown)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if breakerClosed.String() != "closed" || breakerHalfOpen.String() != "half-open" || breakerOpen.String() != "open" {
+		t.Fatal("breaker state names drifted")
+	}
+}

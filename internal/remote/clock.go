@@ -1,0 +1,23 @@
+package remote
+
+import "time"
+
+// This file is the package's only wall-clock touchpoint, mirroring
+// internal/dist/clock.go: remote execution needs real time for backoff
+// sleeps and hedge timers, but nothing that feeds a simulated result may
+// ever observe it. The determinism lint pins wall-clock use in internal/
+// to exactly the registered clock corners.
+
+// realSleep is the default Client sleep; tests substitute a recorder so
+// the deterministic backoff schedule is asserted, not waited out.
+func realSleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// hedgeTimer arms the straggler-detection timer that triggers a hedged
+// request. Callers must Stop it.
+func hedgeTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}

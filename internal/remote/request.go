@@ -1,7 +1,38 @@
-package main
+// Package remote is the resilient client execution layer for farming sweep
+// cells to an ipexd fleet: a sweep (cmd/experiments, serial or distributed
+// worker) hands each remotable cell to a Client, which speculates on a
+// remote result and commits it only after verification — key match and
+// sha256 over the body, the same envelope discipline as the result store's
+// disk tier. Any failure (network, backpressure, corruption, truncation) is
+// a retry against the fleet, and an exhausted retry budget degrades the
+// cell to local arena execution: the sweep's output is byte-identical
+// whether the fleet answered every cell, some, or none.
+//
+// The package also owns the /v1/run wire schema (RunRequest and its
+// builder), moved here from cmd/ipexd so the client encodes requests with
+// the exact code the server decodes them with: EncodeCell round-trips each
+// candidate request through Build and accepts it only when the
+// reconstructed cell key equals the sweep's own — a request that would not
+// hash to the same identity server-side is simply not remotable and runs
+// locally.
+//
+// Resilience stack (see DESIGN.md "Remote execution"):
+//   - per-server circuit breakers driven by saturating success/failure
+//     counters (the prefetchers' confidence-counter idiom, not wall time),
+//     with /healthz probes gating the open → half-open transition;
+//   - bounded retry budgets with deterministic key-seeded jittered backoff
+//     that honor the server's Retry-After on 429/503;
+//   - hedged requests racing a second replica for straggler cells (first
+//     verified response wins, the loser is cancelled);
+//   - response envelope verification (key + sha256 + strict decode);
+//   - graceful degradation: per-cell local fallback when the budget is
+//     exhausted, fleet-wide when every breaker is open.
+package remote
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 
@@ -12,6 +43,10 @@ import (
 	"ipex/internal/prefetch"
 	"ipex/internal/workload"
 )
+
+// MaxRequestBody bounds a /v1/run body; a legitimate request is a few
+// hundred bytes.
+const MaxRequestBody = 1 << 20
 
 // RunRequest is the declarative body of POST /v1/run: one simulation,
 // described entirely by value — no callbacks, no host state — so every
@@ -70,32 +105,60 @@ type ConfigRequest struct {
 	CapacitanceFarads float64 `json:"capacitance_farads,omitempty"`
 }
 
-// limits are the server-side bounds a request must fit in (backstops
+// Limits are the server-side bounds a request must fit in (backstops
 // against one request monopolizing the worker pool).
-type limits struct {
-	// maxScale bounds RunRequest.Scale (0 = unbounded).
-	maxScale float64
-	// cellBudget clamps every run's MaxCycles (0 = off), exactly like
+type Limits struct {
+	// MaxScale bounds RunRequest.Scale (0 = unbounded).
+	MaxScale float64
+	// CellBudget clamps every run's MaxCycles (0 = off), exactly like
 	// cmd/experiments -cell-budget: a deterministic deadline inside
 	// simulated time, part of the cell's identity.
-	cellBudget uint64
+	CellBudget uint64
 }
 
-// runSpec is a validated, normalized request: the effective observer-free
+// Spec is a validated, normalized request: the effective observer-free
 // config, its content identity, and the trace coordinates.
-type runSpec struct {
-	app      string
-	scale    float64
-	source   power.Source
-	seed     uint64
-	cfg      nvp.Config
-	identity experiments.ConfigIdentity
+type Spec struct {
+	App      string
+	Scale    float64
+	Source   power.Source
+	Seed     uint64
+	Config   nvp.Config
+	Identity experiments.ConfigIdentity
 }
 
-// build validates the request against the server limits and derives its
-// runSpec. Every error is a client error (HTTP 400).
-func (rq RunRequest) build(lim limits) (runSpec, error) {
-	var sp runSpec
+// Key derives the cell key the server will file the result under, given
+// the trace the spec's coordinates generate. It is the same
+// experiments.CellIdentity construction the sweep journal uses — one key
+// schema across journal, cache, and wire.
+func (sp Spec) Key(traceName string, traceLen int) string {
+	return experiments.CellIdentity{
+		App:       sp.App,
+		Scale:     sp.Scale,
+		TraceSeed: sp.Seed,
+		TraceName: traceName,
+		TraceLen:  traceLen,
+		Config:    sp.Identity,
+	}.Key()
+}
+
+// DecodeRunRequest parses a /v1/run body: at most MaxRequestBody bytes,
+// unknown fields rejected. It is the single decoder for the endpoint — the
+// server calls it, and FuzzRunRequest fuzzes it.
+func DecodeRunRequest(r io.Reader) (RunRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBody))
+	// Unknown fields are a client error, not a default: a typo'd knob must
+	// not silently hash to (and be served as) a different configuration.
+	dec.DisallowUnknownFields()
+	var rq RunRequest
+	err := dec.Decode(&rq)
+	return rq, err
+}
+
+// Build validates the request against the server limits and derives its
+// Spec. Every error is a client error (HTTP 400).
+func (rq RunRequest) Build(lim Limits) (Spec, error) {
+	var sp Spec
 
 	if rq.App == "" {
 		return sp, fmt.Errorf("missing app (want one of %s)", strings.Join(workload.Names(), ", "))
@@ -110,17 +173,17 @@ func (rq RunRequest) build(lim limits) (runSpec, error) {
 	if !found {
 		return sp, fmt.Errorf("unknown app %q (want one of %s)", rq.App, strings.Join(workload.Names(), ", "))
 	}
-	sp.app = rq.App
+	sp.App = rq.App
 
-	sp.scale = rq.Scale
-	if sp.scale == 0 {
-		sp.scale = 1
+	sp.Scale = rq.Scale
+	if sp.Scale == 0 {
+		sp.Scale = 1
 	}
-	if !(sp.scale > 0) || math.IsInf(sp.scale, 0) {
+	if !(sp.Scale > 0) || math.IsInf(sp.Scale, 0) {
 		return sp, fmt.Errorf("scale must be a positive finite number, got %g", rq.Scale)
 	}
-	if lim.maxScale > 0 && sp.scale > lim.maxScale {
-		return sp, fmt.Errorf("scale %g exceeds this server's -max-scale %g", sp.scale, lim.maxScale)
+	if lim.MaxScale > 0 && sp.Scale > lim.MaxScale {
+		return sp, fmt.Errorf("scale %g exceeds this server's -max-scale %g", sp.Scale, lim.MaxScale)
 	}
 
 	srcName := rq.Source
@@ -131,11 +194,11 @@ func (rq RunRequest) build(lim limits) (runSpec, error) {
 	if err != nil {
 		return sp, err
 	}
-	sp.source = src
+	sp.Source = src
 
-	sp.seed = rq.TraceSeed
-	if sp.seed == 0 {
-		sp.seed = 1
+	sp.Seed = rq.TraceSeed
+	if sp.Seed == 0 {
+		sp.Seed = 1
 	}
 
 	cfg := nvp.DefaultConfig()
@@ -214,18 +277,18 @@ func (rq RunRequest) build(lim limits) (runSpec, error) {
 	}
 	// The server's deterministic cycle budget clamps — and therefore enters
 	// — the cell's identity, exactly like a sweep's -cell-budget.
-	if lim.cellBudget > 0 && (cfg.MaxCycles == 0 || cfg.MaxCycles > lim.cellBudget) {
-		cfg.MaxCycles = lim.cellBudget
+	if lim.CellBudget > 0 && (cfg.MaxCycles == 0 || cfg.MaxCycles > lim.CellBudget) {
+		cfg.MaxCycles = lim.CellBudget
 	}
 	if err := cfg.Validate(); err != nil {
 		return sp, err
 	}
-	sp.cfg = cfg
+	sp.Config = cfg
 
 	// Declarative requests cannot install factories, so this only fails if
 	// the schema above ever grows one — at which point the refusal (HTTP
 	// 400, never cached) is exactly what key soundness demands.
-	sp.identity, err = experiments.NewConfigIdentity(cfg)
+	sp.Identity, err = experiments.NewConfigIdentity(cfg)
 	if err != nil {
 		return sp, err
 	}

@@ -101,6 +101,12 @@ type Store struct {
 	diskEvicted *trace.Counter
 	corrupt     *trace.Counter
 	failures    *trace.Counter
+	diskErrors  *trace.Counter
+
+	// writeFile is the disk-tier writer, an injection seam for the
+	// failing-disk tests (running as root defeats permission-based
+	// injection). Production is always benchio.WriteFileAtomic.
+	writeFile func(path string, data []byte, perm os.FileMode) error
 
 	// clock, when installed via SetClock, feeds the latency histograms
 	// below; nil leaves them silent, preserving the package's clock-free
@@ -119,7 +125,7 @@ type entry struct {
 // (minimum 1) over a disk tier rooted at dir ("" keeps the store purely
 // in-memory). The directory is created if missing. reg, when non-nil,
 // receives the store.* counters (mem_hits, disk_hits, computed, coalesced,
-// evicted, corrupt, failures).
+// evicted, corrupt, failures, disk_errors).
 func New(dir string, memEntries int, reg *trace.Registry) (*Store, error) {
 	if memEntries < 1 {
 		memEntries = 1
@@ -144,6 +150,9 @@ func New(dir string, memEntries int, reg *trace.Registry) (*Store, error) {
 		diskEvicted: reg.Counter("store.disk_evicted"),
 		corrupt:     reg.Counter("store.corrupt"),
 		failures:    reg.Counter("store.failures"),
+		diskErrors:  reg.Counter("store.disk_errors"),
+
+		writeFile: benchio.WriteFileAtomic,
 
 		computeSeconds:  reg.Histogram("store.compute_seconds", nil),
 		diskReadSeconds: reg.Histogram("store.disk_read_seconds", nil),
@@ -326,10 +335,13 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte
 	c.body = body
 	if c.err == nil {
 		if outcome == OutcomeComputed {
-			// A disk-write failure degrades the entry to memory-only; the
-			// body itself is sound, so the request still succeeds.
+			// A disk-write failure (ENOSPC, permissions, dead disk) degrades
+			// the entry to memory-only; the body itself is sound, so the
+			// request still succeeds and is cached where it can be. It counts
+			// as a disk error, not a failure — `failures` partitions request
+			// outcomes, and this request succeeded.
 			if werr := s.writeDisk(key, body); werr != nil {
-				s.failures.Inc()
+				s.diskErrors.Inc()
 			}
 		}
 		s.insert(key, body)
@@ -354,9 +366,14 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) ([]byte
 }
 
 // Put stores a body in both tiers unconditionally (overwriting any previous
-// entry for the key).
+// entry for the key). A disk-tier write failure is counted and returned, but
+// the memory tier is installed regardless — the entry degrades, it does not
+// vanish.
 func (s *Store) Put(key string, body []byte) error {
 	err := s.writeDisk(key, body)
+	if err != nil {
+		s.diskErrors.Inc()
+	}
 	s.insert(key, body)
 	return err
 }
@@ -392,7 +409,7 @@ func (s *Store) writeDisk(key string, body []byte) error {
 	buf.Grow(len(EnvelopeSchema) + len(key) + 2*len(sum) + 3 + len(body))
 	fmt.Fprintf(&buf, "%s %s %s\n", EnvelopeSchema, key, hex.EncodeToString(sum[:]))
 	buf.Write(body)
-	return benchio.WriteFileAtomic(s.DiskPath(key), buf.Bytes(), 0o644)
+	return s.writeFile(s.DiskPath(key), buf.Bytes(), 0o644)
 }
 
 // readDisk fetches and verifies a disk-tier entry, timing the successful
