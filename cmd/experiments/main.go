@@ -355,6 +355,7 @@ func main() {
 			Timeout:         *remoteTimeout,
 			HedgeAfter:      *hedgeAfter,
 			NoLocalFallback: *noLocalFallback,
+			BaseContext:     drainCtx,
 			Clock:           telClock,
 			Metrics:         o.Metrics,
 			Logf: func(format string, a ...any) {

@@ -49,6 +49,11 @@ type Options struct {
 	// NoLocalFallback fails a cell whose remote budget is exhausted instead
 	// of degrading it to local execution.
 	NoLocalFallback bool
+	// BaseContext, when non-nil, bounds every remote interaction — attempts,
+	// health probes, and backoff sleeps. Cancelling it (sweep shutdown)
+	// aborts in-flight remote work promptly; cells then degrade per the
+	// fallback policy. nil means context.Background().
+	BaseContext context.Context
 	// FailThreshold and Cooldown parameterize the per-server breakers (see
 	// newBreaker; 0 takes the defaults).
 	FailThreshold int
@@ -89,8 +94,10 @@ type Client struct {
 	probeTimeout time.Duration
 	clock        trace.Clock
 	logf         func(string, ...any)
+	// base bounds every attempt, probe, and backoff sleep (shutdown).
+	base context.Context
 	// sleepFn is the backoff sleep; tests substitute a recorder.
-	sleepFn func(time.Duration)
+	sleepFn func(context.Context, time.Duration)
 
 	attempts     *trace.Counter
 	okAttempts   *trace.Counter
@@ -139,6 +146,10 @@ func NewClient(o Options) (*Client, error) {
 	if probeTimeout > 2*time.Second {
 		probeTimeout = 2 * time.Second
 	}
+	base := o.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
 	c := &Client{
 		retries:      o.Retries,
 		hedge:        o.HedgeAfter,
@@ -149,6 +160,7 @@ func NewClient(o Options) (*Client, error) {
 		probeTimeout: probeTimeout,
 		clock:        o.Clock,
 		logf:         o.Logf,
+		base:         base,
 		sleepFn:      realSleep,
 
 		attempts:     reg.Counter("remote.attempts"),
@@ -235,11 +247,17 @@ func (c *Client) rank(key string) []*serverState {
 	return out
 }
 
-// route picks the primary (and, when available, hedge backup) for a cell:
-// the first two breaker-admitted servers in rendezvous order. An open
-// breaker whose cooldown elapsed is health-probed over /healthz first —
-// only a 200 earns the half-open trial.
+// route picks the primary (and, when hedging is enabled, a hedge backup)
+// for a cell: the first breaker-admitted servers in rendezvous order. An
+// open breaker whose cooldown elapsed is health-probed over /healthz first
+// — only a 200 earns the half-open trial. With hedging disabled no backup
+// is selected at all: admitting one would claim breaker state (possibly a
+// half-open trial slot) for a request that never launches.
 func (c *Client) route(key string) (primary, backup *target) {
+	want := 2
+	if c.hedge <= 0 {
+		want = 1
+	}
 	var tgts []*target
 	for _, s := range c.rank(key) {
 		switch s.br.admit() {
@@ -258,7 +276,7 @@ func (c *Client) route(key string) (primary, backup *target) {
 			}
 		case admitRefused:
 		}
-		if len(tgts) == 2 {
+		if len(tgts) == want {
 			break
 		}
 	}
@@ -276,7 +294,7 @@ func (c *Client) route(key string) (primary, backup *target) {
 // again. A draining ipexd answers 503, so a shutting-down server never
 // re-enters rotation.
 func (c *Client) probeHealth(s *serverState) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout)
+	ctx, cancel := context.WithTimeout(c.base, c.probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/healthz", nil)
 	if err != nil {
@@ -299,23 +317,38 @@ func (c *Client) probeHealth(s *serverState) bool {
 func (c *Client) RunRemote(key, label string, req []byte) (res nvp.Result, handled bool, err error) {
 	var lastErr error
 	var raHint time.Duration
+	var raFrom *serverState
 	rounds := 0
 	for round := 0; round <= c.retries; round++ {
-		if round > 0 {
-			c.retried.Inc()
-			c.sleepBackoff(key, round, raHint)
+		if c.base.Err() != nil {
+			// Sweep shutdown: stop spending the remote budget and degrade.
+			if lastErr == nil {
+				lastErr = c.base.Err()
+			}
+			break
 		}
+		// Route before the backoff sleep so a Retry-After hint is honored
+		// only when this round actually targets the server that sent it —
+		// a hint speaks for one server, not the fleet.
 		primary, backup := c.route(key)
 		if primary == nil {
 			break
 		}
+		if round > 0 {
+			c.retried.Inc()
+			hint := raHint
+			if raFrom != primary.s {
+				hint = 0
+			}
+			c.sleepBackoff(key, round, hint)
+		}
 		rounds++
-		out, hint, aerr := c.attemptHedged(primary, backup, key, req)
+		out, hint, hintFrom, aerr := c.attemptHedged(primary, backup, key, req)
 		if aerr == nil {
 			c.cellsRemote.Inc()
 			return out, true, nil
 		}
-		lastErr, raHint = aerr, hint
+		lastErr, raHint, raFrom = aerr, hint, hintFrom
 	}
 	if c.noFall {
 		c.cellsFailed.Inc()
@@ -327,7 +360,11 @@ func (c *Client) RunRemote(key, label string, req []byte) (res nvp.Result, handl
 	if rounds == 0 {
 		c.cellsUnrt.Inc()
 		if c.logf != nil {
-			c.logf("remote: %s: no routable server (every breaker open); simulating locally", label)
+			if c.base.Err() != nil {
+				c.logf("remote: %s: shutdown in progress; simulating locally", label)
+			} else {
+				c.logf("remote: %s: no routable server (every breaker open); simulating locally", label)
+			}
 		}
 	} else {
 		c.cellsFall.Inc()
@@ -369,44 +406,58 @@ func (c *Client) sleepBackoff(key string, round int, retryAfter time.Duration) {
 		}
 	}
 	c.backoffSeconds.Observe(d.Seconds())
-	c.sleepFn(d)
+	c.sleepFn(c.base, d)
 }
 
-// attemptOut is one HTTP attempt's conclusion.
+// attemptOut is one HTTP attempt's conclusion. srv identifies the server
+// it ran against, so a Retry-After hint stays scoped to its sender.
 type attemptOut struct {
 	res        nvp.Result
 	err        error
 	retryAfter time.Duration
 	hedge      bool
+	srv        *serverState
 }
 
 // attemptHedged races the primary against a delayed hedge on the backup:
 // the first verified response wins and the loser is cancelled. It fails
-// only when every launched attempt failed.
-func (c *Client) attemptHedged(primary, backup *target, key string, req []byte) (nvp.Result, time.Duration, error) {
+// only when every launched attempt failed; alongside the error it returns
+// any Retry-After hint and the server that sent it.
+func (c *Client) attemptHedged(primary, backup *target, key string, req []byte) (nvp.Result, time.Duration, *serverState, error) {
 	ch := make(chan attemptOut, 2)
-	pctx, pcancel := context.WithCancel(context.Background())
+	pctx, pcancel := context.WithCancel(c.base)
 	defer pcancel()
 	go c.attempt(pctx, primary, key, req, false, ch)
 	launched := 1
 	hcancel := context.CancelFunc(func() {})
+	// An admitted backup that never launches must hand its admission — in
+	// particular a claimed half-open trial slot — back to its breaker, or
+	// that breaker would refuse every future admission and a recovering
+	// server would be permanently out of rotation. backup is set to nil at
+	// launch, when attempt() takes over the breaker verdict.
+	defer func() {
+		if backup != nil {
+			backup.s.br.release(backup.trial)
+		}
+	}()
 
 	if backup != nil && c.hedge > 0 {
 		t := hedgeTimer(c.hedge)
 		select {
 		case <-t.C:
 			c.hedges.Inc()
-			hctx, hc := context.WithCancel(context.Background())
+			hctx, hc := context.WithCancel(c.base)
 			defer hc()
 			hcancel = hc
 			go c.attempt(hctx, backup, key, req, true, ch)
+			backup = nil
 			launched = 2
 		case out := <-ch:
 			t.Stop()
 			if out.err == nil {
-				return out.res, 0, nil
+				return out.res, 0, nil, nil
 			}
-			return nvp.Result{}, out.retryAfter, out.err
+			return nvp.Result{}, out.retryAfter, out.srv, out.err
 		}
 	}
 
@@ -421,13 +472,13 @@ func (c *Client) attemptHedged(primary, backup *target, key string, req []byte) 
 			// bucket without a breaker verdict.
 			pcancel()
 			hcancel()
-			return out.res, 0, nil
+			return out.res, 0, nil, nil
 		}
 		if i == 0 || (firstFail.retryAfter == 0 && out.retryAfter > 0) {
 			firstFail = out
 		}
 	}
-	return nvp.Result{}, firstFail.retryAfter, firstFail.err
+	return nvp.Result{}, firstFail.retryAfter, firstFail.srv, firstFail.err
 }
 
 // outcomeKind buckets one attempt; every attempt lands in exactly one.
@@ -483,7 +534,7 @@ func (c *Client) attempt(ctx context.Context, t *target, key string, body []byte
 			c.brOpens.Inc()
 		}
 	}
-	ch <- attemptOut{res: res, err: err, retryAfter: ra, hedge: hedge}
+	ch <- attemptOut{res: res, err: err, retryAfter: ra, hedge: hedge, srv: t.s}
 }
 
 // doOnce issues one POST /v1/run and verifies the response envelope: HTTP

@@ -7,6 +7,7 @@ package remote
 // backoff schedule.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -47,7 +48,7 @@ func newTestClient(t *testing.T, o Options) (*Client, *[]time.Duration) {
 		t.Fatal(err)
 	}
 	slept := &[]time.Duration{}
-	c.sleepFn = func(d time.Duration) { *slept = append(*slept, d) }
+	c.sleepFn = func(_ context.Context, d time.Duration) { *slept = append(*slept, d) }
 	return c, slept
 }
 
@@ -215,6 +216,150 @@ func TestHedgeBackupWins(t *testing.T) {
 		if got := sv.br.current(); got != breakerClosed {
 			t.Fatalf("breaker on %s = %v after hedge race, want closed", sv.url, got)
 		}
+	}
+}
+
+// forceHalfOpen drives a breaker to half-open with its trial slot free —
+// the state a recovering server is in when route() considers it.
+func forceHalfOpen(br *breaker) {
+	for !br.report(false, false) {
+	}
+	for br.admit() != admitProbeFirst {
+	}
+	br.probeResult(true)
+	br.release(true)
+}
+
+func TestUnlaunchedHedgeBackupReleasesTrial(t *testing.T) {
+	// Fast primary, half-open backup, hedge timer far in the future: route()
+	// claims the backup's single trial slot, but the primary answers before
+	// the hedge fires so the backup never launches. Its slot must be
+	// released, or the backup's breaker would refuse every future admission
+	// and the recovering server would be permanently out of rotation.
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			serveVerified(w, testKey, testBody)
+		}))
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+
+	c, _ := newTestClient(t, Options{Servers: []string{a.URL, b.URL}, HedgeAfter: time.Hour})
+	backup := c.rank(testKey)[1]
+	forceHalfOpen(backup.br)
+
+	if _, handled, err := c.RunRemote(testKey, "cell", []byte(`{}`)); !handled || err != nil {
+		t.Fatalf("RunRemote: handled %v err %v", handled, err)
+	}
+	if got := backup.br.admit(); got != admitTrial {
+		t.Fatalf("backup breaker admission after unlaunched hedge = %v, want admitTrial (slot released)", got)
+	}
+	s := c.Snapshot()
+	if s.Hedges != 0 || s.Attempts != 1 || s.CellsRemote != 1 {
+		t.Fatalf("snapshot = %+v, want a single unhedged attempt", s)
+	}
+	checkPartition(t, s)
+}
+
+func TestNoHedgeSelectsNoBackup(t *testing.T) {
+	// With hedging disabled a backup can never launch, so route() must not
+	// admit one at all — admitting would claim breaker state (here: the
+	// half-open trial slot) for a request that never happens.
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			serveVerified(w, testKey, testBody)
+		}))
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+
+	c, _ := newTestClient(t, Options{Servers: []string{a.URL, b.URL}})
+	second := c.rank(testKey)[1]
+	forceHalfOpen(second.br)
+
+	if _, handled, err := c.RunRemote(testKey, "cell", []byte(`{}`)); !handled || err != nil {
+		t.Fatalf("RunRemote: handled %v err %v", handled, err)
+	}
+	if got := second.br.admit(); got != admitTrial {
+		t.Fatalf("second server's breaker after unhedged cell = %v, want its trial slot untouched", got)
+	}
+	s := c.Snapshot()
+	if s.Attempts != 1 {
+		t.Fatalf("snapshot = %+v, want the primary attempted alone", s)
+	}
+	checkPartition(t, s)
+}
+
+func TestRetryAfterScopedToSender(t *testing.T) {
+	// The primary answers 503 with a Retry-After and opens its breaker
+	// (threshold 1); the next round routes to the other server, which never
+	// asked for backpressure — the hint must not delay that attempt.
+	var aIsPrimary atomic.Bool
+	mk := func(isA bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			if aIsPrimary.Load() == isA {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "maintenance", http.StatusServiceUnavailable)
+				return
+			}
+			serveVerified(w, testKey, testBody)
+		}))
+	}
+	a, b := mk(true), mk(false)
+	defer a.Close()
+	defer b.Close()
+
+	c, slept := newTestClient(t, Options{Servers: []string{a.URL, b.URL}, Retries: 2, FailThreshold: 1})
+	aIsPrimary.Store(c.rank(testKey)[0].url == a.URL)
+
+	res, handled, err := c.RunRemote(testKey, "cell", []byte(`{}`))
+	if err != nil || !handled || res.Cycles != 123 {
+		t.Fatalf("RunRemote = %+v handled %v err %v", res, handled, err)
+	}
+	// Round 2's backoff is the jittered exponential base, not the stale 1s
+	// hint from the server that dropped out of routing.
+	base := 50 * time.Millisecond
+	if len(*slept) != 1 || (*slept)[0] < base || (*slept)[0] > base+base/2 {
+		t.Fatalf("backoff sleeps = %v, want one exponential-schedule sleep in [%v, %v]", *slept, base, base+base/2)
+	}
+	s := c.Snapshot()
+	if s.RetryAfterHonored != 0 || s.BreakerOpens != 1 || s.CellsRemote != 1 {
+		t.Fatalf("snapshot = %+v, want the hint dropped with the sender's breaker open", s)
+	}
+	checkPartition(t, s)
+}
+
+func TestBaseContextCancelDegrades(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		serveVerified(w, testKey, testBody)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, slept := newTestClient(t, Options{Servers: []string{ts.URL}, Retries: 3, BaseContext: ctx})
+	if _, handled, err := c.RunRemote(testKey, "cell", []byte(`{}`)); handled || err != nil {
+		t.Fatalf("cancelled base context must degrade to local: handled %v err %v", handled, err)
+	}
+	s := c.Snapshot()
+	if s.Attempts != 0 || s.CellsUnroutable != 1 {
+		t.Fatalf("snapshot = %+v, want no attempts spent after shutdown", s)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v after shutdown, want nothing", *slept)
+	}
+	checkPartition(t, s)
+}
+
+func TestRealSleepInterruptible(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	realSleep(ctx, time.Hour)
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("realSleep ignored context cancellation")
 	}
 }
 

@@ -1,6 +1,9 @@
 package remote
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // This file is the package's only wall-clock touchpoint, mirroring
 // internal/dist/clock.go: remote execution needs real time for backoff
@@ -9,10 +12,19 @@ import "time"
 // to exactly the registered clock corners.
 
 // realSleep is the default Client sleep; tests substitute a recorder so
-// the deterministic backoff schedule is asserted, not waited out.
-func realSleep(d time.Duration) {
-	if d > 0 {
-		time.Sleep(d)
+// the deterministic backoff schedule is asserted, not waited out. The
+// context cuts a backoff short on sweep shutdown — a fleet of dead
+// servers must not hold a pool worker in sleeps after the user asked to
+// stop.
+func realSleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }
 
